@@ -1,0 +1,207 @@
+// Package anonnet is a library for distributed broadcasting, unique label
+// assignment, and topology mapping in directed anonymous networks, after
+// Langberg, Schwartz & Bruck, "Distributed Broadcasting and Mapping
+// Protocols in Directed Anonymous Networks" (PODC 2007).
+//
+// A directed anonymous network is a directed graph — not necessarily
+// strongly connected — whose processors have no identifiers, no knowledge of
+// the topology (not even |V|), and can only tell their incident edges apart
+// by local port number. Two distinguished vertices exist: a root s with a
+// single out-edge, where computation is initiated, and a terminal t with no
+// out-edges, where results and termination are observed.
+//
+// The library provides:
+//
+//   - Broadcast: deliver a message m from s to every vertex, terminating at
+//     t exactly when everyone has received it — with protocol selection by
+//     graph class (grounded tree / DAG / general);
+//   - AssignLabels: give every internal vertex a unique label (a
+//     sub-interval of [0,1)) with no pre-existing identities anywhere;
+//   - ExtractTopology: reconstruct the entire network — every vertex and
+//     every port-numbered edge — at the terminal.
+//
+// All executions are asynchronous; the engine can be the deterministic
+// adversarial scheduler or a goroutine-per-vertex concurrent runtime.
+package anonnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+)
+
+// VertexID identifies a vertex of a Network to the caller (the protocols
+// themselves never see identities).
+type VertexID = graph.VertexID
+
+// Class describes which protocol family a network admits.
+type Class int
+
+// Network classes, in increasing generality.
+const (
+	// ClassGroundedTree: every vertex has in-degree 1 except the root (0)
+	// and the terminal (any). Admits the cheapest broadcast.
+	ClassGroundedTree Class = iota + 1
+	// ClassDAG: acyclic. Admits the scalar-commodity broadcast.
+	ClassDAG
+	// ClassGeneral: arbitrary, possibly cyclic.
+	ClassGeneral
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case ClassGroundedTree:
+		return "grounded-tree"
+	case ClassDAG:
+		return "dag"
+	case ClassGeneral:
+		return "general"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Network is an immutable directed anonymous network.
+type Network struct {
+	g *graph.G
+}
+
+func wrap(g *graph.G) *Network { return &Network{g: g} }
+
+// NumVertices returns |V|.
+func (n *Network) NumVertices() int { return n.g.NumVertices() }
+
+// NumEdges returns |E|.
+func (n *Network) NumEdges() int { return n.g.NumEdges() }
+
+// Root returns the root vertex s.
+func (n *Network) Root() VertexID { return n.g.Root() }
+
+// Terminal returns the terminal vertex t.
+func (n *Network) Terminal() VertexID { return n.g.Terminal() }
+
+// MaxOutDegree returns d_out.
+func (n *Network) MaxOutDegree() int { return n.g.MaxOutDegree() }
+
+// Class returns the most specific class of the network.
+func (n *Network) Class() Class { return Class(n.g.Classify()) }
+
+// AllConnectedToTerminal reports whether every vertex can reach t — the
+// exact condition under which the protocols terminate.
+func (n *Network) AllConnectedToTerminal() bool { return n.g.AllConnectedToTerminal() }
+
+// WriteDOT writes the network in Graphviz DOT format. vertexLabel may be nil
+// or return extra per-vertex annotation.
+func (n *Network) WriteDOT(w io.Writer, vertexLabel func(VertexID) string) error {
+	return n.g.WriteDOT(w, vertexLabel)
+}
+
+// String summarizes the network.
+func (n *Network) String() string { return n.g.String() }
+
+// graphHandle gives the rest of the module access to the underlying graph.
+func (n *Network) graphHandle() *graph.G { return n.g }
+
+// Builder assembles a custom Network.
+type Builder struct {
+	b *graph.Builder
+}
+
+// NewBuilder returns a Builder for a network with nVertices vertices,
+// numbered 0..nVertices-1.
+func NewBuilder(nVertices int) *Builder {
+	return &Builder{b: graph.NewBuilder(nVertices)}
+}
+
+// AddVertex appends a fresh vertex and returns its ID.
+func (b *Builder) AddVertex() VertexID { return b.b.AddVertex() }
+
+// AddEdge adds a directed edge u -> v; ports are assigned in insertion
+// order. Parallel edges are allowed.
+func (b *Builder) AddEdge(u, v VertexID) *Builder { b.b.AddEdge(u, v); return b }
+
+// SetRoot designates the root s (no in-edges, exactly one out-edge).
+func (b *Builder) SetRoot(v VertexID) *Builder { b.b.SetRoot(v); return b }
+
+// SetTerminal designates the terminal t (no out-edges).
+func (b *Builder) SetTerminal(v VertexID) *Builder { b.b.SetTerminal(v); return b }
+
+// SetName attaches a human-readable name used in reports.
+func (b *Builder) SetName(name string) *Builder { b.b.SetName(name); return b }
+
+// AllowWideRoot permits a root with more than one outgoing edge (the paper's
+// Section 2 extension); the unit commodity is split across the root's ports.
+func (b *Builder) AllowWideRoot() *Builder { b.b.AllowWideRoot(); return b }
+
+// Build validates the model constraints and returns the network.
+func (b *Builder) Build() (*Network, error) {
+	g, err := b.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return wrap(g), nil
+}
+
+// ErrNotTerminated is returned when a protocol run ends quiescent: some
+// vertex cannot reach the terminal, so by design the protocol must not (and
+// did not) declare termination.
+var ErrNotTerminated = errors.New("anonnet: protocol did not terminate (some vertex cannot reach the terminal)")
+
+// --- standard topology generators ------------------------------------------
+
+// Line returns the path s -> v_1 -> ... -> v_n -> t.
+func Line(n int) *Network { return wrap(graph.Line(n)) }
+
+// Chain returns the lower-bound chain G_n of the paper (Figure 5).
+func Chain(n int) *Network { return wrap(graph.Chain(n)) }
+
+// Ring returns a directed n-cycle with every cycle vertex also wired to t.
+func Ring(n int) *Network { return wrap(graph.Ring(n)) }
+
+// KaryTree returns the full d-ary grounded tree of height h with all leaves
+// wired to t.
+func KaryTree(h, d int) *Network { return wrap(graph.KaryGroundedTree(h, d)) }
+
+// RandomTree returns a random grounded tree with n internal vertices.
+func RandomTree(n int, seed int64) *Network { return wrap(graph.RandomGroundedTree(n, 0.2, seed)) }
+
+// RandomDAG returns a random DAG with n internal vertices and extra
+// additional forward edges.
+func RandomDAG(n, extra int, seed int64) *Network { return wrap(graph.RandomDAG(n, extra, seed)) }
+
+// RandomNetwork returns a random general (possibly cyclic) network with n
+// internal vertices and extra additional edges; every vertex can reach t.
+func RandomNetwork(n, extra int, seed int64) *Network {
+	return wrap(graph.RandomDigraph(n, seed, graph.RandomDigraphOpts{ExtraEdges: extra, TerminalFrac: 0.15}))
+}
+
+// LayeredNetwork returns a layered cyclic network (layers x width vertices)
+// with dense forward edges and one back edge per layer.
+func LayeredNetwork(layers, width int, seed int64) *Network {
+	return wrap(graph.LayeredDigraph(layers, width, seed))
+}
+
+// MarshalText renders the network in the library's line-oriented text
+// format; ParseNetwork reads it back with identical port numbering.
+func (n *Network) MarshalText() []byte { return n.g.MarshalText() }
+
+// ParseNetwork reads a network in the text format produced by MarshalText:
+//
+//	anonnet v1
+//	vertices 5
+//	root 0
+//	terminal 4
+//	edge 0 1
+//	...
+//
+// Edge order defines the port numbering the anonymous protocols observe.
+func ParseNetwork(r io.Reader) (*Network, error) {
+	g, err := graph.ParseText(r)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(g), nil
+}

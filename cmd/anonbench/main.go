@@ -1,0 +1,102 @@
+// Command anonbench regenerates every experiment table of EXPERIMENTS.md:
+// the quantitative checks of each theorem and figure of the paper.
+//
+// Usage:
+//
+//	anonbench [-only E5] [-quick] [-v]
+//
+// With -quick, reduced parameter sweeps are used (for smoke testing).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run only the experiment with this ID (e.g. E4)")
+	quick := flag.Bool("quick", false, "use reduced sweeps")
+	verbose := flag.Bool("v", false, "print per-experiment timing to stderr")
+	flag.Parse()
+	if err := run(*only, *quick, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "anonbench:", err)
+		os.Exit(1)
+	}
+}
+
+type step struct {
+	id string
+	f  func() (*experiments.Table, error)
+}
+
+func run(only string, quick, verbose bool) error {
+	for _, s := range steps(quick) {
+		if only != "" && !strings.EqualFold(s.id, only) {
+			continue
+		}
+		start := time.Now()
+		t, err := s.f()
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.id, err)
+		}
+		if verbose {
+			fmt.Fprintf(os.Stderr, "%s done in %s\n", s.id, time.Since(start).Round(time.Millisecond))
+		}
+		fmt.Println(t.Render())
+	}
+	return nil
+}
+
+func steps(quick bool) []step {
+	e1Sizes := []int{16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+	e1bDepths := []int{8, 16, 32, 64, 128, 256}
+	e2Sizes := []int{8, 16, 32, 64, 128, 256, 512, 1024}
+	e3Sizes := []int{16, 32, 64, 128, 256, 512}
+	e4Sizes := []int{2, 4, 6, 8, 10, 12}
+	e5Sizes := []int{8, 16, 32, 64, 128}
+	e6Sizes := []int{8, 16, 32, 64, 128}
+	e7Sizes := []int{8, 16, 32, 64, 128}
+	e8Heights := []int{2, 4, 6, 8, 16, 32, 64, 128}
+	e10Sizes := []int{8, 16, 32, 64}
+	e11Sizes := []int{8, 16, 32, 64}
+	if quick {
+		e1Sizes = []int{16, 64, 256}
+		e1bDepths = []int{8, 32}
+		e2Sizes = []int{8, 64}
+		e3Sizes = []int{16, 64}
+		e4Sizes = []int{2, 5}
+		e5Sizes = []int{8, 24}
+		e6Sizes = []int{8, 24}
+		e7Sizes = []int{8, 24}
+		e8Heights = []int{2, 4, 16}
+		e10Sizes = []int{8, 16}
+		e11Sizes = []int{8, 16}
+	}
+	return []step{
+		{"E1", func() (*experiments.Table, error) { return experiments.E1TreeBroadcast(e1Sizes, 8) }},
+		{"E1b", func() (*experiments.Table, error) { return experiments.E1bNaiveVsPow2(e1bDepths) }},
+		{"E2", func() (*experiments.Table, error) { return experiments.E2ChainAlphabet(e2Sizes) }},
+		{"E3", func() (*experiments.Table, error) { return experiments.E3DAGBroadcast(e3Sizes) }},
+		{"E4", func() (*experiments.Table, error) { return experiments.E4Skeleton(e4Sizes) }},
+		{"E5", func() (*experiments.Table, error) { return experiments.E5GeneralBroadcast(e5Sizes) }},
+		{"E6", func() (*experiments.Table, error) { return experiments.E6SymbolSize(e6Sizes) }},
+		{"E7", func() (*experiments.Table, error) { return experiments.E7Labeling(e7Sizes) }},
+		{"E8", func() (*experiments.Table, error) { return experiments.E8PruneLabels(e8Heights, 3) }},
+		{"E9", experiments.E9LinearCuts},
+		{"E10", func() (*experiments.Table, error) { return experiments.E10Mapping(e10Sizes) }},
+		{"E11", func() (*experiments.Table, error) { return experiments.E11Rounds(e11Sizes) }},
+		{"E12", func() (*experiments.Table, error) {
+			n := 50
+			if quick {
+				n = 10
+			}
+			return experiments.E12Ablation(n)
+		}},
+		{"E13", func() (*experiments.Table, error) { return experiments.E13StateSize(e11Sizes) }},
+	}
+}

@@ -1,0 +1,174 @@
+// Command anoncast runs a broadcasting protocol on a generated directed
+// anonymous network and reports the paper's quality metrics.
+//
+// Usage:
+//
+//	anoncast -topo ring -n 12 -msg "hello" [-proto general] [-engine concurrent] [-order random -seed 7] [-dot out.dot]
+//
+// Topologies: line, chain, ring, karytree (use -h and -d), randtree,
+// randdag, randnet, layered (use -layers and -width).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		topo   = flag.String("topo", "randnet", "topology: line|chain|ring|karytree|randtree|randdag|randnet|layered")
+		n      = flag.Int("n", 16, "internal vertex count (line/chain/ring/randtree/randdag/randnet)")
+		height = flag.Int("height", 3, "tree height (karytree)")
+		degree = flag.Int("d", 2, "tree degree (karytree)")
+		layers = flag.Int("layers", 4, "layer count (layered)")
+		width  = flag.Int("width", 3, "layer width (layered)")
+		extra  = flag.Int("extra", 16, "extra random edges (randdag/randnet)")
+		seed   = flag.Int64("seed", 1, "generator / scheduler seed")
+		msg    = flag.String("msg", "hello, anonymous world", "broadcast payload")
+		proto  = flag.String("proto", "auto", "protocol: auto|tree|tree-naive|dag|general")
+		engine = flag.String("engine", "seq", "engine: seq|concurrent")
+		order  = flag.String("order", "fifo", "delivery order (seq engine): fifo|lifo|random")
+		dot    = flag.String("dot", "", "write the network in DOT format to this file")
+		file   = flag.String("file", "", "load the network from this file (anonnet v1 text format) instead of generating one")
+		save   = flag.String("save", "", "write the generated network to this file in the text format")
+	)
+	flag.Parse()
+	if err := run(params{
+		topo: *topo, n: *n, height: *height, degree: *degree,
+		layers: *layers, width: *width, extra: *extra, seed: *seed,
+		msg: *msg, proto: *proto, engine: *engine, order: *order,
+		dot: *dot, file: *file, save: *save,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "anoncast:", err)
+		os.Exit(1)
+	}
+}
+
+type params struct {
+	topo                             string
+	n, height, degree, layers, width int
+	extra                            int
+	seed                             int64
+	msg, proto, engine, order        string
+	dot, file, save                  string
+}
+
+func run(p params) error {
+	var net *anonnet.Network
+	var err error
+	if p.file != "" {
+		f, ferr := os.Open(p.file)
+		if ferr != nil {
+			return ferr
+		}
+		net, err = anonnet.ParseNetwork(f)
+		f.Close()
+	} else {
+		net, err = buildNetwork(p.topo, p.n, p.height, p.degree, p.layers, p.width, p.extra, p.seed)
+	}
+	if err != nil {
+		return err
+	}
+	if p.save != "" {
+		if err := os.WriteFile(p.save, net.MarshalText(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", p.save)
+	}
+	fmt.Printf("network: %s  (|V|=%d |E|=%d class=%s dout=%d)\n",
+		net, net.NumVertices(), net.NumEdges(), net.Class(), net.MaxOutDegree())
+
+	opts, err := buildOptions(p.proto, p.engine, p.order, p.seed)
+	if err != nil {
+		return err
+	}
+	opts = append(opts, anonnet.WithAlphabetTracking())
+
+	rep, err := anonnet.Broadcast(net, []byte(p.msg), opts...)
+	if rep != nil {
+		fmt.Printf("protocol:        %s\n", rep.Protocol)
+		fmt.Printf("terminated:      %v\n", rep.Terminated)
+		fmt.Printf("all received:    %v\n", rep.AllReceived)
+		fmt.Printf("messages:        %d\n", rep.Messages)
+		fmt.Printf("total bits:      %d\n", rep.TotalBits)
+		fmt.Printf("bandwidth bits:  %d (max on a single edge)\n", rep.BandwidthBits)
+		fmt.Printf("max message:     %d bits\n", rep.MaxMessageBits)
+		fmt.Printf("alphabet:        %d distinct symbols\n", rep.AlphabetSize)
+		fmt.Printf("delivery steps:  %d\n", rep.Steps)
+	}
+	if err != nil {
+		return err
+	}
+	if p.dot != "" {
+		f, err := os.Create(p.dot)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := net.WriteDOT(f, nil); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", p.dot)
+	}
+	return nil
+}
+
+func buildNetwork(topo string, n, height, degree, layers, width, extra int, seed int64) (*anonnet.Network, error) {
+	switch topo {
+	case "line":
+		return anonnet.Line(n), nil
+	case "chain":
+		return anonnet.Chain(n), nil
+	case "ring":
+		return anonnet.Ring(n), nil
+	case "karytree":
+		return anonnet.KaryTree(height, degree), nil
+	case "randtree":
+		return anonnet.RandomTree(n, seed), nil
+	case "randdag":
+		return anonnet.RandomDAG(n, extra, seed), nil
+	case "randnet":
+		return anonnet.RandomNetwork(n, extra, seed), nil
+	case "layered":
+		return anonnet.LayeredNetwork(layers, width, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", topo)
+	}
+}
+
+func buildOptions(proto, engine, order string, seed int64) ([]anonnet.Option, error) {
+	var opts []anonnet.Option
+	switch proto {
+	case "auto":
+	case "tree":
+		opts = append(opts, anonnet.WithProtocol(anonnet.ProtoTreePow2))
+	case "tree-naive":
+		opts = append(opts, anonnet.WithProtocol(anonnet.ProtoTreeNaive))
+	case "dag":
+		opts = append(opts, anonnet.WithProtocol(anonnet.ProtoDAG))
+	case "general":
+		opts = append(opts, anonnet.WithProtocol(anonnet.ProtoGeneral))
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", proto)
+	}
+	switch engine {
+	case "seq":
+	case "concurrent":
+		opts = append(opts, anonnet.WithEngine(anonnet.EngineConcurrent))
+	default:
+		return nil, fmt.Errorf("unknown engine %q", engine)
+	}
+	switch order {
+	case "fifo":
+	case "lifo":
+		opts = append(opts, anonnet.WithOrder(anonnet.OrderLIFO))
+	case "random":
+		opts = append(opts, anonnet.WithOrder(anonnet.OrderRandom), anonnet.WithSeed(seed))
+	default:
+		return nil, fmt.Errorf("unknown order %q", order)
+	}
+	return opts, nil
+}

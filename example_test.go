@@ -1,0 +1,80 @@
+package anonnet_test
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	anonnet "repro"
+)
+
+// Broadcasting over a hand-built anonymous network with a cycle: the
+// terminal halts exactly when every vertex has the message.
+func ExampleBroadcast() {
+	// s -> a; a -> b, a -> c; b -> t; c -> t, c -> a (a cycle).
+	b := anonnet.NewBuilder(5).SetRoot(0).SetTerminal(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2).AddEdge(1, 3)
+	b.AddEdge(2, 4)
+	b.AddEdge(3, 4).AddEdge(3, 1)
+	net, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := anonnet.Broadcast(net, []byte("update"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.Protocol, "terminated:", rep.Terminated, "all received:", rep.AllReceived)
+	// Output:
+	// generalcast terminated: true all received: true
+}
+
+// Broadcasting must not terminate when some vertex cannot reach the
+// terminal; the error reports it.
+func ExampleBroadcast_deadEnd() {
+	b := anonnet.NewBuilder(4).SetRoot(0).SetTerminal(2)
+	b.AddEdge(0, 1).AddEdge(1, 2).AddEdge(1, 3) // vertex 3 is a dead end
+	net, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, err = anonnet.Broadcast(net, nil)
+	fmt.Println(err)
+	// Output:
+	// anonnet: protocol did not terminate (some vertex cannot reach the terminal)
+}
+
+// Unique labels from nothing: anonymous vertices end up owning disjoint
+// sub-intervals of [0, 1).
+func ExampleAssignLabels() {
+	net := anonnet.Line(3) // s -> v1 -> v2 -> v3 -> t
+	labels, _, err := anonnet.AssignLabels(net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids := make([]anonnet.VertexID, 0, len(labels))
+	for v := range labels {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, v := range ids {
+		fmt.Printf("v%d %s\n", v, labels[v])
+	}
+	// Output:
+	// v1 [0, 0.1)
+	// v2 [0.1, 0.11)
+	// v3 [0.11, 0.111)
+}
+
+// The terminal can reconstruct the whole port-numbered topology.
+func ExampleExtractTopology() {
+	net := anonnet.Ring(3)
+	topo, _, err := anonnet.ExtractTopology(net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(topo.Vertices), "vertices,", len(topo.Edges), "edges recovered")
+	// Output:
+	// 5 vertices, 7 edges recovered
+}

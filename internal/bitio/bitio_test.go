@@ -1,0 +1,239 @@
+package bitio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBit(t *testing.T) {
+	var w Writer
+	pattern := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	if w.Len() != len(pattern) {
+		t.Fatalf("Len = %d, want %d", w.Len(), len(pattern))
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("ReadBit %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+	if _, err := r.ReadBit(); err != ErrUnexpectedEOF {
+		t.Fatalf("read past end: err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestWriteBitsRoundTrip(t *testing.T) {
+	cases := []struct {
+		v uint64
+		n int
+	}{
+		{0, 0}, {0, 1}, {1, 1}, {5, 3}, {255, 8}, {256, 9},
+		{1<<63 - 1, 63}, {^uint64(0), 64}, {0xdeadbeef, 32},
+	}
+	var w Writer
+	for _, c := range cases {
+		w.WriteBits(c.v, c.n)
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	for _, c := range cases {
+		got, err := r.ReadBits(c.n)
+		if err != nil {
+			t.Fatalf("ReadBits(%d): %v", c.n, err)
+		}
+		if got != c.v {
+			t.Fatalf("ReadBits(%d) = %d, want %d", c.n, got, c.v)
+		}
+	}
+}
+
+func TestUnaryRoundTrip(t *testing.T) {
+	var w Writer
+	vals := []uint64{0, 1, 2, 7, 31}
+	for _, v := range vals {
+		w.WriteUnary(v)
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	for _, v := range vals {
+		got, err := r.ReadUnary()
+		if err != nil {
+			t.Fatalf("ReadUnary: %v", err)
+		}
+		if got != v {
+			t.Fatalf("ReadUnary = %d, want %d", got, v)
+		}
+	}
+}
+
+func TestGammaRoundTripAndLen(t *testing.T) {
+	vals := []uint64{1, 2, 3, 4, 7, 8, 100, 1 << 20, 1<<40 + 12345}
+	var w Writer
+	for _, v := range vals {
+		before := w.Len()
+		w.WriteGamma(v)
+		if got := w.Len() - before; got != GammaLen(v) {
+			t.Fatalf("gamma(%d) wrote %d bits, GammaLen says %d", v, got, GammaLen(v))
+		}
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	for _, v := range vals {
+		got, err := r.ReadGamma()
+		if err != nil {
+			t.Fatalf("ReadGamma: %v", err)
+		}
+		if got != v {
+			t.Fatalf("ReadGamma = %d, want %d", got, v)
+		}
+	}
+}
+
+func TestDeltaRoundTripAndLen(t *testing.T) {
+	vals := []uint64{1, 2, 3, 15, 16, 17, 1 << 30, 1 << 62, ^uint64(0)}
+	var w Writer
+	for _, v := range vals {
+		before := w.Len()
+		w.WriteDelta(v)
+		if got := w.Len() - before; got != DeltaLen(v) {
+			t.Fatalf("delta(%d) wrote %d bits, DeltaLen says %d", v, got, DeltaLen(v))
+		}
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	for _, v := range vals {
+		got, err := r.ReadDelta()
+		if err != nil {
+			t.Fatalf("ReadDelta: %v", err)
+		}
+		if got != v {
+			t.Fatalf("ReadDelta = %d, want %d", got, v)
+		}
+	}
+}
+
+func TestGamma0Delta0(t *testing.T) {
+	var w Writer
+	for v := uint64(0); v < 50; v++ {
+		w.WriteGamma0(v)
+		w.WriteDelta0(v)
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	for v := uint64(0); v < 50; v++ {
+		g, err := r.ReadGamma0()
+		if err != nil {
+			t.Fatalf("ReadGamma0: %v", err)
+		}
+		d, err := r.ReadDelta0()
+		if err != nil {
+			t.Fatalf("ReadDelta0: %v", err)
+		}
+		if g != v || d != v {
+			t.Fatalf("round trip %d: gamma0=%d delta0=%d", v, g, d)
+		}
+	}
+}
+
+func TestWriteBytesRoundTrip(t *testing.T) {
+	var w Writer
+	w.WriteBit(1) // misalign on purpose
+	payload := []byte("directed anonymous networks")
+	w.WriteBytes(payload)
+	r := NewReader(w.Bytes(), w.Len())
+	if _, err := r.ReadBit(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadBytes(len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("ReadBytes = %q, want %q", got, payload)
+	}
+}
+
+func TestGammaLenMonotone(t *testing.T) {
+	prev := 0
+	for v := uint64(1); v < 4096; v++ {
+		l := GammaLen(v)
+		if l < prev {
+			t.Fatalf("GammaLen not monotone at %d: %d < %d", v, l, prev)
+		}
+		prev = l
+	}
+}
+
+// Property: any sequence of mixed codes round-trips.
+func TestQuickMixedRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%32) + 1
+		type op struct {
+			kind int
+			v    uint64
+			n    int
+		}
+		ops := make([]op, count)
+		var w Writer
+		for i := range ops {
+			o := op{kind: rng.Intn(4)}
+			switch o.kind {
+			case 0:
+				o.v = rng.Uint64() & 1
+				w.WriteBit(uint(o.v))
+			case 1:
+				o.n = rng.Intn(65)
+				o.v = rng.Uint64()
+				if o.n < 64 {
+					o.v &= (1 << uint(o.n)) - 1
+				}
+				w.WriteBits(o.v, o.n)
+			case 2:
+				o.v = uint64(rng.Intn(1 << 16))
+				w.WriteGamma0(o.v)
+			case 3:
+				o.v = uint64(rng.Intn(1 << 16))
+				w.WriteDelta0(o.v)
+			}
+			ops[i] = o
+		}
+		r := NewReader(w.Bytes(), w.Len())
+		for _, o := range ops {
+			var got uint64
+			var err error
+			switch o.kind {
+			case 0:
+				var b uint
+				b, err = r.ReadBit()
+				got = uint64(b)
+			case 1:
+				got, err = r.ReadBits(o.n)
+			case 2:
+				got, err = r.ReadGamma0()
+			case 3:
+				got, err = r.ReadDelta0()
+			}
+			if err != nil || got != o.v {
+				return false
+			}
+		}
+		return r.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderBounds(t *testing.T) {
+	r := NewReader([]byte{0xff}, 3)
+	if r.Remaining() != 3 {
+		t.Fatalf("Remaining = %d, want 3", r.Remaining())
+	}
+	if _, err := r.ReadBits(4); err != ErrUnexpectedEOF {
+		t.Fatalf("over-read err = %v, want ErrUnexpectedEOF", err)
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/interval"
+	"repro/internal/protocol"
+)
+
+// GeneralBroadcast is the broadcasting protocol for arbitrary directed
+// networks (Section 4). The commodity is the unit interval [0, 1): the root
+// injects it whole; a vertex receiving interval-union content for the first
+// time partitions it canonically among its out-edges; re-arriving content —
+// the witness of a directed cycle — is diverted into the beta component and
+// flooded onward so the terminal can account for commodity that a cycle
+// would otherwise trap forever. The terminal halts exactly when the alpha
+// and beta content it has seen covers all of [0, 1) (Theorem 4.2).
+//
+// The state of an internal vertex of out-degree d is ((alpha_j)_{j=1..d},
+// beta): alpha_j is everything ever sent on out-edge j, beta the cycle
+// information. Both grow monotonically (the paper's state-monotonicity), and
+// a message is sent on edge j exactly when alpha_j or beta grows, carrying
+// only the growth — so every point of [0, 1) crosses each edge at most once
+// in each of the two roles, which bounds total communication by
+// O(|E|^2 |V| log dout) + |E||m| (Theorems 4.2 and 4.3).
+type GeneralBroadcast struct {
+	payload Payload
+	literal bool
+}
+
+var _ protocol.Protocol = (*GeneralBroadcast)(nil)
+
+// NewGeneralBroadcast returns the general-graph broadcast protocol carrying
+// payload m.
+func NewGeneralBroadcast(m []byte) *GeneralBroadcast {
+	return &GeneralBroadcast{payload: Payload(m)}
+}
+
+// NewGeneralBroadcastLiteral returns the protocol with the paper's literal
+// canonical-partition rule (see interval.CanonicalPartitionLiteral). It is
+// the E12 ablation subject: on graphs where a single-interval commodity
+// meets a branching vertex it terminates without delivering the broadcast
+// everywhere, demonstrating that the repaired partition rule of
+// CanonicalPartition is necessary for Theorem 4.2.
+func NewGeneralBroadcastLiteral(m []byte) *GeneralBroadcast {
+	return &GeneralBroadcast{payload: Payload(m), literal: true}
+}
+
+// Name implements protocol.Protocol.
+func (p *GeneralBroadcast) Name() string { return "generalcast" }
+
+// InitialMessage implements protocol.Protocol: sigma0 = ([0,1), empty).
+func (p *GeneralBroadcast) InitialMessage() protocol.Message {
+	return gcMsg{payload: p.payload, alpha: interval.FullUnion()}
+}
+
+// NewNode implements protocol.Protocol.
+func (p *GeneralBroadcast) NewNode(inDeg, outDeg int, role protocol.Role) protocol.Node {
+	if role == protocol.RoleTerminal {
+		return &gcTerminal{}
+	}
+	return &gcNode{outDeg: outDeg, payload: p.payload, literal: p.literal, alphas: make([]interval.Union, outDeg)}
+}
+
+// gcMsg is sigma = (alpha', beta') plus the broadcast payload.
+type gcMsg struct {
+	payload Payload
+	alpha   interval.Union
+	beta    interval.Union
+}
+
+// Bits implements protocol.Message.
+func (m gcMsg) Bits() int { return m.alpha.EncodedBits() + m.beta.EncodedBits() + m.payload.Bits() }
+
+// Key implements protocol.Message.
+func (m gcMsg) Key() string { return m.alpha.Key() + "|" + m.beta.Key() }
+
+// gcNode is an internal vertex's state (alphas, beta) and transition logic.
+type gcNode struct {
+	outDeg  int
+	payload Payload
+	literal bool
+	// virgin is true while the state is pi0 (nothing received yet).
+	virgin bool
+	inited bool
+	alphas []interval.Union // alpha_j, 1-indexed in the paper, 0-indexed here
+	beta   interval.Union
+}
+
+// Receive implements the f and g of Section 4.
+func (n *gcNode) Receive(msg protocol.Message, _ int) ([]protocol.Message, error) {
+	m, ok := msg.(gcMsg)
+	if !ok {
+		return nil, fmt.Errorf("generalcast: unexpected message type %T", msg)
+	}
+	if !n.inited {
+		n.inited = true
+		n.virgin = true
+	}
+	aIn, bIn := m.alpha, m.beta
+
+	if n.outDeg == 0 {
+		// A dead-end internal vertex swallows its commodity: it can never be
+		// forwarded, so the terminal can never see all of [0, 1) — exactly
+		// the non-termination the theorems require for vertices that are not
+		// connected to t.
+		n.virgin = false
+		n.beta = n.beta.Union(bIn)
+		return nil, nil
+	}
+
+	outs := make([]protocol.Message, n.outDeg)
+	if n.virgin {
+		// pi == pi0: canonically partition alpha' among the out-edges and
+		// adopt beta' wholesale.
+		n.virgin = false
+		if !aIn.IsEmpty() {
+			var parts []interval.Union
+			if n.literal {
+				parts = aIn.CanonicalPartitionLiteral(n.outDeg)
+			} else {
+				parts = aIn.CanonicalPartition(n.outDeg)
+			}
+			copy(n.alphas, parts)
+		}
+		n.beta = bIn
+		for j := 0; j < n.outDeg; j++ {
+			if n.alphas[j].IsEmpty() && n.beta.IsEmpty() {
+				continue
+			}
+			outs[j] = gcMsg{payload: n.payload, alpha: n.alphas[j], beta: n.beta}
+		}
+		return outs, nil
+	}
+
+	// pi != pi0: alpha_1..alpha_{d-1} are frozen; fresh alpha' content flows
+	// to edge d, already-seen content is cycle evidence and joins beta.
+	last := n.outDeg - 1
+	overlap := interval.EmptyUnion()
+	for _, aj := range n.alphas {
+		overlap = overlap.Union(aIn.Intersect(aj))
+	}
+	frozen := interval.EmptyUnion()
+	for j := 0; j < last; j++ {
+		frozen = frozen.Union(n.alphas[j])
+	}
+	oldAlphaLast := n.alphas[last]
+	oldBeta := n.beta
+	n.alphas[last] = n.alphas[last].Union(aIn.Subtract(frozen))
+	n.beta = n.beta.Union(bIn).Union(overlap)
+
+	betaDelta := n.beta.Subtract(oldBeta)
+	alphaDelta := n.alphas[last].Subtract(oldAlphaLast)
+	for j := 0; j < n.outDeg; j++ {
+		a := interval.EmptyUnion()
+		if j == last {
+			a = alphaDelta
+		}
+		if a.IsEmpty() && betaDelta.IsEmpty() {
+			continue
+		}
+		outs[j] = gcMsg{payload: n.payload, alpha: a, beta: betaDelta}
+	}
+	return outs, nil
+}
+
+// Alphas exposes the per-edge alpha state for invariant checks and the
+// omniscient-observer tests; the protocol itself never reads it externally.
+func (n *gcNode) Alphas() []interval.Union { return n.alphas }
+
+// Beta exposes the beta state for invariant checks.
+func (n *gcNode) Beta() interval.Union { return n.beta }
+
+// gcTerminal accumulates everything that arrives; S(pi) holds when
+// alpha ∪ beta = [0, 1). The combined cover is maintained incrementally so
+// Done — evaluated after every delivery — is O(1).
+type gcTerminal struct {
+	alpha interval.Union
+	beta  interval.Union
+	cover interval.Union
+}
+
+// Receive implements protocol.Node.
+func (t *gcTerminal) Receive(msg protocol.Message, _ int) ([]protocol.Message, error) {
+	m, ok := msg.(gcMsg)
+	if !ok {
+		return nil, fmt.Errorf("generalcast: unexpected message type %T", msg)
+	}
+	t.alpha = t.alpha.Union(m.alpha)
+	t.beta = t.beta.Union(m.beta)
+	t.cover = t.cover.Union(m.alpha).Union(m.beta)
+	return nil, nil
+}
+
+// Done implements the stopping predicate S.
+func (t *gcTerminal) Done() bool { return t.cover.IsFull() }
+
+// Output returns the covered union (== [0,1) on termination).
+func (t *gcTerminal) Output() any { return t.cover }
+
+// AlphaSeen exposes the alpha content received so far (for tests).
+func (t *gcTerminal) AlphaSeen() interval.Union { return t.alpha }
+
+// BetaSeen exposes the beta content received so far (for tests).
+func (t *gcTerminal) BetaSeen() interval.Union { return t.beta }

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/sim"
+)
+
+// verifyTopology checks that the extracted topology is exactly isomorphic to
+// the ground-truth graph, using the omniscient label->vertex assignment from
+// the final node states.
+func verifyTopology(t *testing.T, g *graph.G, r *sim.Result) {
+	t.Helper()
+	topo, ok := r.Output.(*Topology)
+	if !ok {
+		t.Fatalf("output is %T, not *Topology", r.Output)
+	}
+	if topo.NumVertices() != g.NumVertices() {
+		t.Fatalf("%s: extracted |V| = %d, want %d", g, topo.NumVertices(), g.NumVertices())
+	}
+	if topo.NumEdges() != g.NumEdges() {
+		t.Fatalf("%s: extracted |E| = %d, want %d", g, topo.NumEdges(), g.NumEdges())
+	}
+	// Build label-key -> vertex ID from final states.
+	byLabel := map[string]graph.VertexID{}
+	for v, n := range r.Nodes {
+		if ln, isL := n.(Labeled); isL {
+			if lab, has := ln.Label(); has {
+				byLabel[lab.Intervals()[0].String()] = graph.VertexID(v)
+			}
+		}
+	}
+	resolve := func(e Endpoint) graph.VertexID {
+		switch e.Kind {
+		case EndpointRoot:
+			return g.Root()
+		case EndpointTerminal:
+			return g.Terminal()
+		default:
+			v, ok := byLabel[e.Label.String()]
+			if !ok {
+				t.Fatalf("%s: endpoint %s matches no vertex label", g, e.Key())
+			}
+			return v
+		}
+	}
+	seen := map[string]bool{}
+	for _, rec := range topo.Edges {
+		from, to := resolve(rec.From), resolve(rec.To)
+		// The record must describe a real edge with exactly these ports.
+		if rec.OutPort >= g.OutDegree(from) {
+			t.Fatalf("%s: record %s has out-port beyond degree", g, rec)
+		}
+		e := g.OutEdge(from, rec.OutPort)
+		if e.To != to || e.ToPort != rec.InPort {
+			t.Fatalf("%s: record %s does not match real edge %+v", g, rec, e)
+		}
+		if rec.FromOutDeg != g.OutDegree(from) {
+			t.Fatalf("%s: record %s declares out-degree %d, real %d", g, rec, rec.FromOutDeg, g.OutDegree(from))
+		}
+		k := rec.Key()
+		if seen[k] {
+			t.Fatalf("%s: duplicate record %s", g, rec)
+		}
+		seen[k] = true
+	}
+	// Count matched |E| and all records distinct and valid => bijection.
+}
+
+func TestMapExtractRecoversTopology(t *testing.T) {
+	p := NewMapExtract(nil)
+	for _, g := range generalFamilies() {
+		r := runAllSchedules(t, g, p, sim.Options{})
+		if r.Verdict != sim.Terminated {
+			t.Fatalf("%s: verdict %s", g, r.Verdict)
+		}
+		// Re-run on the deterministic engine to pair Output with Nodes from
+		// the same execution.
+		rr, err := sim.Run(g, p, sim.Options{Order: sim.OrderRandom, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rr.Verdict != sim.Terminated {
+			t.Fatalf("%s: %s", g, rr.Verdict)
+		}
+		verifyTopology(t, g, rr)
+	}
+}
+
+func TestMapExtractOnParallelEdges(t *testing.T) {
+	// Parallel edges and multi-port wiring must be reconstructed exactly:
+	// anonymous networks distinguish ports, not neighbours.
+	b := graph.NewBuilder(4).SetRoot(0).SetTerminal(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2).AddEdge(1, 2).AddEdge(1, 3) // two parallel edges 1->2
+	b.AddEdge(2, 3).AddEdge(2, 1)               // and a cycle 2->1
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sim.Run(g, NewMapExtract(nil), sim.Options{Order: sim.OrderLIFO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != sim.Terminated {
+		t.Fatalf("verdict %s", r.Verdict)
+	}
+	verifyTopology(t, g, r)
+}
+
+func TestMapExtractNonTerminationWithOrphans(t *testing.T) {
+	g := graph.RandomDigraph(12, 5, graph.RandomDigraphOpts{ExtraEdges: 10, Orphans: 2, TerminalFrac: 0.3})
+	r := runAllSchedules(t, g, NewMapExtract(nil), sim.Options{})
+	if r.Verdict != sim.Quiescent {
+		t.Fatalf("verdict %s, want quiescent", r.Verdict)
+	}
+}
+
+func TestMapExtractLabelsStillUniqueAndDisjoint(t *testing.T) {
+	g := graph.LayeredDigraph(4, 4, 3)
+	r, err := sim.Run(g, NewMapExtract(nil), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != sim.Terminated {
+		t.Fatalf("verdict %s", r.Verdict)
+	}
+	var labs []interval.Union
+	for _, n := range r.Nodes {
+		if ln, ok := n.(Labeled); ok {
+			if lab, has := ln.Label(); has {
+				labs = append(labs, lab)
+			}
+		}
+	}
+	if len(labs) != g.NumVertices()-2 {
+		t.Fatalf("labeled %d vertices, want %d", len(labs), g.NumVertices()-2)
+	}
+	for i := range labs {
+		for j := i + 1; j < len(labs); j++ {
+			if !labs[i].Intersect(labs[j]).IsEmpty() {
+				t.Fatalf("labels %s and %s overlap", labs[i], labs[j])
+			}
+		}
+	}
+}
+
+func TestEndpointAndRecordKeys(t *testing.T) {
+	root := Endpoint{Kind: EndpointRoot}
+	term := Endpoint{Kind: EndpointTerminal}
+	lab := Endpoint{Kind: EndpointLabeled, Label: interval.Full()}
+	if root.Key() == term.Key() || root.Key() == lab.Key() || term.Key() == lab.Key() {
+		t.Fatal("endpoint keys collide")
+	}
+	r1 := EdgeRecord{From: root, FromOutDeg: 1, OutPort: 0, To: lab, InPort: 0}
+	r2 := EdgeRecord{From: root, FromOutDeg: 1, OutPort: 0, To: lab, InPort: 1}
+	if r1.Key() == r2.Key() {
+		t.Fatal("edge record keys collide on differing in-port")
+	}
+	if r1.Bits() <= 0 {
+		t.Fatal("record bits must be positive")
+	}
+}
+
+// TestMapExtractIsomorphicWithoutIdentities verifies extraction with zero
+// privileged knowledge: materialize the extracted topology as a graph and
+// compare canonical forms — the strongest possible black-box check.
+func TestMapExtractIsomorphicWithoutIdentities(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := graph.RandomDigraph(15, seed, graph.RandomDigraphOpts{ExtraEdges: 18, TerminalFrac: 0.3})
+		r, err := sim.Run(g, NewMapExtract(nil), sim.Options{Order: sim.OrderRandom, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Verdict != sim.Terminated {
+			t.Fatalf("%s: %s", g, r.Verdict)
+		}
+		topo := r.Output.(*Topology)
+		extracted, err := topo.ToGraph()
+		if err != nil {
+			t.Fatalf("%s: ToGraph: %v", g, err)
+		}
+		if !graph.Isomorphic(g, extracted) {
+			t.Fatalf("%s: extracted topology not isomorphic to ground truth:\n%s\n%s",
+				g, g.CanonicalString(), extracted.CanonicalString())
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/bitio"
+	"repro/internal/dyadic"
+	"repro/internal/protocol"
+)
+
+// TreeRule selects the flow-distribution rule of the grounded-tree broadcast.
+type TreeRule int
+
+// Flow-distribution rules of Section 3.1.
+const (
+	// RulePow2 is the paper's improved rule: commodities stay powers of 2,
+	// encodable in O(log |E|) bits, giving total communication
+	// O(|E| log |E|) + |E||m| (Theorem 3.1).
+	RulePow2 TreeRule = iota + 1
+	// RuleNaive is the naive x/d rule: exact rationals whose representation
+	// grows linearly along the tree, giving the O(|E|^{3/2}) + |E||m| bound
+	// the paper states for the straightforward protocol. Kept as the
+	// ablation baseline (experiment E1b).
+	RuleNaive
+)
+
+// String returns the rule name.
+func (r TreeRule) String() string {
+	switch r {
+	case RulePow2:
+		return "pow2"
+	case RuleNaive:
+		return "naive"
+	default:
+		return fmt.Sprintf("TreeRule(%d)", int(r))
+	}
+}
+
+// TreeBroadcast is the broadcasting protocol for grounded trees (Section
+// 3.1). The root sends (m, 1); a vertex of out-degree d that receives (m, x)
+// forwards m with shares of x on its out-edges per the selected rule; the
+// terminal declares termination once its received shares sum to exactly 1,
+// which happens iff every vertex of the tree is connected to t.
+type TreeBroadcast struct {
+	payload Payload
+	rule    TreeRule
+}
+
+var _ protocol.Protocol = (*TreeBroadcast)(nil)
+
+// NewTreeBroadcast returns the grounded-tree broadcast protocol carrying the
+// given payload m under the given rule.
+func NewTreeBroadcast(m []byte, rule TreeRule) *TreeBroadcast {
+	return &TreeBroadcast{payload: Payload(m), rule: rule}
+}
+
+// Name implements protocol.Protocol.
+func (p *TreeBroadcast) Name() string { return "treecast/" + p.rule.String() }
+
+// InitialMessage implements protocol.Protocol: sigma0 = (m, 1).
+func (p *TreeBroadcast) InitialMessage() protocol.Message {
+	if p.rule == RuleNaive {
+		return naiveMsg{payload: p.payload, x: big.NewRat(1, 1)}
+	}
+	return pow2Msg{payload: p.payload, exp: 0}
+}
+
+// NewNode implements protocol.Protocol.
+func (p *TreeBroadcast) NewNode(inDeg, outDeg int, role protocol.Role) protocol.Node {
+	if role == protocol.RoleTerminal {
+		if p.rule == RuleNaive {
+			return &naiveTreeTerminal{sum: new(big.Rat)}
+		}
+		return &pow2TreeTerminal{}
+	}
+	if p.rule == RuleNaive {
+		return &naiveTreeNode{outDeg: outDeg, payload: p.payload}
+	}
+	return &pow2TreeNode{outDeg: outDeg, payload: p.payload}
+}
+
+// pow2Msg is (m, 2^-exp): the commodity is transmitted as its exponent,
+// gamma-coded, so a value as small as 2^-|E| costs only O(log |E|) bits.
+type pow2Msg struct {
+	payload Payload
+	exp     uint
+}
+
+// Bits implements protocol.Message.
+func (m pow2Msg) Bits() int { return bitio.Gamma0Len(uint64(m.exp)) + m.payload.Bits() }
+
+// Key implements protocol.Message.
+func (m pow2Msg) Key() string { return fmt.Sprintf("2^-%d", m.exp) }
+
+// Value returns the commodity as an exact dyadic.
+func (m pow2Msg) Value() dyadic.D { return dyadic.Pow2(m.exp) }
+
+type pow2TreeNode struct {
+	outDeg  int
+	payload Payload
+	fired   bool
+}
+
+// Receive forwards the commodity per the power-of-2 rule. Grounded-tree
+// vertices have in-degree 1 and thus receive exactly once (Lemma 3.3);
+// further deliveries — possible only on non-grounded-tree inputs — are
+// ignored, which keeps the protocol commodity-preserving and therefore
+// non-terminating on inputs outside its contract.
+func (n *pow2TreeNode) Receive(msg protocol.Message, _ int) ([]protocol.Message, error) {
+	m, ok := msg.(pow2Msg)
+	if !ok {
+		return nil, fmt.Errorf("treecast: unexpected message type %T", msg)
+	}
+	if n.fired || n.outDeg == 0 {
+		return nil, nil
+	}
+	n.fired = true
+	outs := make([]protocol.Message, n.outDeg)
+	for j, inc := range pow2Shares(n.outDeg) {
+		outs[j] = pow2Msg{payload: n.payload, exp: m.exp + inc}
+	}
+	return outs, nil
+}
+
+type pow2TreeTerminal struct {
+	sum dyadic.D
+}
+
+// Receive accumulates incoming shares.
+func (t *pow2TreeTerminal) Receive(msg protocol.Message, _ int) ([]protocol.Message, error) {
+	m, ok := msg.(pow2Msg)
+	if !ok {
+		return nil, fmt.Errorf("treecast: unexpected message type %T", msg)
+	}
+	t.sum = t.sum.Add(m.Value())
+	return nil, nil
+}
+
+// Done implements the stopping predicate S: the shares sum to exactly 1.
+func (t *pow2TreeTerminal) Done() bool { return t.sum.IsOne() }
+
+// Output returns the accumulated commodity.
+func (t *pow2TreeTerminal) Output() any { return t.sum }
+
+// naiveMsg is (m, x) with x an exact rational, as in the naive x/d rule.
+type naiveMsg struct {
+	payload Payload
+	x       *big.Rat
+}
+
+// Bits implements protocol.Message: numerator plus denominator length, each
+// self-delimited.
+func (m naiveMsg) Bits() int {
+	nb := m.x.Num().BitLen()
+	db := m.x.Denom().BitLen()
+	return bitio.Delta0Len(uint64(nb)) + nb + bitio.Delta0Len(uint64(db)) + db + m.payload.Bits()
+}
+
+// Key implements protocol.Message.
+func (m naiveMsg) Key() string { return m.x.RatString() }
+
+type naiveTreeNode struct {
+	outDeg  int
+	payload Payload
+	fired   bool
+}
+
+// Receive forwards x/d on every out-edge.
+func (n *naiveTreeNode) Receive(msg protocol.Message, _ int) ([]protocol.Message, error) {
+	m, ok := msg.(naiveMsg)
+	if !ok {
+		return nil, fmt.Errorf("treecast: unexpected message type %T", msg)
+	}
+	if n.fired || n.outDeg == 0 {
+		return nil, nil
+	}
+	n.fired = true
+	share := new(big.Rat).Quo(m.x, big.NewRat(int64(n.outDeg), 1))
+	outs := make([]protocol.Message, n.outDeg)
+	for j := range outs {
+		outs[j] = naiveMsg{payload: n.payload, x: share}
+	}
+	return outs, nil
+}
+
+type naiveTreeTerminal struct {
+	sum *big.Rat
+}
+
+// Receive accumulates incoming shares.
+func (t *naiveTreeTerminal) Receive(msg protocol.Message, _ int) ([]protocol.Message, error) {
+	m, ok := msg.(naiveMsg)
+	if !ok {
+		return nil, fmt.Errorf("treecast: unexpected message type %T", msg)
+	}
+	t.sum.Add(t.sum, m.x)
+	return nil, nil
+}
+
+// Done implements the stopping predicate S.
+func (t *naiveTreeTerminal) Done() bool { return t.sum.Cmp(big.NewRat(1, 1)) == 0 }
+
+// Output returns the accumulated commodity.
+func (t *naiveTreeTerminal) Output() any { return new(big.Rat).Set(t.sum) }

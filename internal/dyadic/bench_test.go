@@ -1,0 +1,46 @@
+package dyadic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchVals(prec uint) (D, D) {
+	rng := rand.New(rand.NewSource(1))
+	return randD(rng, prec), randD(rng, prec)
+}
+
+func BenchmarkAdd(b *testing.B) {
+	for _, prec := range []uint{64, 512, 4096} {
+		x, y := benchVals(prec)
+		b.Run(itoa(prec), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = x.Add(y)
+			}
+		})
+	}
+}
+
+func BenchmarkCmp(b *testing.B) {
+	for _, prec := range []uint{64, 512, 4096} {
+		x, y := benchVals(prec)
+		b.Run(itoa(prec), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = x.Cmp(y)
+			}
+		})
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for _, prec := range []uint{64, 512, 4096} {
+		x, _ := benchVals(prec)
+		b.Run(itoa(prec), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = x.Key()
+			}
+		})
+	}
+}
+
+func itoa(v uint) string { return uitoa(uint64(v)) }

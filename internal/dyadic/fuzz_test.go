@@ -1,0 +1,33 @@
+package dyadic
+
+import (
+	"testing"
+
+	"repro/internal/bitio"
+)
+
+// FuzzDecode checks the dyadic decoder never panics and that accepted values
+// are normalized (re-encode identically).
+func FuzzDecode(f *testing.F) {
+	for _, d := range []D{Zero(), One(), Pow2(7), FromFrac(5, 3)} {
+		var w bitio.Writer
+		d.Encode(&w)
+		f.Add(w.Bytes(), w.Len())
+	}
+	f.Add([]byte{0b01010101, 0xff}, 16)
+	f.Fuzz(func(t *testing.T, data []byte, bits int) {
+		if bits < 0 || bits > len(data)*8 {
+			return
+		}
+		d, err := Decode(bitio.NewReader(data, bits))
+		if err != nil {
+			return
+		}
+		var w bitio.Writer
+		d.Encode(&w)
+		d2, err := Decode(bitio.NewReader(w.Bytes(), w.Len()))
+		if err != nil || !d2.Equal(d) {
+			t.Fatalf("round trip failed: %s vs %s (%v)", d, d2, err)
+		}
+	})
+}

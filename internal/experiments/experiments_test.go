@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The drivers get exercised with reduced sweeps; each must produce a row per
+// parameter and a non-violation summary.
+func TestAllDriversSmoke(t *testing.T) {
+	cases := []struct {
+		name string
+		rows int
+		f    func() (*Table, error)
+	}{
+		{"E1", 2, func() (*Table, error) { return E1TreeBroadcast([]int{16, 64}, 4) }},
+		{"E1b", 2, func() (*Table, error) { return E1bNaiveVsPow2([]int{8, 16}) }},
+		{"E2", 2, func() (*Table, error) { return E2ChainAlphabet([]int{8, 16}) }},
+		{"E3", 2, func() (*Table, error) { return E3DAGBroadcast([]int{16, 32}) }},
+		{"E4", 2, func() (*Table, error) { return E4Skeleton([]int{2, 3}) }},
+		{"E5", 2, func() (*Table, error) { return E5GeneralBroadcast([]int{8, 16}) }},
+		{"E6", 2, func() (*Table, error) { return E6SymbolSize([]int{8, 16}) }},
+		{"E7", 2, func() (*Table, error) { return E7Labeling([]int{8, 16}) }},
+		{"E8", 2, func() (*Table, error) { return E8PruneLabels([]int{2, 8}, 3) }},
+		{"E9", 3, E9LinearCuts},
+		{"E10", 2, func() (*Table, error) { return E10Mapping([]int{8, 12}) }},
+		{"E11", 2, func() (*Table, error) { return E11Rounds([]int{8, 16}) }},
+		{"E12", 2, func() (*Table, error) { return E12Ablation(8) }},
+		{"E13", 2, func() (*Table, error) { return E13StateSize([]int{8, 16}) }},
+	}
+	for _, c := range cases {
+		tab, err := c.f()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if tab.ID != c.name {
+			t.Fatalf("%s: table ID %s", c.name, tab.ID)
+		}
+		if len(tab.Rows) != c.rows {
+			t.Fatalf("%s: %d rows, want %d", c.name, len(tab.Rows), c.rows)
+		}
+		if strings.Contains(tab.Summary, "VIOLATION") {
+			t.Fatalf("%s: %s", c.name, tab.Summary)
+		}
+		out := tab.Render()
+		for _, want := range []string{"###", "Paper claim:", "|"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("%s: render missing %q", c.name, want)
+			}
+		}
+		// Every row must have exactly as many cells as the header.
+		for i, r := range tab.Rows {
+			if len(r.Cells) != len(tab.Header) {
+				t.Fatalf("%s: row %d has %d cells, header has %d", c.name, i, len(r.Cells), len(tab.Header))
+			}
+		}
+	}
+}

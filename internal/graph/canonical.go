@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CanonicalString returns a canonical form of the port-numbered rooted
+// digraph: two graphs have equal canonical strings iff they are isomorphic
+// as anonymous networks (there is a vertex bijection preserving the root,
+// the terminal, and every edge's out-port and in-port numbers).
+//
+// The form exists because out-ports are ordered: a breadth-first traversal
+// from the root that explores out-ports in increasing order visits vertices
+// in an order any isomorphism must preserve, so discovery indices are
+// canonical names. All vertices are reachable from the root by the model,
+// so the traversal covers the whole graph.
+func (g *G) CanonicalString() string {
+	canon := make([]int, g.NumVertices())
+	for i := range canon {
+		canon[i] = -1
+	}
+	canon[g.root] = 0
+	next := 1
+	queue := []VertexID{g.root}
+	type edgeRec struct {
+		from, fromPort, to, toPort int
+	}
+	var recs []edgeRec
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for j := 0; j < g.OutDegree(v); j++ {
+			e := g.OutEdge(v, j)
+			if canon[e.To] == -1 {
+				canon[e.To] = next
+				next++
+				queue = append(queue, e.To)
+			}
+			recs = append(recs, edgeRec{canon[v], e.FromPort, canon[e.To], e.ToPort})
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		return a.fromPort < b.fromPort
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "v%d;s%d;t%d;", g.NumVertices(), canon[g.root], canon[g.terminal])
+	for _, r := range recs {
+		fmt.Fprintf(&sb, "%d.%d>%d.%d;", r.from, r.fromPort, r.to, r.toPort)
+	}
+	return sb.String()
+}
+
+// Isomorphic reports whether g and h are isomorphic as anonymous networks
+// (root-, terminal- and port-preserving).
+func Isomorphic(g, h *G) bool {
+	return g.NumVertices() == h.NumVertices() &&
+		g.NumEdges() == h.NumEdges() &&
+		g.CanonicalString() == h.CanonicalString()
+}

@@ -1,0 +1,42 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT writes the graph in Graphviz DOT format. Vertex labels show
+// simulator IDs (the protocols never see them); edge labels show the
+// out-port/in-port pair. An optional vertexLabel callback can append extra
+// per-vertex annotation (e.g. an assigned label).
+func (g *G) WriteDOT(w io.Writer, vertexLabel func(VertexID) string) error {
+	var sb strings.Builder
+	name := g.name
+	if name == "" {
+		name = "G"
+	}
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=TB;\n", name)
+	for v := 0; v < g.NumVertices(); v++ {
+		label := fmt.Sprintf("v%d", v)
+		shape := "circle"
+		switch VertexID(v) {
+		case g.root:
+			label, shape = "s", "doublecircle"
+		case g.terminal:
+			label, shape = "t", "doublecircle"
+		}
+		if vertexLabel != nil {
+			if extra := vertexLabel(VertexID(v)); extra != "" {
+				label += "\\n" + extra
+			}
+		}
+		fmt.Fprintf(&sb, "  %d [label=\"%s\" shape=%s];\n", v, label, shape)
+	}
+	for _, e := range g.edges {
+		fmt.Fprintf(&sb, "  %d -> %d [label=\"%d:%d\"];\n", e.From, e.To, e.FromPort, e.ToPort)
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	for _, g := range []*G{
+		Chain(5),
+		Ring(4),
+		RandomDigraph(20, 3, RandomDigraphOpts{ExtraEdges: 25, TerminalFrac: 0.2}),
+		Skeleton(3, []bool{true, false, true}),
+	} {
+		data := g.MarshalText()
+		got, err := ParseText(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", g, err)
+		}
+		if got.NumVertices() != g.NumVertices() || got.NumEdges() != g.NumEdges() {
+			t.Fatalf("%s: counts changed: %s", g, got)
+		}
+		if got.Root() != g.Root() || got.Terminal() != g.Terminal() {
+			t.Fatalf("%s: endpoints changed", g)
+		}
+		if got.Name() != g.Name() {
+			t.Fatalf("%s: name changed to %q", g, got.Name())
+		}
+		// Port numbering must be identical: the anonymous protocols depend
+		// on it.
+		for i, e := range g.Edges() {
+			e2 := got.Edge(EdgeID(i))
+			if e.From != e2.From || e.To != e2.To || e.FromPort != e2.FromPort || e.ToPort != e2.ToPort {
+				t.Fatalf("%s: edge %d changed: %+v -> %+v", g, i, e, e2)
+			}
+		}
+	}
+}
+
+func TestParseTextComments(t *testing.T) {
+	src := `anonnet v1
+# a comment
+
+name  demo graph
+vertices 3
+root 0
+terminal 2
+# the only path
+edge 0 1
+edge 1 2
+`
+	g, err := ParseText(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 || g.Name() != "demo graph" {
+		t.Fatalf("parsed wrong graph: %s", g)
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad header":         "nope v1\nvertices 2\nroot 0\nterminal 1\nedge 0 1\n",
+		"missing vertices":   "anonnet v1\nroot 0\nterminal 1\n",
+		"edge before n":      "anonnet v1\nedge 0 1\nvertices 2\nroot 0\nterminal 1\n",
+		"unknown directive":  "anonnet v1\nvertices 2\nwat 3\n",
+		"non-integer":        "anonnet v1\nvertices x\n",
+		"negative vertex":    "anonnet v1\nvertices 2\nroot -1\nterminal 1\nedge 0 1\n",
+		"missing root":       "anonnet v1\nvertices 2\nterminal 1\nedge 0 1\n",
+		"duplicate vertices": "anonnet v1\nvertices 2\nvertices 3\n",
+		"model violation":    "anonnet v1\nvertices 3\nroot 0\nterminal 2\nedge 0 1\nedge 0 2\nedge 1 2\n", // root out-degree 2
+		"unreachable vertex": "anonnet v1\nvertices 4\nroot 0\nterminal 2\nedge 0 1\nedge 1 2\nedge 3 2\n",
+		"missing edge field": "anonnet v1\nvertices 2\nroot 0\nterminal 1\nedge 0\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseText(strings.NewReader(src)); err == nil {
+			t.Fatalf("%s: parse accepted invalid input", name)
+		}
+	}
+}

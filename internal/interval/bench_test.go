@@ -1,0 +1,49 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchUnions(n int) (Union, Union) {
+	rng := rand.New(rand.NewSource(1))
+	return randUnion(rng, n, 16), randUnion(rng, n, 16)
+}
+
+func BenchmarkUnion(b *testing.B) {
+	for _, n := range []int{4, 32, 256} {
+		x, y := benchUnions(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = x.Union(y)
+			}
+		})
+	}
+}
+
+func BenchmarkSubtract(b *testing.B) {
+	for _, n := range []int{4, 32, 256} {
+		x, y := benchUnions(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = x.Subtract(y)
+			}
+		})
+	}
+}
+
+func BenchmarkCanonicalPartition(b *testing.B) {
+	u := FullUnion()
+	for i := 0; i < 64; i++ {
+		parts := u.CanonicalPartition(3)
+		u = parts[0].Union(parts[2])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = u.CanonicalPartition(5)
+	}
+}
+
+func sizeName(n int) string {
+	return map[int]string{4: "n4", 32: "n32", 256: "n256"}[n]
+}

@@ -1,0 +1,412 @@
+// Package interval implements half-open intervals [a, b) over [0, 1) with
+// dyadic end points, and finite unions of such intervals ("interval-unions",
+// Definition 4.1 of the paper).
+//
+// Interval-unions are the commodity of the general-graph broadcasting
+// protocol (Section 4) and of the label-assignment protocol (Section 5):
+// the root injects [0, 1) into the network, vertices partition what they
+// receive among their out-edges, and the terminal declares termination once
+// the pieces it has seen re-assemble the whole of [0, 1).
+package interval
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"repro/internal/bitio"
+	"repro/internal/dyadic"
+)
+
+// Interval is the half-open interval [Lo, Hi). An interval with Lo >= Hi is
+// empty; the canonical empty interval is the zero value [0, 0).
+type Interval struct {
+	Lo, Hi dyadic.D
+}
+
+// Empty returns the canonical empty interval [0, 0).
+func Empty() Interval { return Interval{} }
+
+// Full returns [0, 1), the commodity injected by the root.
+func Full() Interval {
+	return Interval{Lo: dyadic.Zero(), Hi: dyadic.One()}
+}
+
+// IsEmpty reports whether the interval contains no points.
+func (iv Interval) IsEmpty() bool { return iv.Lo.Cmp(iv.Hi) >= 0 }
+
+// Contains reports whether x lies in [Lo, Hi).
+func (iv Interval) Contains(x dyadic.D) bool {
+	return iv.Lo.Cmp(x) <= 0 && x.Cmp(iv.Hi) < 0
+}
+
+// Measure returns Hi - Lo (0 for empty intervals).
+func (iv Interval) Measure() dyadic.D {
+	if iv.IsEmpty() {
+		return dyadic.Zero()
+	}
+	return iv.Hi.Sub(iv.Lo)
+}
+
+// String renders the interval as [lo, hi).
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%s, %s)", iv.Lo, iv.Hi)
+}
+
+// EncodedBits returns the exact bit cost of encoding the two end points.
+func (iv Interval) EncodedBits() int {
+	return iv.Lo.EncodedBits() + iv.Hi.EncodedBits()
+}
+
+// Encode appends the interval's end points to w.
+func (iv Interval) Encode(w *bitio.Writer) {
+	iv.Lo.Encode(w)
+	iv.Hi.Encode(w)
+}
+
+// DecodeInterval reads an interval written by Encode.
+func DecodeInterval(r *bitio.Reader) (Interval, error) {
+	lo, err := dyadic.Decode(r)
+	if err != nil {
+		return Interval{}, err
+	}
+	hi, err := dyadic.Decode(r)
+	if err != nil {
+		return Interval{}, err
+	}
+	return Interval{Lo: lo, Hi: hi}, nil
+}
+
+// Split partitions [Lo, Hi) into k >= 1 disjoint intervals using the paper's
+// power-of-2 rule (proof of Theorem 4.3): with N the smallest power of 2 with
+// N >= k and delta = (Hi-Lo)/N, it yields k-1 intervals of size delta and one
+// final interval [Lo+(k-1)delta, Hi). Each new end point costs only O(log k)
+// additional bits relative to the end points of the input interval, which is
+// what bounds label and symbol lengths by O(|V| log dout).
+func (iv Interval) Split(k int) []Interval {
+	if k < 1 {
+		panic("interval: Split requires k >= 1")
+	}
+	if iv.IsEmpty() {
+		panic("interval: Split of an empty interval")
+	}
+	if k == 1 {
+		return []Interval{iv}
+	}
+	logN := uint(bits.Len(uint(k - 1))) // ceil(log2 k)
+	delta := iv.Hi.Sub(iv.Lo).Shr(logN)
+	out := make([]Interval, k)
+	lo := iv.Lo
+	for i := 0; i < k-1; i++ {
+		hi := lo.Add(delta)
+		out[i] = Interval{Lo: lo, Hi: hi}
+		lo = hi
+	}
+	out[k-1] = Interval{Lo: lo, Hi: iv.Hi}
+	return out
+}
+
+// Union is a finite union of disjoint, non-adjacent, non-empty intervals in
+// canonical form: sorted by Lo. The zero value is the empty union.
+//
+// Unions are value types: operations return new unions and never mutate
+// their receivers or arguments.
+type Union struct {
+	ivs []Interval
+}
+
+// EmptyUnion returns the empty interval-union.
+func EmptyUnion() Union { return Union{} }
+
+// FullUnion returns the union {[0, 1)}.
+func FullUnion() Union { return Union{ivs: []Interval{Full()}} }
+
+// NewUnion builds a canonical union from arbitrary (possibly overlapping,
+// adjacent, empty, unsorted) intervals.
+func NewUnion(ivs ...Interval) Union {
+	u := Union{}
+	for _, iv := range ivs {
+		u = u.AddInterval(iv)
+	}
+	return u
+}
+
+// Intervals returns the canonical intervals of u in increasing order.
+// The caller must not modify the returned slice.
+func (u Union) Intervals() []Interval { return u.ivs }
+
+// NumIntervals returns the number of maximal intervals in u.
+func (u Union) NumIntervals() int { return len(u.ivs) }
+
+// IsEmpty reports whether u contains no points.
+func (u Union) IsEmpty() bool { return len(u.ivs) == 0 }
+
+// IsFull reports whether u == [0, 1). This is the terminal's stopping
+// predicate S: it holds exactly when the whole commodity has arrived.
+func (u Union) IsFull() bool {
+	return len(u.ivs) == 1 && u.ivs[0].Lo.IsZero() && u.ivs[0].Hi.IsOne()
+}
+
+// Contains reports whether x in u.
+func (u Union) Contains(x dyadic.D) bool {
+	for _, iv := range u.ivs {
+		if x.Cmp(iv.Hi) < 0 {
+			return iv.Lo.Cmp(x) <= 0
+		}
+	}
+	return false
+}
+
+// Measure returns the total length of u.
+func (u Union) Measure() dyadic.D {
+	m := dyadic.Zero()
+	for _, iv := range u.ivs {
+		m = m.Add(iv.Measure())
+	}
+	return m
+}
+
+// AddInterval returns u with iv merged in.
+func (u Union) AddInterval(iv Interval) Union {
+	if iv.IsEmpty() {
+		return u
+	}
+	out := make([]Interval, 0, len(u.ivs)+1)
+	i := 0
+	// Keep intervals strictly before iv (not touching).
+	for i < len(u.ivs) && u.ivs[i].Hi.Cmp(iv.Lo) < 0 {
+		out = append(out, u.ivs[i])
+		i++
+	}
+	// Merge all intervals overlapping or touching iv.
+	lo, hi := iv.Lo, iv.Hi
+	for i < len(u.ivs) && u.ivs[i].Lo.Cmp(hi) <= 0 {
+		if u.ivs[i].Lo.Cmp(lo) < 0 {
+			lo = u.ivs[i].Lo
+		}
+		if u.ivs[i].Hi.Cmp(hi) > 0 {
+			hi = u.ivs[i].Hi
+		}
+		i++
+	}
+	out = append(out, Interval{Lo: lo, Hi: hi})
+	out = append(out, u.ivs[i:]...)
+	return Union{ivs: out}
+}
+
+// Union returns u ∪ o.
+func (u Union) Union(o Union) Union {
+	if len(u.ivs) < len(o.ivs) {
+		u, o = o, u
+	}
+	res := Union{ivs: append([]Interval(nil), u.ivs...)}
+	for _, iv := range o.ivs {
+		res = res.AddInterval(iv)
+	}
+	return res
+}
+
+// Intersect returns u ∩ o.
+func (u Union) Intersect(o Union) Union {
+	var out []Interval
+	i, j := 0, 0
+	for i < len(u.ivs) && j < len(o.ivs) {
+		a, b := u.ivs[i], o.ivs[j]
+		lo := a.Lo
+		if b.Lo.Cmp(lo) > 0 {
+			lo = b.Lo
+		}
+		hi := a.Hi
+		if b.Hi.Cmp(hi) < 0 {
+			hi = b.Hi
+		}
+		if lo.Cmp(hi) < 0 {
+			out = append(out, Interval{Lo: lo, Hi: hi})
+		}
+		if a.Hi.Cmp(b.Hi) < 0 {
+			i++
+		} else {
+			j++
+		}
+	}
+	return Union{ivs: out}
+}
+
+// Subtract returns u \ o.
+func (u Union) Subtract(o Union) Union {
+	var out []Interval
+	j := 0
+	for _, a := range u.ivs {
+		lo := a.Lo
+		for j < len(o.ivs) && o.ivs[j].Hi.Cmp(lo) <= 0 {
+			j++
+		}
+		k := j
+		for k < len(o.ivs) && o.ivs[k].Lo.Cmp(a.Hi) < 0 {
+			b := o.ivs[k]
+			if b.Lo.Cmp(lo) > 0 {
+				out = append(out, Interval{Lo: lo, Hi: b.Lo})
+			}
+			if b.Hi.Cmp(lo) > 0 {
+				lo = b.Hi
+			}
+			k++
+		}
+		if lo.Cmp(a.Hi) < 0 {
+			out = append(out, Interval{Lo: lo, Hi: a.Hi})
+		}
+	}
+	return Union{ivs: out}
+}
+
+// Equal reports whether u and o cover the same point set.
+func (u Union) Equal(o Union) bool {
+	if len(u.ivs) != len(o.ivs) {
+		return false
+	}
+	for i := range u.ivs {
+		if !u.ivs[i].Lo.Equal(o.ivs[i].Lo) || !u.ivs[i].Hi.Equal(o.ivs[i].Hi) {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsUnion reports whether o ⊆ u.
+func (u Union) ContainsUnion(o Union) bool {
+	return o.Subtract(u).IsEmpty()
+}
+
+// String renders the union as a set of intervals.
+func (u Union) String() string {
+	if u.IsEmpty() {
+		return "{}"
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, iv := range u.ivs {
+		if i > 0 {
+			sb.WriteString(" ∪ ")
+		}
+		sb.WriteString(iv.String())
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// EncodedBits returns the exact bit cost of Encode: a delta-coded interval
+// count followed by each interval's end points.
+func (u Union) EncodedBits() int {
+	n := bitio.Delta0Len(uint64(len(u.ivs)))
+	for _, iv := range u.ivs {
+		n += iv.EncodedBits()
+	}
+	return n
+}
+
+// Encode appends a self-delimiting encoding of u to w.
+func (u Union) Encode(w *bitio.Writer) {
+	w.WriteDelta0(uint64(len(u.ivs)))
+	for _, iv := range u.ivs {
+		iv.Encode(w)
+	}
+}
+
+// DecodeUnion reads a union written by Encode.
+func DecodeUnion(r *bitio.Reader) (Union, error) {
+	n, err := r.ReadDelta0()
+	if err != nil {
+		return Union{}, err
+	}
+	u := Union{}
+	for i := uint64(0); i < n; i++ {
+		iv, err := DecodeInterval(r)
+		if err != nil {
+			return Union{}, err
+		}
+		u = u.AddInterval(iv)
+	}
+	return u, nil
+}
+
+// Key returns a canonical string for use as a map key.
+func (u Union) Key() string {
+	var w bitio.Writer
+	u.Encode(&w)
+	return string(w.Bytes())
+}
+
+// MaxEndpointPrec returns the largest fraction-bit length among the end
+// points of u; Theorem 4.3 bounds this by O(|V| log dout).
+func (u Union) MaxEndpointPrec() uint {
+	var p uint
+	for _, iv := range u.ivs {
+		if q := iv.Lo.Prec(); q > p {
+			p = q
+		}
+		if q := iv.Hi.Prec(); q > p {
+			p = q
+		}
+	}
+	return p
+}
+
+// CanonicalPartition partitions u into d >= 1 disjoint interval-unions per
+// the paper's Section 4 rule: with u = I_1 ∪ ... ∪ I_r (maximal intervals),
+// split I_1 into d-1 pieces for the first d-1 parts and give ∪_{k>=2} I_k to
+// the last part.
+//
+// Faithfulness note (DESIGN.md §3.1): when r == 1 the paper's literal rule
+// would leave the last part empty and the subgraph behind the corresponding
+// out-edge would never be visited, contradicting Theorem 4.2. We therefore
+// split I_1 into d pieces in that case. Every vertex still splits at most one
+// interval, into at most d parts, preserving the Theorem 4.3 length bound.
+func (u Union) CanonicalPartition(d int) []Union {
+	if d < 1 {
+		panic("interval: CanonicalPartition requires d >= 1")
+	}
+	if u.IsEmpty() {
+		panic("interval: CanonicalPartition of an empty union")
+	}
+	if d == 1 {
+		return []Union{u}
+	}
+	out := make([]Union, d)
+	if len(u.ivs) == 1 {
+		for i, piece := range u.ivs[0].Split(d) {
+			out[i] = Union{ivs: []Interval{piece}}
+		}
+		return out
+	}
+	for i, piece := range u.ivs[0].Split(d - 1) {
+		out[i] = Union{ivs: []Interval{piece}}
+	}
+	rest := Union{ivs: append([]Interval(nil), u.ivs[1:]...)}
+	out[d-1] = rest
+	return out
+}
+
+// CanonicalPartitionLiteral is the paper's Section 4 rule taken literally:
+// I_1 is always split into d-1 parts and the last part gets the remaining
+// intervals — which is EMPTY when u is a single interval. It exists only for
+// the E12 ablation, which demonstrates that the literal rule lets the
+// terminal declare termination while vertices behind the starved out-edge
+// never received the broadcast, violating Theorem 4.2 as stated. Production
+// protocols use CanonicalPartition.
+func (u Union) CanonicalPartitionLiteral(d int) []Union {
+	if d < 1 {
+		panic("interval: CanonicalPartitionLiteral requires d >= 1")
+	}
+	if u.IsEmpty() {
+		panic("interval: CanonicalPartitionLiteral of an empty union")
+	}
+	if d == 1 {
+		return []Union{u}
+	}
+	out := make([]Union, d)
+	for i, piece := range u.ivs[0].Split(d - 1) {
+		out[i] = Union{ivs: []Interval{piece}}
+	}
+	out[d-1] = Union{ivs: append([]Interval(nil), u.ivs[1:]...)}
+	return out
+}

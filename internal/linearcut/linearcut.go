@@ -1,0 +1,234 @@
+// Package linearcut implements the linear-cut machinery of the paper's lower
+// bound proofs (Definition 3.4, Lemmas 3.5 and 3.7, Theorem 3.6, Figures
+// 1-3).
+//
+// A linear cut of a DAG partitions V into V1 ∪ V2 such that no V1 vertex is
+// a descendant of a V2 vertex — equivalently, V1 is closed under ancestors
+// (an order ideal containing s, with t in V2). The edges crossing a cut are
+// a possible asynchronous snapshot of the protocol: the multiset of symbols
+// on them must itself be terminating (Lemma 3.5), which is what forces large
+// alphabets (Theorem 3.6, Lemma 3.7).
+//
+// This package enumerates and samples linear cuts, snapshots the symbols a
+// protocol puts on them, and performs the paper's cut surgery: building the
+// graph G* in which the crossing edges are rewired into the terminal
+// (Figure 1), optionally splitting them between t and an auxiliary dead-end
+// t* (Figure 2).
+package linearcut
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// Cut is a linear cut, represented by the V1 membership vector.
+type Cut struct {
+	InV1 []bool
+}
+
+// CrossingEdges returns the edges from V1 to V2 in g.
+func (c Cut) CrossingEdges(g *graph.G) []graph.Edge {
+	var out []graph.Edge
+	for _, e := range g.Edges() {
+		if c.InV1[e.From] && !c.InV1[e.To] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Validate reports whether c is a linear cut of g: V1 is ancestor-closed,
+// non-empty, and excludes t.
+func (c Cut) Validate(g *graph.G) error {
+	if len(c.InV1) != g.NumVertices() {
+		return fmt.Errorf("linearcut: cut size %d != |V| %d", len(c.InV1), g.NumVertices())
+	}
+	if !c.InV1[g.Root()] {
+		return fmt.Errorf("linearcut: root not in V1")
+	}
+	if c.InV1[g.Terminal()] {
+		return fmt.Errorf("linearcut: terminal in V1")
+	}
+	for _, e := range g.Edges() {
+		if c.InV1[e.To] && !c.InV1[e.From] {
+			return fmt.Errorf("linearcut: V1 not ancestor-closed at edge %d->%d", e.From, e.To)
+		}
+	}
+	return nil
+}
+
+// Enumerate returns every linear cut of the DAG g. The number of cuts is the
+// number of order ideals, which can be exponential: intended for the small
+// graphs of the lower-bound experiments. It returns an error if g is cyclic.
+func Enumerate(g *graph.G) ([]Cut, error) {
+	order, ok := g.TopoOrder()
+	if !ok {
+		return nil, fmt.Errorf("linearcut: %s is cyclic", g)
+	}
+	// Grow ideals vertex by vertex in topological order: each vertex may be
+	// added only if all its in-neighbours are in.
+	n := g.NumVertices()
+	var cuts []Cut
+	var rec func(idx int, cur []bool)
+	rec = func(idx int, cur []bool) {
+		if idx == len(order) {
+			// Valid cut iff root in V1 and terminal out.
+			if cur[g.Root()] && !cur[g.Terminal()] {
+				cuts = append(cuts, Cut{InV1: append([]bool(nil), cur...)})
+			}
+			return
+		}
+		v := order[idx]
+		// Option 1: v not in V1; then no descendant of v may be added, but
+		// instead of tracking that, rely on the closure check when adding.
+		rec(idx+1, cur)
+		// Option 2: v in V1, allowed only if all in-neighbours are in V1.
+		okAdd := true
+		for i := 0; i < g.InDegree(v); i++ {
+			if !cur[g.InEdge(v, i).From] {
+				okAdd = false
+				break
+			}
+		}
+		if okAdd {
+			cur[v] = true
+			rec(idx+1, cur)
+			cur[v] = false
+		}
+	}
+	rec(0, make([]bool, n))
+	return cuts, nil
+}
+
+// Sample returns up to k random linear cuts of the DAG g, drawn by a random
+// topological-prefix-with-closure walk.
+func Sample(g *graph.G, k int, seed int64) ([]Cut, error) {
+	order, ok := g.TopoOrder()
+	if !ok {
+		return nil, fmt.Errorf("linearcut: %s is cyclic", g)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[string]bool{}
+	var cuts []Cut
+	for attempt := 0; attempt < 20*k && len(cuts) < k; attempt++ {
+		cur := make([]bool, g.NumVertices())
+		for _, v := range order {
+			okAdd := true
+			for i := 0; i < g.InDegree(v); i++ {
+				if !cur[g.InEdge(v, i).From] {
+					okAdd = false
+					break
+				}
+			}
+			if okAdd && v != g.Terminal() && (v == g.Root() || rng.Intn(2) == 0) {
+				cur[v] = true
+			}
+		}
+		if !cur[g.Root()] {
+			continue
+		}
+		key := fmt.Sprint(cur)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		cuts = append(cuts, Cut{InV1: cur})
+	}
+	return cuts, nil
+}
+
+// Snapshot runs protocol p on g to completion under the given options and
+// returns the multiset of symbol keys transmitted on the cut's crossing
+// edges. On grounded trees each edge carries exactly one symbol (Lemma 3.3),
+// so the multiset is well defined; for other graphs the first symbol per
+// edge is reported.
+func Snapshot(g *graph.G, p protocol.Protocol, c Cut, opts sim.Options) ([]string, error) {
+	opts.TrackAlphabet = true
+	opts.TrackFirstSymbol = true
+	r, err := sim.Run(g, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	edges := c.CrossingEdges(g)
+	out := make([]string, 0, len(edges))
+	for _, e := range edges {
+		k, ok := r.Metrics.FirstSymbol[e.ID]
+		if !ok {
+			return nil, fmt.Errorf("linearcut: edge %d->%d carried no symbol", e.From, e.To)
+		}
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Surgery builds the graph G* of Lemma 3.5 (Figure 1): V1 plus a fresh
+// terminal, with every edge crossing the cut rewired into the new terminal.
+// Out-ports of V1 vertices keep their original order, so an anonymous
+// protocol cannot distinguish G* from G until messages cross the cut.
+func Surgery(g *graph.G, c Cut) (*graph.G, error) {
+	if err := c.Validate(g); err != nil {
+		return nil, err
+	}
+	return surgery(g, c, nil)
+}
+
+// SurgerySplit builds the graph of Theorem 3.6's proof (Figure 2): like
+// Surgery, but crossing edges whose IDs appear in toAux are rewired to an
+// auxiliary dead-end vertex t* instead of the terminal. If toAux is
+// non-empty the resulting graph must make a correct protocol non-terminating.
+func SurgerySplit(g *graph.G, c Cut, toAux map[graph.EdgeID]bool) (*graph.G, error) {
+	if err := c.Validate(g); err != nil {
+		return nil, err
+	}
+	return surgery(g, c, toAux)
+}
+
+func surgery(g *graph.G, c Cut, toAux map[graph.EdgeID]bool) (*graph.G, error) {
+	// Map old V1 vertices to new IDs.
+	remap := make([]graph.VertexID, g.NumVertices())
+	n := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if c.InV1[v] {
+			remap[v] = graph.VertexID(n)
+			n++
+		}
+	}
+	total := n + 1 // + new terminal
+	aux := graph.VertexID(-1)
+	if len(toAux) > 0 {
+		total++
+		aux = graph.VertexID(n + 1)
+	}
+	b := graph.NewBuilder(total).SetName(g.Name() + "*")
+	newT := graph.VertexID(n)
+	b.SetRoot(remap[g.Root()]).SetTerminal(newT)
+	// Preserve out-port order: iterate vertices and their out-ports.
+	for v := 0; v < g.NumVertices(); v++ {
+		if !c.InV1[v] {
+			continue
+		}
+		for j := 0; j < g.OutDegree(graph.VertexID(v)); j++ {
+			e := g.OutEdge(graph.VertexID(v), j)
+			switch {
+			case c.InV1[e.To]:
+				b.AddEdge(remap[v], remap[e.To])
+			case toAux[e.ID]:
+				b.AddEdge(remap[v], aux)
+			default:
+				b.AddEdge(remap[v], newT)
+			}
+		}
+	}
+	if aux >= 0 {
+		// t* must reach nothing: it is a dead end by construction. Its edges
+		// to t would defeat the purpose; there are none.
+		_ = aux
+	}
+	return b.Build()
+}

@@ -1,0 +1,247 @@
+package linearcut
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+func TestEnumerateLine(t *testing.T) {
+	// Line(n): s -> v1 -> ... -> vn -> t. Ideals containing s and not t are
+	// the prefixes {s}, {s,v1}, ..., {s,v1..vn}: n+1 cuts.
+	for _, n := range []int{1, 2, 4} {
+		g := graph.Line(n)
+		cuts, err := Enumerate(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cuts) != n+1 {
+			t.Fatalf("Line(%d): %d cuts, want %d", n, len(cuts), n+1)
+		}
+		for _, c := range cuts {
+			if err := c.Validate(g); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestEnumerateChainValidatesAll(t *testing.T) {
+	g := graph.Chain(4)
+	cuts, err := Enumerate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts) == 0 {
+		t.Fatal("no cuts found")
+	}
+	for _, c := range cuts {
+		if err := c.Validate(g); err != nil {
+			t.Fatal(err)
+		}
+		if len(c.CrossingEdges(g)) == 0 {
+			t.Fatal("cut with no crossing edges")
+		}
+	}
+}
+
+func TestEnumerateRejectsCycles(t *testing.T) {
+	if _, err := Enumerate(graph.Ring(3)); err == nil {
+		t.Fatal("cyclic graph accepted")
+	}
+}
+
+func TestSampleProducesValidCuts(t *testing.T) {
+	g := graph.RandomDAG(20, 15, 3)
+	cuts, err := Sample(g, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts) < 5 {
+		t.Fatalf("sampled only %d cuts", len(cuts))
+	}
+	for _, c := range cuts {
+		if err := c.Validate(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLemma35SurgeryTerminatesWithCutSymbols: running the protocol on the
+// surgered graph G* must terminate, and the multiset of symbols entering the
+// new terminal equals the snapshot on the cut — i.e. every cut snapshot is a
+// terminating multiset.
+func TestLemma35SurgeryTerminates(t *testing.T) {
+	p := core.NewTreeBroadcast(nil, core.RulePow2)
+	for _, g := range []*graph.G{graph.Chain(5), graph.KaryGroundedTree(2, 2), graph.Line(4)} {
+		cuts, err := Enumerate(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cuts {
+			snap, err := Snapshot(g, p, c, sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gs, err := Surgery(g, c)
+			if err != nil {
+				t.Fatalf("surgery on %s: %v", g, err)
+			}
+			r, err := sim.Run(gs, p, sim.Options{TrackFirstSymbol: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Verdict != sim.Terminated {
+				t.Fatalf("%s: G* did not terminate (cut snapshot %v)", g, snap)
+			}
+			// The multiset entering the new terminal is exactly the snapshot.
+			gsT := gs.Terminal()
+			var entering []string
+			for i := 0; i < gs.InDegree(gsT); i++ {
+				e := gs.InEdge(gsT, i)
+				entering = append(entering, r.Metrics.FirstSymbol[e.ID])
+			}
+			if len(entering) != len(snap) {
+				t.Fatalf("%s: %d symbols entered G*'s terminal, snapshot has %d", g, len(entering), len(snap))
+			}
+		}
+	}
+}
+
+// TestTheorem36SplitSurgeryDoesNotTerminate: rewiring a non-empty subset of
+// crossing edges to a dead-end t* must make the protocol non-terminating,
+// which is the engine behind the no-strict-subset property of snapshots.
+func TestTheorem36SplitSurgeryDoesNotTerminate(t *testing.T) {
+	p := core.NewTreeBroadcast(nil, core.RulePow2)
+	g := graph.Chain(4)
+	cuts, err := Enumerate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tested := 0
+	for _, c := range cuts {
+		edges := c.CrossingEdges(g)
+		if len(edges) < 2 {
+			continue
+		}
+		// Send the last crossing edge to t*.
+		toAux := map[graph.EdgeID]bool{edges[len(edges)-1].ID: true}
+		gs, err := SurgerySplit(g, c, toAux)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := sim.Run(gs, p, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Verdict != sim.Quiescent {
+			t.Fatalf("split surgery terminated; a correct protocol must not (cut %v)", c.InV1)
+		}
+		tested++
+	}
+	if tested == 0 {
+		t.Fatal("no multi-edge cuts tested")
+	}
+}
+
+// TestTheorem36NoStrictSubset: across all cuts of a grounded tree, no
+// snapshot multiset is a strict subset of another.
+func TestTheorem36NoStrictSubset(t *testing.T) {
+	p := core.NewTreeBroadcast(nil, core.RulePow2)
+	for _, g := range []*graph.G{graph.Chain(5), graph.KaryGroundedTree(2, 2)} {
+		cuts, err := Enumerate(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps := make([]map[string]int, len(cuts))
+		for i, c := range cuts {
+			snap, err := Snapshot(g, p, c, sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms := map[string]int{}
+			for _, s := range snap {
+				ms[s]++
+			}
+			snaps[i] = ms
+		}
+		for i := range snaps {
+			for j := range snaps {
+				if i == j {
+					continue
+				}
+				if strictSubset(snaps[i], snaps[j]) {
+					t.Fatalf("%s: snapshot %d is a strict subset of snapshot %d (%v ⊂ %v)",
+						g, i, j, snaps[i], snaps[j])
+				}
+			}
+		}
+	}
+}
+
+func strictSubset(a, b map[string]int) bool {
+	total := 0
+	for k, ca := range a {
+		if ca > b[k] {
+			return false
+		}
+		total += ca
+	}
+	btotal := 0
+	for _, cb := range b {
+		btotal += cb
+	}
+	return total < btotal
+}
+
+// TestLemma37AncestorSymbolsDiffer: on the chain G_n, the symbol on an
+// ancestor spine edge differs from any descendant spine edge's symbol.
+func TestLemma37AncestorSymbolsDiffer(t *testing.T) {
+	g := graph.Chain(6)
+	r, err := sim.Run(g, core.NewTreeBroadcast(nil, core.RulePow2), sim.Options{TrackFirstSymbol: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spine edges are s->v1 and v_i->v_{i+1}; every consecutive pair is
+	// separated by an out-degree-2 vertex.
+	var spine []graph.EdgeID
+	for _, e := range g.Edges() {
+		if e.To != g.Terminal() {
+			spine = append(spine, e.ID)
+		}
+	}
+	for i := range spine {
+		for j := i + 1; j < len(spine); j++ {
+			si, sj := r.Metrics.FirstSymbol[spine[i]], r.Metrics.FirstSymbol[spine[j]]
+			if si == sj {
+				t.Fatalf("spine edges %d and %d carry the same symbol %q", i, j, si)
+			}
+		}
+	}
+}
+
+func TestSurgeryPreservesPortOrder(t *testing.T) {
+	g := graph.Chain(3)
+	cuts, err := Enumerate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cuts {
+		gs, err := Surgery(g, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every remapped vertex keeps its out-degree.
+		n := 0
+		for v := 0; v < g.NumVertices(); v++ {
+			if c.InV1[v] {
+				if gs.OutDegree(graph.VertexID(n)) != g.OutDegree(graph.VertexID(v)) {
+					t.Fatalf("vertex %d out-degree changed under surgery", v)
+				}
+				n++
+			}
+		}
+	}
+}

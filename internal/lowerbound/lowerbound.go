@@ -1,0 +1,179 @@
+// Package lowerbound runs the paper's three adversarial constructions
+// end-to-end and measures the quantities the lower-bound theorems bound:
+//
+//   - Chain (Theorem 3.2, Figure 5): the grounded-tree family G_n on which
+//     any broadcasting protocol needs an Omega(n)-symbol alphabet, hence
+//     Omega(|E| log |E|) total communication;
+//   - Skeleton (Theorem 3.8, Figure 4): the DAG family on which any
+//     commodity-preserving protocol sends a different w->t quantity for each
+//     of the 2^n subset choices, forcing Omega(n) = Omega(|E|) bandwidth;
+//   - Prune (Theorem 5.2, Figure 6): the full d-ary tree versus its pruned
+//     path, showing an Omega(h log d) = Omega(|V| log dout) label on a graph
+//     with only h+3 vertices.
+package lowerbound
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// ChainResult reports one G_n measurement.
+type ChainResult struct {
+	N            int
+	Edges        int
+	AlphabetSize int
+	MaxMsgBits   int
+	TotalBits    int64
+	Bandwidth    int64
+}
+
+// Chain runs p on G_n and reports the alphabet and communication metrics.
+func Chain(n int, p protocol.Protocol) (ChainResult, error) {
+	g := graph.Chain(n)
+	r, err := sim.Run(g, p, sim.Options{TrackAlphabet: true})
+	if err != nil {
+		return ChainResult{}, err
+	}
+	if r.Verdict != sim.Terminated {
+		return ChainResult{}, fmt.Errorf("lowerbound: %s did not terminate on %s", p.Name(), g)
+	}
+	return ChainResult{
+		N:            n,
+		Edges:        g.NumEdges(),
+		AlphabetSize: r.Metrics.AlphabetSize(),
+		MaxMsgBits:   r.Metrics.MaxMsgBits,
+		TotalBits:    r.Metrics.TotalBits,
+		Bandwidth:    r.Metrics.MaxEdgeBits(),
+	}, nil
+}
+
+// SkeletonResult reports the Theorem 3.8 measurement for one n.
+type SkeletonResult struct {
+	N int
+	// Subsets is the number of subset choices evaluated (2^n when
+	// exhaustive).
+	Subsets int
+	// DistinctQuantities is the number of distinct w->t commodities
+	// observed; Theorem 3.8 predicts it equals Subsets.
+	DistinctQuantities int
+	// MaxWEdgeBits is the largest message observed on the w->t edge: the
+	// bandwidth the commodity-preserving protocol needs on that single edge.
+	MaxWEdgeBits int
+	// Edges is |E| of the skeleton (excluding subset wiring variation).
+	Edges int
+}
+
+// Skeleton evaluates the commodity-preserving DAG broadcast on all 2^n
+// subset choices of Skeleton(n) and counts distinct w->t quantities.
+// n is capped at 20 to keep the enumeration finite in benchmarks.
+func Skeleton(n int) (SkeletonResult, error) {
+	if n < 1 || n > 20 {
+		return SkeletonResult{}, fmt.Errorf("lowerbound: skeleton n=%d out of range [1,20]", n)
+	}
+	p := core.NewDAGBroadcast(nil)
+	res := SkeletonResult{N: n}
+	seen := map[string]bool{}
+	for mask := 0; mask < 1<<n; mask++ {
+		sel := make([]bool, n)
+		for i := range sel {
+			sel[i] = mask&(1<<i) != 0
+		}
+		g := graph.Skeleton(n, sel)
+		res.Edges = g.NumEdges()
+		r, err := sim.Run(g, p, sim.Options{TrackFirstSymbol: true})
+		if err != nil {
+			return SkeletonResult{}, err
+		}
+		if r.Verdict != sim.Terminated {
+			return SkeletonResult{}, fmt.Errorf("lowerbound: skeleton(%d,%b) did not terminate", n, mask)
+		}
+		we, ok := graph.SkeletonWEdge(g)
+		if !ok {
+			// Empty selection: the w->t quantity is zero by construction.
+			seen["<zero>"] = true
+		} else {
+			key := r.Metrics.FirstSymbol[we]
+			seen[key] = true
+			if int(r.Metrics.PerEdgeBits[we]) > res.MaxWEdgeBits {
+				res.MaxWEdgeBits = int(r.Metrics.PerEdgeBits[we])
+			}
+		}
+		res.Subsets++
+	}
+	res.DistinctQuantities = len(seen)
+	return res, nil
+}
+
+// PruneResult reports the Theorem 5.2 measurement for one (h, d).
+type PruneResult struct {
+	H, D int
+	// FullVertices and PrunedVertices are the vertex counts of the two
+	// graphs (exponential vs h+3).
+	FullVertices   int
+	PrunedVertices int
+	// LeafLabelBits is the encoded length of the deep leaf's label in the
+	// pruned tree; Theorem 5.2 says it is Omega(h log d).
+	LeafLabelBits int
+	// LabelsEqual reports whether the deep leaf receives the *identical*
+	// label in the full and pruned trees — the protocol cannot distinguish
+	// the two graphs along the path, which is the heart of the proof.
+	LabelsEqual bool
+}
+
+// Prune runs the labeling protocol on the full (h, d) tree and its pruning
+// along child childIdx, and compares the deep leaf's labels.
+// If skipFull is true (for large h where the full tree is exponential), only
+// the pruned tree is run and LabelsEqual is reported as true vacuously.
+func Prune(h, d, childIdx int, skipFull bool) (PruneResult, error) {
+	p := core.NewLabelAssign(nil)
+	pruned := graph.PrunedTree(h, d, childIdx)
+	rPruned, err := sim.Run(pruned, p, sim.Options{})
+	if err != nil {
+		return PruneResult{}, err
+	}
+	if rPruned.Verdict != sim.Terminated {
+		return PruneResult{}, fmt.Errorf("lowerbound: pruned tree did not terminate")
+	}
+	leafLabel, ok := labelOf(rPruned, graph.PrunedLeaf(h))
+	if !ok {
+		return PruneResult{}, fmt.Errorf("lowerbound: pruned leaf unlabeled")
+	}
+	res := PruneResult{
+		H: h, D: d,
+		PrunedVertices: pruned.NumVertices(),
+		LeafLabelBits:  leafLabel.EncodedBits(),
+		LabelsEqual:    true,
+	}
+	if skipFull {
+		res.FullVertices = -1
+		return res, nil
+	}
+	full := graph.KaryGroundedTree(h, d)
+	res.FullVertices = full.NumVertices()
+	rFull, err := sim.Run(full, p, sim.Options{})
+	if err != nil {
+		return PruneResult{}, err
+	}
+	if rFull.Verdict != sim.Terminated {
+		return PruneResult{}, fmt.Errorf("lowerbound: full tree did not terminate")
+	}
+	fullLeafLabel, ok := labelOf(rFull, graph.KaryLeafOnPath(h, d, childIdx))
+	if !ok {
+		return PruneResult{}, fmt.Errorf("lowerbound: full-tree leaf unlabeled")
+	}
+	res.LabelsEqual = fullLeafLabel.Equal(leafLabel)
+	return res, nil
+}
+
+func labelOf(r *sim.Result, v graph.VertexID) (interval.Union, bool) {
+	ln, ok := r.Nodes[v].(core.Labeled)
+	if !ok {
+		return interval.Union{}, false
+	}
+	return ln.Label()
+}

@@ -1,0 +1,143 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestChainAlphabetGrowsLinearly(t *testing.T) {
+	p := core.NewTreeBroadcast(nil, core.RulePow2)
+	prev := 0
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		res, err := Chain(n, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Theorem 3.2: alphabet is Omega(n); our protocol uses exactly n.
+		if res.AlphabetSize != n {
+			t.Fatalf("Chain(%d): alphabet %d, want %d", n, res.AlphabetSize, n)
+		}
+		if res.AlphabetSize <= prev {
+			t.Fatalf("Chain(%d): alphabet did not grow", n)
+		}
+		prev = res.AlphabetSize
+		if res.Edges != 2*n {
+			t.Fatalf("Chain(%d): |E| = %d, want %d", n, res.Edges, 2*n)
+		}
+	}
+}
+
+func TestChainBandwidthLogarithmic(t *testing.T) {
+	// Theorem 3.1 upper bound: bandwidth O(log |E|) + |m|. With m empty,
+	// the per-edge bits must grow like log n, definitely sub-linearly.
+	p := core.NewTreeBroadcast(nil, core.RulePow2)
+	r8, err := Chain(8, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r256, err := Chain(256, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 32x more edges must cost far less than 32x the bandwidth.
+	if r256.Bandwidth >= 8*r8.Bandwidth {
+		t.Fatalf("bandwidth not logarithmic: n=8 -> %d bits, n=256 -> %d bits", r8.Bandwidth, r256.Bandwidth)
+	}
+}
+
+func TestSkeletonAllQuantitiesDistinct(t *testing.T) {
+	// Theorem 3.8: each of the 2^n subsets induces a different w->t
+	// quantity under a commodity-preserving protocol.
+	for _, n := range []int{1, 2, 3, 5, 7} {
+		res, err := Skeleton(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Subsets != 1<<n {
+			t.Fatalf("skeleton(%d): evaluated %d subsets, want %d", n, res.Subsets, 1<<n)
+		}
+		if res.DistinctQuantities != res.Subsets {
+			t.Fatalf("skeleton(%d): only %d distinct quantities among %d subsets",
+				n, res.DistinctQuantities, res.Subsets)
+		}
+	}
+}
+
+func TestSkeletonBandwidthLinear(t *testing.T) {
+	// The w->t message must be able to name 2^n values: Omega(n) bits on a
+	// graph with O(n) edges.
+	r3, err := Skeleton(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Skeleton(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.MaxWEdgeBits <= r3.MaxWEdgeBits {
+		t.Fatalf("w-edge bits did not grow: n=3 -> %d, n=8 -> %d", r3.MaxWEdgeBits, r8.MaxWEdgeBits)
+	}
+	// Linear growth check: bits(n=8)/bits(n=3) should be roughly 8/3, and
+	// in particular at least 1.5x.
+	if float64(r8.MaxWEdgeBits) < 1.5*float64(r3.MaxWEdgeBits) {
+		t.Fatalf("w-edge bandwidth growth too slow: %d -> %d", r3.MaxWEdgeBits, r8.MaxWEdgeBits)
+	}
+}
+
+func TestSkeletonRangeValidation(t *testing.T) {
+	if _, err := Skeleton(0); err == nil {
+		t.Fatal("Skeleton(0) accepted")
+	}
+	if _, err := Skeleton(21); err == nil {
+		t.Fatal("Skeleton(21) accepted")
+	}
+}
+
+func TestPruneLabelsMatchFullTree(t *testing.T) {
+	// Theorem 5.2's key step: the deep leaf receives the identical label in
+	// the full tree and the pruned graph, for every choice of path.
+	for _, tc := range []struct{ h, d, c int }{
+		{2, 2, 0}, {2, 2, 1}, {3, 2, 1}, {3, 3, 0}, {3, 3, 2}, {4, 2, 0}, {2, 4, 3},
+	} {
+		res, err := Prune(tc.h, tc.d, tc.c, false)
+		if err != nil {
+			t.Fatalf("prune(%v): %v", tc, err)
+		}
+		if !res.LabelsEqual {
+			t.Fatalf("prune(h=%d,d=%d,c=%d): leaf labels differ between full and pruned trees", tc.h, tc.d, tc.c)
+		}
+		if res.PrunedVertices != tc.h+3 {
+			t.Fatalf("pruned |V| = %d, want h+3 = %d", res.PrunedVertices, tc.h+3)
+		}
+		if res.FullVertices <= res.PrunedVertices && tc.h > 1 {
+			t.Fatalf("full tree not larger than pruned: %d vs %d", res.FullVertices, res.PrunedVertices)
+		}
+	}
+}
+
+func TestPruneLeafLabelBitsGrowLinearlyInH(t *testing.T) {
+	// Omega(h log d) label length on a graph with h+3 vertices; the full
+	// tree is skipped for large h (it would be exponential), which is the
+	// entire point of the pruning argument.
+	var bits []int
+	hs := []int{4, 8, 16, 32, 64}
+	for _, h := range hs {
+		res, err := Prune(h, 3, 1, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits = append(bits, res.LeafLabelBits)
+	}
+	for i := 1; i < len(bits); i++ {
+		if bits[i] <= bits[i-1] {
+			t.Fatalf("label bits not increasing: h=%d -> %d, h=%d -> %d",
+				hs[i-1], bits[i-1], hs[i], bits[i])
+		}
+	}
+	// Doubling h should roughly double the label length (within 3x slack).
+	ratio := float64(bits[len(bits)-1]) / float64(bits[len(bits)-2])
+	if ratio < 1.4 || ratio > 3.0 {
+		t.Fatalf("label growth ratio %.2f outside linear range", ratio)
+	}
+}

@@ -1,0 +1,539 @@
+// Package netrun executes anonymous protocols over real TCP connections:
+// every vertex is a goroutine with its own listener on 127.0.0.1, every edge
+// a dedicated TCP connection, and every message travels as actual bytes
+// produced by the protocol's wire codec. It is the "does this survive a real
+// transport" tier above the in-memory engines of package sim — same
+// protocols, same verdicts, real sockets.
+//
+// Infrastructure vs. protocol knowledge: the runner wires connections to
+// in-ports during setup (the physical cabling of the network); the protocol
+// running on top still observes only (in-degree, out-degree, port numbers),
+// exactly as the model requires.
+//
+// Termination is the terminal's stopping predicate; quiescence detection
+// reuses the in-flight counter of the concurrent engine — counters live in
+// process while payloads cross the loopback interface.
+package netrun
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// Options configures a TCP run.
+type Options struct {
+	// Timeout aborts the run if neither termination nor quiescence is
+	// reached; 0 means a generous default.
+	Timeout time.Duration
+	// MaxMessages bounds total traffic as a runaway backstop; 0 = default.
+	MaxMessages int64
+}
+
+const (
+	defaultTimeout     = 2 * time.Minute
+	defaultMaxMessages = 10_000_000
+)
+
+// ErrTimeout is returned when the run exceeds its wall-clock budget.
+var ErrTimeout = errors.New("netrun: run timed out")
+
+// Run executes p on g over TCP and returns a result compatible with the
+// in-memory engines (Verdict, Visited, Metrics; Steps counts deliveries).
+func Run(g *graph.G, p protocol.Protocol, codec protocol.Codec, opts Options) (*sim.Result, error) {
+	if opts.Timeout <= 0 {
+		opts.Timeout = defaultTimeout
+	}
+	if opts.MaxMessages <= 0 {
+		opts.MaxMessages = defaultMaxMessages
+	}
+
+	nV, nE := g.NumVertices(), g.NumEdges()
+	nodes := make([]protocol.Node, nV)
+	var term protocol.Terminal
+	for v := 0; v < nV; v++ {
+		role := protocol.RoleInternal
+		switch graph.VertexID(v) {
+		case g.Root():
+			role = protocol.RoleRoot
+		case g.Terminal():
+			role = protocol.RoleTerminal
+		}
+		n := p.NewNode(g.InDegree(graph.VertexID(v)), g.OutDegree(graph.VertexID(v)), role)
+		if role == protocol.RoleTerminal {
+			t, ok := n.(protocol.Terminal)
+			if !ok {
+				return nil, fmt.Errorf("netrun: protocol %q terminal node does not implement Terminal", p.Name())
+			}
+			term = t
+		}
+		nodes[v] = n
+	}
+
+	r := &runner{
+		g:     g,
+		p:     p,
+		codec: codec,
+		nodes: nodes,
+		term:  term,
+		res: &sim.Result{
+			Visited: make([]bool, nV),
+			Nodes:   nodes,
+			Metrics: sim.Metrics{
+				PerEdgeBits: make([]int64, nE),
+				PerEdgeMsgs: make([]int, nE),
+			},
+		},
+		stopCh:  make(chan struct{}),
+		maxMsgs: opts.MaxMessages,
+	}
+	r.res.Visited[g.Root()] = true
+
+	if err := r.listen(); err != nil {
+		r.closeAll()
+		return nil, err
+	}
+	if err := r.dial(); err != nil {
+		r.closeAll()
+		return nil, err
+	}
+	if err := r.start(); err != nil {
+		r.closeAll()
+		return nil, err
+	}
+
+	// Quiescence watcher.
+	var watcherWG sync.WaitGroup
+	watcherWG.Add(1)
+	go func() {
+		defer watcherWG.Done()
+		if r.inFlight.WaitZero() {
+			r.finish(sim.Quiescent, nil)
+		}
+	}()
+
+	select {
+	case <-r.stopCh:
+	case <-time.After(opts.Timeout):
+		r.finish(0, fmt.Errorf("%w after %s on %s", ErrTimeout, opts.Timeout, g))
+	}
+	r.closeAll()
+	r.wg.Wait()
+	r.inFlight.Release()
+	watcherWG.Wait()
+
+	if r.err != nil {
+		return r.res, r.err
+	}
+	r.res.Verdict = r.verdict
+	if r.verdict == sim.Terminated {
+		r.res.Output = term.Output()
+	}
+	return r.res, nil
+}
+
+type runner struct {
+	g     *graph.G
+	p     protocol.Protocol
+	codec protocol.Codec
+	nodes []protocol.Node
+	term  protocol.Terminal
+	res   *sim.Result
+
+	listeners []net.Listener
+	// outConns[v][j] is vertex v's connection for its out-port j.
+	outConns [][]net.Conn
+	// inbox fan-in: each vertex drains one unbounded queue fed by
+	// per-connection reader goroutines. Unbounded matches the model's
+	// unbounded links and rules out backpressure deadlocks on cycles.
+	inboxes []*inbox
+
+	inFlight Counter
+	steps    atomic.Int64
+	maxMsgs  int64
+
+	metricsMu sync.Mutex
+	visitedMu sync.Mutex
+
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	verdict  sim.Verdict
+	err      error
+}
+
+type inFrame struct {
+	port int
+	msg  protocol.Message
+}
+
+func (r *runner) finish(v sim.Verdict, err error) {
+	r.stopOnce.Do(func() {
+		r.verdict = v
+		r.err = err
+		close(r.stopCh)
+	})
+}
+
+func (r *runner) stopped() bool {
+	select {
+	case <-r.stopCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// listen opens one TCP listener per vertex with incoming edges.
+func (r *runner) listen() error {
+	nV := r.g.NumVertices()
+	r.listeners = make([]net.Listener, nV)
+	r.inboxes = make([]*inbox, nV)
+	for v := 0; v < nV; v++ {
+		r.inboxes[v] = newInbox()
+		if r.g.InDegree(graph.VertexID(v)) == 0 {
+			continue
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("netrun: listen for vertex %d: %w", v, err)
+		}
+		r.listeners[v] = l
+	}
+	return nil
+}
+
+// dial establishes one connection per edge. The dialer sends a one-shot
+// handshake naming the target in-port; the accept loop routes the
+// connection's frames to the vertex inbox under that port.
+func (r *runner) dial() error {
+	nV := r.g.NumVertices()
+	// Accept loops first.
+	for v := 0; v < nV; v++ {
+		if r.listeners[v] == nil {
+			continue
+		}
+		expected := r.g.InDegree(graph.VertexID(v))
+		r.wg.Add(1)
+		go r.acceptLoop(graph.VertexID(v), expected)
+	}
+	// Dial every edge.
+	r.outConns = make([][]net.Conn, nV)
+	for v := 0; v < nV; v++ {
+		d := r.g.OutDegree(graph.VertexID(v))
+		r.outConns[v] = make([]net.Conn, d)
+		for j := 0; j < d; j++ {
+			e := r.g.OutEdge(graph.VertexID(v), j)
+			addr := r.listeners[e.To].Addr().String()
+			conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+			if err != nil {
+				return fmt.Errorf("netrun: dial edge %d->%d: %w", e.From, e.To, err)
+			}
+			// Handshake: the in-port this cable plugs into.
+			var hs [4]byte
+			binary.BigEndian.PutUint32(hs[:], uint32(e.ToPort))
+			if _, err := conn.Write(hs[:]); err != nil {
+				conn.Close()
+				return fmt.Errorf("netrun: handshake %d->%d: %w", e.From, e.To, err)
+			}
+			r.outConns[v][j] = conn
+		}
+	}
+	return nil
+}
+
+func (r *runner) acceptLoop(v graph.VertexID, expected int) {
+	defer r.wg.Done()
+	for i := 0; i < expected; i++ {
+		conn, err := r.listeners[v].Accept()
+		if err != nil {
+			if !r.stopped() {
+				r.finish(0, fmt.Errorf("netrun: accept at vertex %d: %w", v, err))
+			}
+			return
+		}
+		var hs [4]byte
+		if _, err := io.ReadFull(conn, hs[:]); err != nil {
+			r.finish(0, fmt.Errorf("netrun: handshake read at vertex %d: %w", v, err))
+			conn.Close()
+			return
+		}
+		port := int(binary.BigEndian.Uint32(hs[:]))
+		if port < 0 || port >= r.g.InDegree(v) {
+			r.finish(0, fmt.Errorf("netrun: vertex %d: bad handshake port %d", v, port))
+			conn.Close()
+			return
+		}
+		r.wg.Add(1)
+		go r.readLoop(v, port, conn)
+	}
+}
+
+// readLoop parses frames off one connection and feeds the vertex inbox.
+// Frame format: uint32 bit length, then ceil(bits/8) payload bytes.
+func (r *runner) readLoop(v graph.VertexID, port int, conn net.Conn) {
+	defer r.wg.Done()
+	defer conn.Close()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			// Connection closed: either shutdown or the peer is done
+			// sending. Both are normal ends of stream.
+			return
+		}
+		bits := int(binary.BigEndian.Uint32(hdr[:]))
+		nbytes := (bits + 7) / 8
+		buf := make([]byte, nbytes)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			if !r.stopped() {
+				r.finish(0, fmt.Errorf("netrun: short frame at vertex %d: %w", v, err))
+			}
+			return
+		}
+		msg, err := r.codec.Decode(buf, bits)
+		if err != nil {
+			r.finish(0, fmt.Errorf("netrun: decode at vertex %d: %w", v, err))
+			return
+		}
+		r.inboxes[v].push(inFrame{port: port, msg: msg})
+	}
+}
+
+// start launches the vertex workers and injects sigma0.
+func (r *runner) start() error {
+	for v := 0; v < r.g.NumVertices(); v++ {
+		r.wg.Add(1)
+		go r.vertexLoop(graph.VertexID(v))
+	}
+	// Inject the initial message(s) from the root.
+	root := r.g.Root()
+	d := r.g.OutDegree(root)
+	var inits []protocol.Message
+	if d == 1 {
+		inits = []protocol.Message{r.p.InitialMessage()}
+	} else {
+		mi, ok := r.p.(protocol.MultiInitializer)
+		if !ok {
+			return fmt.Errorf("netrun: root has out-degree %d but protocol %q does not implement MultiInitializer", d, r.p.Name())
+		}
+		inits = mi.InitialMessages(d)
+		if len(inits) != d {
+			return fmt.Errorf("netrun: protocol returned %d initial messages for out-degree %d", len(inits), d)
+		}
+	}
+	for j, m := range inits {
+		if m == nil {
+			continue
+		}
+		if err := r.send(root, j, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// send encodes and writes one message on v's out-port j.
+func (r *runner) send(v graph.VertexID, j int, msg protocol.Message) error {
+	data, bits, err := r.codec.Encode(msg)
+	if err != nil {
+		return fmt.Errorf("netrun: encode at vertex %d: %w", v, err)
+	}
+	e := r.g.OutEdge(v, j)
+	r.inFlight.Inc()
+	r.metricsMu.Lock()
+	r.res.Metrics.Messages++
+	r.res.Metrics.TotalBits += int64(bits)
+	r.res.Metrics.PerEdgeBits[e.ID] += int64(bits)
+	r.res.Metrics.PerEdgeMsgs[e.ID]++
+	if bits > r.res.Metrics.MaxMsgBits {
+		r.res.Metrics.MaxMsgBits = bits
+	}
+	total := int64(r.res.Metrics.Messages)
+	r.metricsMu.Unlock()
+	if total > r.maxMsgs {
+		return fmt.Errorf("netrun: message budget exceeded (%d)", r.maxMsgs)
+	}
+
+	frame := make([]byte, 4+len(data))
+	binary.BigEndian.PutUint32(frame[:4], uint32(bits))
+	copy(frame[4:], data)
+	if _, err := r.outConns[v][j].Write(frame); err != nil {
+		if r.stopped() {
+			return nil
+		}
+		return fmt.Errorf("netrun: write on edge %d->%d: %w", e.From, e.To, err)
+	}
+	return nil
+}
+
+func (r *runner) vertexLoop(v graph.VertexID) {
+	defer r.wg.Done()
+	node := r.nodes[v]
+	for {
+		f, ok := r.inboxes[v].pop()
+		if !ok {
+			return
+		}
+		r.steps.Add(1)
+		r.visitedMu.Lock()
+		r.res.Visited[v] = true
+		r.visitedMu.Unlock()
+
+		outs, err := node.Receive(f.msg, f.port)
+		if err != nil {
+			r.finish(0, fmt.Errorf("netrun: vertex %d receive: %w", v, err))
+			r.inFlight.Dec()
+			return
+		}
+		if outs != nil && len(outs) != r.g.OutDegree(v) {
+			r.finish(0, fmt.Errorf("netrun: vertex %d returned %d outputs, out-degree %d", v, len(outs), r.g.OutDegree(v)))
+			r.inFlight.Dec()
+			return
+		}
+		for j, out := range outs {
+			if out == nil {
+				continue
+			}
+			if err := r.send(v, j, out); err != nil {
+				r.finish(0, err)
+				r.inFlight.Dec()
+				return
+			}
+		}
+		if v == r.g.Terminal() && r.term.Done() {
+			r.finish(sim.Terminated, nil)
+			r.inFlight.Dec()
+			return
+		}
+		// Decrement after the resulting sends were counted (see sim).
+		r.inFlight.Dec()
+	}
+}
+
+func (r *runner) closeAll() {
+	r.finish(sim.Quiescent, r.err) // no-op if already finished
+	for _, l := range r.listeners {
+		if l != nil {
+			l.Close()
+		}
+	}
+	for _, conns := range r.outConns {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}
+	for _, ib := range r.inboxes {
+		if ib != nil {
+			ib.close()
+		}
+	}
+}
+
+// inbox is an unbounded multi-producer single-consumer queue.
+type inbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []inFrame
+	closed bool
+}
+
+func newInbox() *inbox {
+	ib := &inbox{}
+	ib.cond = sync.NewCond(&ib.mu)
+	return ib
+}
+
+func (ib *inbox) push(f inFrame) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	if ib.closed {
+		return
+	}
+	ib.items = append(ib.items, f)
+	ib.cond.Signal()
+}
+
+func (ib *inbox) pop() (inFrame, bool) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for len(ib.items) == 0 && !ib.closed {
+		ib.cond.Wait()
+	}
+	if len(ib.items) == 0 {
+		return inFrame{}, false
+	}
+	f := ib.items[0]
+	ib.items = ib.items[1:]
+	return f, true
+}
+
+func (ib *inbox) close() {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	ib.closed = true
+	ib.cond.Broadcast()
+}
+
+// Counter is an in-flight counter with wait-for-zero, shared with the
+// concurrent engine's semantics: a message is counted from the moment it is
+// sent until its processing (including the counting of its own sends) ends,
+// so zero means global silence.
+type Counter struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	n        int64
+	released bool
+}
+
+func (c *Counter) lazyInit() {
+	if c.cond == nil {
+		c.cond = sync.NewCond(&c.mu)
+	}
+}
+
+// Inc increments the counter.
+func (c *Counter) Inc() { c.add(1) }
+
+// Dec decrements the counter.
+func (c *Counter) Dec() { c.add(-1) }
+
+func (c *Counter) add(d int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lazyInit()
+	c.n += d
+	if c.n == 0 {
+		c.cond.Broadcast()
+	}
+}
+
+// WaitZero blocks until zero (true) or release (false).
+func (c *Counter) WaitZero() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lazyInit()
+	for c.n != 0 && !c.released {
+		c.cond.Wait()
+	}
+	return !c.released
+}
+
+// Release wakes all waiters regardless of count.
+func (c *Counter) Release() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lazyInit()
+	c.released = true
+	c.cond.Broadcast()
+}

@@ -1,0 +1,147 @@
+package netrun
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+func tcpRun(t *testing.T, g *graph.G, p protocol.Protocol) *sim.Result {
+	t.Helper()
+	r, err := Run(g, p, core.Codec{}, Options{Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("%s on %s over TCP: %v", p.Name(), g, err)
+	}
+	return r
+}
+
+func TestTCPTreeBroadcast(t *testing.T) {
+	g := graph.Chain(6)
+	r := tcpRun(t, g, core.NewTreeBroadcast([]byte("over-the-wire"), core.RulePow2))
+	if r.Verdict != sim.Terminated {
+		t.Fatalf("verdict %s", r.Verdict)
+	}
+	if !r.AllVisited() {
+		t.Fatal("not all vertices visited")
+	}
+	if r.Metrics.Messages != g.NumEdges() {
+		t.Fatalf("%d messages, want %d", r.Metrics.Messages, g.NumEdges())
+	}
+}
+
+func TestTCPGeneralBroadcastOnCycle(t *testing.T) {
+	g := graph.Ring(5)
+	r := tcpRun(t, g, core.NewGeneralBroadcast([]byte("m")))
+	if r.Verdict != sim.Terminated || !r.AllVisited() {
+		t.Fatalf("verdict %s allVisited %v", r.Verdict, r.AllVisited())
+	}
+	out := r.Output.(interval.Union)
+	if !out.IsFull() {
+		t.Fatalf("terminal cover %s", out)
+	}
+}
+
+func TestTCPLabelingMatchesSimLabels(t *testing.T) {
+	// Labels are deterministic per graph (first messages per edge are
+	// schedule-independent), so TCP and the in-memory engine must assign
+	// the same label to every vertex.
+	g := graph.LayeredDigraph(3, 3, 4)
+	rt := tcpRun(t, g, core.NewLabelAssign(nil))
+	if rt.Verdict != sim.Terminated {
+		t.Fatalf("tcp verdict %s", rt.Verdict)
+	}
+	rs, err := sim.Run(g, core.NewLabelAssign(nil), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range rt.Nodes {
+		lt, okT := rt.Nodes[v].(core.Labeled)
+		ls, okS := rs.Nodes[v].(core.Labeled)
+		if okT != okS {
+			t.Fatalf("vertex %d labeled-ness differs", v)
+		}
+		if !okT {
+			continue
+		}
+		ut, hasT := lt.Label()
+		us, hasS := ls.Label()
+		if hasT != hasS {
+			t.Fatalf("vertex %d has-label differs", v)
+		}
+		if hasT && !ut.Equal(us) {
+			t.Fatalf("vertex %d label differs: tcp %s vs sim %s", v, ut, us)
+		}
+	}
+}
+
+func TestTCPMappingExact(t *testing.T) {
+	g := graph.RandomDigraph(10, 6, graph.RandomDigraphOpts{ExtraEdges: 10, TerminalFrac: 0.3})
+	r := tcpRun(t, g, core.NewMapExtract(nil))
+	if r.Verdict != sim.Terminated {
+		t.Fatalf("verdict %s", r.Verdict)
+	}
+	topo := r.Output.(*core.Topology)
+	if topo.NumVertices() != g.NumVertices() || topo.NumEdges() != g.NumEdges() {
+		t.Fatalf("extracted %d/%d, want %d/%d",
+			topo.NumVertices(), topo.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestTCPQuiescenceOnOrphan(t *testing.T) {
+	// Vertex with no path to t: the protocol must go quiescent over TCP too.
+	b := graph.NewBuilder(5).SetRoot(0).SetTerminal(3)
+	b.AddEdge(0, 1).AddEdge(1, 2).AddEdge(2, 3).AddEdge(1, 4)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tcpRun(t, g, core.NewGeneralBroadcast(nil))
+	if r.Verdict != sim.Quiescent {
+		t.Fatalf("verdict %s, want quiescent", r.Verdict)
+	}
+}
+
+func TestTCPDagcastStallsOnCycle(t *testing.T) {
+	g := graph.Ring(3)
+	r := tcpRun(t, g, core.NewDAGBroadcast(nil))
+	if r.Verdict != sim.Quiescent {
+		t.Fatalf("verdict %s, want quiescent (deadlocked DAG protocol)", r.Verdict)
+	}
+}
+
+func TestTCPWideRoot(t *testing.T) {
+	b := graph.NewBuilder(4).SetRoot(0).SetTerminal(3).AllowWideRoot()
+	b.AddEdge(0, 1).AddEdge(0, 2).AddEdge(1, 3).AddEdge(2, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tcpRun(t, g, core.NewGeneralBroadcast(nil))
+	if r.Verdict != sim.Terminated || !r.AllVisited() {
+		t.Fatalf("verdict %s", r.Verdict)
+	}
+}
+
+func TestTCPBitAccountingMatchesSim(t *testing.T) {
+	// Wire bits = Bits() + framing; message counts must agree exactly with
+	// the deterministic engine on schedule-independent protocols.
+	g := graph.Line(5)
+	rt := tcpRun(t, g, core.NewTreeBroadcast([]byte("abc"), core.RulePow2))
+	rs, err := sim.Run(g, core.NewTreeBroadcast([]byte("abc"), core.RulePow2), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Metrics.Messages != rs.Metrics.Messages {
+		t.Fatalf("message counts differ: tcp %d vs sim %d", rt.Metrics.Messages, rs.Metrics.Messages)
+	}
+	// TCP bits include framing, so they are strictly larger but close.
+	if rt.Metrics.TotalBits <= rs.Metrics.TotalBits {
+		t.Fatalf("tcp bits %d not larger than sim bits %d (framing missing?)",
+			rt.Metrics.TotalBits, rs.Metrics.TotalBits)
+	}
+}

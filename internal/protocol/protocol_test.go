@@ -1,0 +1,23 @@
+package protocol
+
+import "testing"
+
+func TestRoleString(t *testing.T) {
+	for r, want := range map[Role]string{
+		RoleRoot:     "root",
+		RoleInternal: "internal",
+		RoleTerminal: "terminal",
+		Role(42):     "Role(42)",
+	} {
+		if got := r.String(); got != want {
+			t.Fatalf("Role(%d).String() = %q, want %q", int(r), got, want)
+		}
+	}
+}
+
+func TestNopNode(t *testing.T) {
+	outs, err := NopNode{}.Receive(nil, 0)
+	if err != nil || outs != nil {
+		t.Fatalf("NopNode.Receive = %v, %v", outs, err)
+	}
+}

@@ -1,0 +1,324 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/protocol"
+)
+
+// RunConcurrent executes p on g with one goroutine per vertex and an
+// unbounded mailbox per vertex. Message interleaving comes from the Go
+// scheduler, so repeated runs exercise genuinely different asynchronous
+// schedules. Per-edge FIFO holds because each edge has a single sending
+// goroutine and mailboxes preserve insertion order.
+//
+// Termination is detected exactly as in the paper: the terminal's stopping
+// predicate S. Non-termination is detected by distributed quiescence: a
+// global in-flight counter that every send increments and every completed
+// delivery decrements; when it reaches zero no message exists anywhere and
+// none can ever be created.
+func RunConcurrent(g *graph.G, p protocol.Protocol, opts Options) (*Result, error) {
+	nV, nE := g.NumVertices(), g.NumEdges()
+	nodes := make([]protocol.Node, nV)
+	var term protocol.Terminal
+	for v := 0; v < nV; v++ {
+		role := protocol.RoleInternal
+		switch graph.VertexID(v) {
+		case g.Root():
+			role = protocol.RoleRoot
+		case g.Terminal():
+			role = protocol.RoleTerminal
+		}
+		n := p.NewNode(g.InDegree(graph.VertexID(v)), g.OutDegree(graph.VertexID(v)), role)
+		if role == protocol.RoleTerminal {
+			t, ok := n.(protocol.Terminal)
+			if !ok {
+				return nil, fmt.Errorf("sim: protocol %q terminal node does not implement Terminal", p.Name())
+			}
+			term = t
+		}
+		nodes[v] = n
+	}
+
+	res := &Result{
+		Visited: make([]bool, nV),
+		Nodes:   nodes,
+		Metrics: Metrics{
+			PerEdgeBits: make([]int64, nE),
+			PerEdgeMsgs: make([]int, nE),
+		},
+	}
+	if opts.TrackAlphabet {
+		res.Metrics.Alphabet = make(map[string]int)
+	}
+	if opts.TrackFirstSymbol {
+		res.Metrics.FirstSymbol = make(map[graph.EdgeID]string)
+	}
+	res.Visited[g.Root()] = true
+
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = defaultMaxSteps
+	}
+
+	run := &concurrentRun{
+		g:         g,
+		nodes:     nodes,
+		term:      term,
+		res:       res,
+		opts:      &opts,
+		maxSteps:  int64(maxSteps),
+		boxes:     make([]*mailbox, nV),
+		stopCh:    make(chan struct{}),
+		visitedMu: make([]sync.Mutex, nV),
+	}
+	for v := range run.boxes {
+		run.boxes[v] = newMailbox()
+	}
+
+	// Inject sigma0.
+	inits, err := initialMessages(g, p)
+	if err != nil {
+		return nil, err
+	}
+	for j, init := range inits {
+		if init == nil {
+			continue
+		}
+		rootEdge := g.OutEdge(g.Root(), j)
+		run.inFlight.Add(1)
+		run.recordSend(rootEdge.ID, init)
+		run.boxes[rootEdge.To].push(delivery{port: rootEdge.ToPort, msg: init})
+	}
+
+	var wg sync.WaitGroup
+	for v := 0; v < nV; v++ {
+		wg.Add(1)
+		go func(v graph.VertexID) {
+			defer wg.Done()
+			run.worker(v)
+		}(graph.VertexID(v))
+	}
+
+	// Quiescence watcher: fires when nothing is in flight anywhere.
+	var watcherWG sync.WaitGroup
+	watcherWG.Add(1)
+	go func() {
+		defer watcherWG.Done()
+		if run.inFlight.waitZero() {
+			run.finish(Quiescent, nil)
+		}
+	}()
+
+	<-run.stopCh
+	for _, mb := range run.boxes {
+		mb.close()
+	}
+	wg.Wait()
+	// Unblock the watcher if the run ended with messages still queued
+	// (termination or error) and wait for it so no goroutine outlives Run.
+	run.inFlight.release()
+	watcherWG.Wait()
+
+	if run.err != nil {
+		return res, run.err
+	}
+	res.Verdict = run.verdict
+	if res.Verdict == Terminated {
+		res.Output = term.Output()
+	}
+	return res, nil
+}
+
+type delivery struct {
+	port int
+	msg  protocol.Message
+}
+
+type concurrentRun struct {
+	g     *graph.G
+	nodes []protocol.Node
+	term  protocol.Terminal
+	res   *Result
+	opts  *Options
+
+	maxSteps int64
+	steps    atomic.Int64
+
+	boxes []*mailbox
+
+	// inFlight counts queued plus in-processing deliveries; zero means
+	// quiescent. zeroMu/zeroCond wake the watcher.
+	inFlight  counter
+	metricsMu sync.Mutex
+	visitedMu []sync.Mutex
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	verdict  Verdict
+	err      error
+}
+
+func (r *concurrentRun) finish(v Verdict, err error) {
+	r.stopOnce.Do(func() {
+		r.verdict = v
+		r.err = err
+		close(r.stopCh)
+	})
+}
+
+func (r *concurrentRun) recordSend(e graph.EdgeID, msg protocol.Message) {
+	r.metricsMu.Lock()
+	defer r.metricsMu.Unlock()
+	r.res.Metrics.record(e, msg, r.opts)
+}
+
+func (r *concurrentRun) worker(v graph.VertexID) {
+	mb := r.boxes[v]
+	node := r.nodes[v]
+	for {
+		d, ok := mb.pop()
+		if !ok {
+			return
+		}
+		if r.steps.Add(1) > r.maxSteps {
+			r.finish(0, fmt.Errorf("%w (graph %s)", ErrStepLimit, r.g))
+			r.inFlight.dec()
+			return
+		}
+		r.visitedMu[v].Lock()
+		r.res.Visited[v] = true
+		r.visitedMu[v].Unlock()
+
+		outs, err := node.Receive(d.msg, d.port)
+		if err != nil {
+			r.finish(0, fmt.Errorf("sim: vertex %d receive: %w", v, err))
+			r.inFlight.dec()
+			return
+		}
+		if outs != nil && len(outs) != r.g.OutDegree(v) {
+			r.finish(0, fmt.Errorf("sim: vertex %d returned %d outputs, out-degree is %d",
+				v, len(outs), r.g.OutDegree(v)))
+			r.inFlight.dec()
+			return
+		}
+		for j, out := range outs {
+			if out == nil {
+				continue
+			}
+			oe := r.g.OutEdge(v, j)
+			r.inFlight.inc()
+			r.recordSend(oe.ID, out)
+			r.boxes[oe.To].push(delivery{port: oe.ToPort, msg: out})
+		}
+		if v == r.g.Terminal() && r.term.Done() {
+			r.finish(Terminated, nil)
+			r.inFlight.dec()
+			return
+		}
+		// Decrement strictly after the resulting sends were counted, so the
+		// counter can only reach zero when the whole system is silent.
+		r.inFlight.dec()
+	}
+}
+
+// counter is an in-flight message counter with a wait-for-zero operation.
+// The zero value is ready to use; Add(1) must precede the first waitZero.
+type counter struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	n        int64
+	released bool
+}
+
+func (c *counter) lazyInit() {
+	if c.cond == nil {
+		c.cond = sync.NewCond(&c.mu)
+	}
+}
+
+// Add adjusts the counter by delta.
+func (c *counter) Add(delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lazyInit()
+	c.n += delta
+	if c.n == 0 {
+		c.cond.Broadcast()
+	}
+}
+
+func (c *counter) inc() { c.Add(1) }
+func (c *counter) dec() { c.Add(-1) }
+
+// waitZero blocks until the counter reaches zero (returns true) or the
+// counter is released (returns false).
+func (c *counter) waitZero() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lazyInit()
+	for c.n != 0 && !c.released {
+		c.cond.Wait()
+	}
+	return !c.released
+}
+
+// release wakes all waiters regardless of the count.
+func (c *counter) release() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lazyInit()
+	c.released = true
+	c.cond.Broadcast()
+}
+
+// mailbox is an unbounded FIFO queue usable from many producers and one
+// consumer. The asynchronous model has unbounded links, so a bounded channel
+// would deadlock; this is the standard mutex+cond unbounded queue.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []delivery
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) push(d delivery) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return
+	}
+	mb.items = append(mb.items, d)
+	mb.cond.Signal()
+}
+
+// pop blocks until an item is available or the mailbox is closed.
+func (mb *mailbox) pop() (delivery, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for len(mb.items) == 0 && !mb.closed {
+		mb.cond.Wait()
+	}
+	if len(mb.items) == 0 {
+		return delivery{}, false
+	}
+	d := mb.items[0]
+	mb.items = mb.items[1:]
+	return d, true
+}
+
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.closed = true
+	mb.cond.Broadcast()
+}

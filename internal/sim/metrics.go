@@ -1,0 +1,231 @@
+// Package sim provides two independent executions of anonymous protocols on
+// directed anonymous networks:
+//
+//   - Run (seqsim): a deterministic, event-driven simulator whose adversarial
+//     delivery order is pluggable — asynchrony is modeled as an adversary
+//     choosing which in-flight message is delivered next, with per-edge FIFO
+//     links;
+//   - RunConcurrent (chansim): a goroutine-per-vertex, mailbox-per-vertex
+//     concurrent runtime where asynchrony comes from the Go scheduler itself.
+//
+// Both meter communication exactly in bits and agree on verdicts; that
+// agreement is asserted by tests.
+package sim
+
+import (
+	"errors"
+
+	"repro/internal/graph"
+	"repro/internal/protocol"
+)
+
+// Verdict is the outcome of a run.
+type Verdict int
+
+// Possible outcomes.
+const (
+	// Terminated means the terminal's stopping predicate S became true.
+	Terminated Verdict = iota + 1
+	// Quiescent means no messages remained in flight and S never held; this
+	// is the simulator's finite witness for "the protocol does not
+	// terminate" (the paper's protocols are eventually silent on graphs
+	// where termination must not happen).
+	Quiescent
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case Terminated:
+		return "terminated"
+	case Quiescent:
+		return "quiescent"
+	default:
+		return "unknown"
+	}
+}
+
+// Metrics aggregates the paper's quality measures for one run.
+type Metrics struct {
+	// Messages is the total number of messages delivered.
+	Messages int
+	// TotalBits is the total communication complexity: the sum of encoded
+	// lengths of all delivered messages.
+	TotalBits int64
+	// PerEdgeBits[e] is the number of bits carried by edge e over the whole
+	// run; its maximum is the paper's "required bandwidth".
+	PerEdgeBits []int64
+	// PerEdgeMsgs[e] is the number of messages carried by edge e.
+	PerEdgeMsgs []int
+	// MaxMsgBits is the largest single message, a lower bound on the
+	// message-space size log2|Sigma|.
+	MaxMsgBits int
+	// Alphabet holds the distinct symbols transmitted (Sigma_G of
+	// Theorem 3.2), keyed by Message.Key. Populated only when requested.
+	Alphabet map[string]int
+	// FirstSymbol maps each edge to the key of the first symbol it carried.
+	// Populated only when requested; used by the linear-cut snapshots.
+	FirstSymbol map[graph.EdgeID]string
+}
+
+// MaxEdgeBits returns the required bandwidth: the maximal number of bits
+// transmitted over a single edge.
+func (m *Metrics) MaxEdgeBits() int64 {
+	var mx int64
+	for _, b := range m.PerEdgeBits {
+		if b > mx {
+			mx = b
+		}
+	}
+	return mx
+}
+
+// MaxEdgeMsgs returns the maximal number of messages on a single edge.
+func (m *Metrics) MaxEdgeMsgs() int {
+	mx := 0
+	for _, c := range m.PerEdgeMsgs {
+		if c > mx {
+			mx = c
+		}
+	}
+	return mx
+}
+
+// AlphabetSize returns |Sigma_G| when alphabet tracking was enabled, else 0.
+func (m *Metrics) AlphabetSize() int { return len(m.Alphabet) }
+
+func (m *Metrics) record(e graph.EdgeID, msg protocol.Message, opts *Options) {
+	bits := msg.Bits()
+	m.Messages++
+	m.TotalBits += int64(bits)
+	m.PerEdgeBits[e] += int64(bits)
+	m.PerEdgeMsgs[e]++
+	if bits > m.MaxMsgBits {
+		m.MaxMsgBits = bits
+	}
+	if opts.TrackAlphabet {
+		m.Alphabet[msg.Key()]++
+	}
+	if opts.TrackFirstSymbol {
+		if _, ok := m.FirstSymbol[e]; !ok {
+			m.FirstSymbol[e] = msg.Key()
+		}
+	}
+}
+
+// Result is the outcome of one run of a protocol on a graph.
+type Result struct {
+	Verdict Verdict
+	// Output is the terminal's output when Verdict == Terminated.
+	Output any
+	// Visited[v] reports whether vertex v received at least one message
+	// (every message carries the broadcast payload, so this is "v received
+	// the broadcast"). The root is considered visited by definition.
+	Visited []bool
+	// Steps is the number of delivery steps executed.
+	Steps int
+	// Rounds is the number of synchronous rounds (RunSynchronous only; the
+	// asynchronous engines leave it 0 — time is undefined for them).
+	Rounds  int
+	Metrics Metrics
+	// Nodes holds the final protocol state of every vertex, indexed by
+	// vertex ID. The protocols themselves never see vertex identities; this
+	// field exists so callers can extract per-vertex outcomes (e.g. assigned
+	// labels) after the run, playing the role of an omniscient observer.
+	Nodes []protocol.Node
+}
+
+// MaxStateBits returns the largest per-vertex state (the paper's memory
+// measure) at the end of the run, or 0 if the protocol's nodes do not
+// implement protocol.StateSized. States are monotone in all protocols here,
+// so the final state is the run's maximum.
+func (r *Result) MaxStateBits() int {
+	m := 0
+	for _, n := range r.Nodes {
+		if s, ok := n.(protocol.StateSized); ok {
+			if b := s.StateBits(); b > m {
+				m = b
+			}
+		}
+	}
+	return m
+}
+
+// AllVisited reports whether every vertex received the broadcast.
+func (r *Result) AllVisited() bool {
+	for _, ok := range r.Visited {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Order selects the adversarial delivery order of the event-driven engine.
+type Order int
+
+// Delivery orders. All preserve per-edge FIFO.
+const (
+	// OrderFIFO delivers messages in global send order.
+	OrderFIFO Order = iota
+	// OrderLIFO prefers the most recently activated edge.
+	OrderLIFO
+	// OrderRandom picks a uniformly random pending edge (seeded).
+	OrderRandom
+)
+
+// String returns the order name.
+func (o Order) String() string {
+	switch o {
+	case OrderFIFO:
+		return "fifo"
+	case OrderLIFO:
+		return "lifo"
+	case OrderRandom:
+		return "random"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures a run. The zero value is a sensible default: FIFO
+// order, a generous step limit, no alphabet tracking.
+type Options struct {
+	Order Order
+	// Seed drives OrderRandom.
+	Seed int64
+	// MaxSteps aborts runaway executions; 0 means the default limit.
+	MaxSteps int
+	// TrackAlphabet enables Metrics.Alphabet collection.
+	TrackAlphabet bool
+	// TrackFirstSymbol enables Metrics.FirstSymbol collection.
+	TrackFirstSymbol bool
+	// Observer, when non-nil, receives every send and delivery event. Only
+	// the deterministic engines (Run, RunSynchronous) invoke it; the
+	// concurrent engine ignores it rather than impose a locking contract.
+	Observer Observer
+	// DropFirst is a fault-injection plan for the deterministic engine Run:
+	// DropFirst[e] = k silently discards the first k messages sent on edge
+	// e (they are metered as sent, never delivered). The paper's model has
+	// reliable links; this adversary exists to check the safety half of the
+	// theorems under faults — a lost message may cost liveness (the
+	// protocol hangs, correctly refusing to terminate) but must never let
+	// the terminal declare termination before everyone got the broadcast.
+	DropFirst map[graph.EdgeID]int
+}
+
+// Observer receives the event stream of a deterministic run: protocol
+// tracing, conservation checking and visualization hook into it.
+type Observer interface {
+	// OnSend fires when a message is put in flight on an edge.
+	OnSend(e graph.EdgeID, msg protocol.Message)
+	// OnDeliver fires when a message is handed to the receiving vertex;
+	// step is the 1-based delivery step.
+	OnDeliver(step int, e graph.EdgeID, msg protocol.Message)
+}
+
+const defaultMaxSteps = 50_000_000
+
+// ErrStepLimit is returned when a run exceeds its step budget, which for the
+// protocols in this repository indicates a bug rather than a slow graph.
+var ErrStepLimit = errors.New("sim: step limit exceeded")

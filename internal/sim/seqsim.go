@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/protocol"
+)
+
+// Run executes p on g under the event-driven engine and returns the result.
+//
+// Asynchrony model: every sent message becomes an in-flight event on its
+// edge; an adversary (Options.Order) repeatedly picks a pending edge and
+// delivers the oldest message on it (links are FIFO). The run ends when the
+// terminal's stopping predicate holds (Terminated) or no events remain
+// (Quiescent).
+func Run(g *graph.G, p protocol.Protocol, opts Options) (*Result, error) {
+	nV, nE := g.NumVertices(), g.NumEdges()
+	nodes := make([]protocol.Node, nV)
+	var term protocol.Terminal
+	for v := 0; v < nV; v++ {
+		role := protocol.RoleInternal
+		switch graph.VertexID(v) {
+		case g.Root():
+			role = protocol.RoleRoot
+		case g.Terminal():
+			role = protocol.RoleTerminal
+		}
+		n := p.NewNode(g.InDegree(graph.VertexID(v)), g.OutDegree(graph.VertexID(v)), role)
+		if role == protocol.RoleTerminal {
+			t, ok := n.(protocol.Terminal)
+			if !ok {
+				return nil, fmt.Errorf("sim: protocol %q terminal node does not implement Terminal", p.Name())
+			}
+			term = t
+		}
+		nodes[v] = n
+	}
+
+	res := &Result{
+		Visited: make([]bool, nV),
+		Nodes:   nodes,
+		Metrics: Metrics{
+			PerEdgeBits: make([]int64, nE),
+			PerEdgeMsgs: make([]int, nE),
+		},
+	}
+	if opts.TrackAlphabet {
+		res.Metrics.Alphabet = make(map[string]int)
+	}
+	if opts.TrackFirstSymbol {
+		res.Metrics.FirstSymbol = make(map[graph.EdgeID]string)
+	}
+	res.Visited[g.Root()] = true
+
+	// Per-edge FIFO queues plus the set of edges with pending messages.
+	queues := make([][]protocol.Message, nE)
+	var pending []graph.EdgeID // edges with non-empty queues, insertion order
+	inPending := make([]bool, nE)
+	drops := make(map[graph.EdgeID]int, len(opts.DropFirst))
+	for e, k := range opts.DropFirst {
+		drops[e] = k
+	}
+	push := func(e graph.EdgeID, msg protocol.Message) {
+		if drops[e] > 0 {
+			drops[e]--
+			return
+		}
+		queues[e] = append(queues[e], msg)
+		if !inPending[e] {
+			inPending[e] = true
+			pending = append(pending, e)
+		}
+	}
+
+	var rng *rand.Rand
+	if opts.Order == OrderRandom {
+		rng = rand.New(rand.NewSource(opts.Seed))
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = defaultMaxSteps
+	}
+
+	// Inject sigma0 on the root's out-edges.
+	inits, err := initialMessages(g, p)
+	if err != nil {
+		return nil, err
+	}
+	for j, init := range inits {
+		if init == nil {
+			continue
+		}
+		rootEdge := g.OutEdge(g.Root(), j)
+		res.Metrics.record(rootEdge.ID, init, &opts)
+		if opts.Observer != nil {
+			opts.Observer.OnSend(rootEdge.ID, init)
+		}
+		push(rootEdge.ID, init)
+	}
+
+	for len(pending) > 0 {
+		if res.Steps >= maxSteps {
+			return res, fmt.Errorf("%w (%d steps, graph %s, protocol %s)", ErrStepLimit, res.Steps, g, p.Name())
+		}
+		res.Steps++
+
+		// Adversary: choose the next pending edge.
+		var idx int
+		switch opts.Order {
+		case OrderLIFO:
+			idx = len(pending) - 1
+		case OrderRandom:
+			idx = rng.Intn(len(pending))
+		default:
+			idx = 0
+		}
+		e := pending[idx]
+		msg := queues[e][0]
+		queues[e] = queues[e][1:]
+		if len(queues[e]) == 0 {
+			inPending[e] = false
+			pending = append(pending[:idx], pending[idx+1:]...)
+		}
+
+		edge := g.Edge(e)
+		res.Visited[edge.To] = true
+		if opts.Observer != nil {
+			opts.Observer.OnDeliver(res.Steps, e, msg)
+		}
+		outs, err := nodes[edge.To].Receive(msg, edge.ToPort)
+		if err != nil {
+			return res, fmt.Errorf("sim: vertex %d receive: %w", edge.To, err)
+		}
+		if outs != nil && len(outs) != g.OutDegree(edge.To) {
+			return res, fmt.Errorf("sim: vertex %d returned %d outputs, out-degree is %d",
+				edge.To, len(outs), g.OutDegree(edge.To))
+		}
+		for j, out := range outs {
+			if out == nil {
+				continue
+			}
+			oe := g.OutEdge(edge.To, j)
+			res.Metrics.record(oe.ID, out, &opts)
+			if opts.Observer != nil {
+				opts.Observer.OnSend(oe.ID, out)
+			}
+			push(oe.ID, out)
+		}
+		if edge.To == g.Terminal() && term.Done() {
+			res.Verdict = Terminated
+			res.Output = term.Output()
+			return res, nil
+		}
+	}
+	res.Verdict = Quiescent
+	return res, nil
+}

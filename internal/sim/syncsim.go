@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/protocol"
+)
+
+// RunSynchronous executes p on g under the synchronous model the paper
+// mentions as a direct extension (Section 2): computation proceeds in global
+// rounds; every message sent in round k is delivered at the start of round
+// k+1. This engine adds a time measure — Result.Rounds — that the
+// asynchronous model deliberately has no counterpart for.
+//
+// Verdicts (Terminated / Quiescent) necessarily agree with the asynchronous
+// engines: a synchronous schedule is one particular asynchronous schedule,
+// and the protocols' outcomes are schedule-independent. Tests assert this.
+func RunSynchronous(g *graph.G, p protocol.Protocol, opts Options) (*Result, error) {
+	nV, nE := g.NumVertices(), g.NumEdges()
+	nodes := make([]protocol.Node, nV)
+	var term protocol.Terminal
+	for v := 0; v < nV; v++ {
+		role := protocol.RoleInternal
+		switch graph.VertexID(v) {
+		case g.Root():
+			role = protocol.RoleRoot
+		case g.Terminal():
+			role = protocol.RoleTerminal
+		}
+		n := p.NewNode(g.InDegree(graph.VertexID(v)), g.OutDegree(graph.VertexID(v)), role)
+		if role == protocol.RoleTerminal {
+			t, ok := n.(protocol.Terminal)
+			if !ok {
+				return nil, fmt.Errorf("sim: protocol %q terminal node does not implement Terminal", p.Name())
+			}
+			term = t
+		}
+		nodes[v] = n
+	}
+
+	res := &Result{
+		Visited: make([]bool, nV),
+		Nodes:   nodes,
+		Metrics: Metrics{
+			PerEdgeBits: make([]int64, nE),
+			PerEdgeMsgs: make([]int, nE),
+		},
+	}
+	if opts.TrackAlphabet {
+		res.Metrics.Alphabet = make(map[string]int)
+	}
+	if opts.TrackFirstSymbol {
+		res.Metrics.FirstSymbol = make(map[graph.EdgeID]string)
+	}
+	res.Visited[g.Root()] = true
+
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = defaultMaxSteps
+	}
+
+	type flight struct {
+		edge graph.EdgeID
+		msg  protocol.Message
+	}
+	inits, err := initialMessages(g, p)
+	if err != nil {
+		return nil, err
+	}
+	var current []flight
+	for j, init := range inits {
+		if init == nil {
+			continue
+		}
+		rootEdge := g.OutEdge(g.Root(), j)
+		res.Metrics.record(rootEdge.ID, init, &opts)
+		if opts.Observer != nil {
+			opts.Observer.OnSend(rootEdge.ID, init)
+		}
+		current = append(current, flight{edge: rootEdge.ID, msg: init})
+	}
+
+	for len(current) > 0 {
+		res.Rounds++
+		var next []flight
+		for _, f := range current {
+			if res.Steps >= maxSteps {
+				return res, fmt.Errorf("%w (%d steps, graph %s, protocol %s)", ErrStepLimit, res.Steps, g, p.Name())
+			}
+			res.Steps++
+			edge := g.Edge(f.edge)
+			res.Visited[edge.To] = true
+			if opts.Observer != nil {
+				opts.Observer.OnDeliver(res.Steps, f.edge, f.msg)
+			}
+			outs, err := nodes[edge.To].Receive(f.msg, edge.ToPort)
+			if err != nil {
+				return res, fmt.Errorf("sim: vertex %d receive: %w", edge.To, err)
+			}
+			if outs != nil && len(outs) != g.OutDegree(edge.To) {
+				return res, fmt.Errorf("sim: vertex %d returned %d outputs, out-degree is %d",
+					edge.To, len(outs), g.OutDegree(edge.To))
+			}
+			for j, out := range outs {
+				if out == nil {
+					continue
+				}
+				oe := g.OutEdge(edge.To, j)
+				res.Metrics.record(oe.ID, out, &opts)
+				if opts.Observer != nil {
+					opts.Observer.OnSend(oe.ID, out)
+				}
+				next = append(next, flight{edge: oe.ID, msg: out})
+			}
+			if edge.To == g.Terminal() && term.Done() {
+				res.Verdict = Terminated
+				res.Output = term.Output()
+				return res, nil
+			}
+		}
+		current = next
+	}
+	res.Verdict = Quiescent
+	return res, nil
+}

@@ -1,0 +1,132 @@
+// Package stats provides the small amount of numerics the experiment harness
+// needs: least-squares fits of measured series against the complexity shapes
+// the paper predicts (x, x log x, x^2, ...), plus summary helpers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Shape is a model curve y = c * f(x) to fit a measurement against.
+type Shape struct {
+	Name string
+	F    func(x float64) float64
+}
+
+// Standard shapes used by the experiments.
+var (
+	ShapeLinear   = Shape{Name: "x", F: func(x float64) float64 { return x }}
+	ShapeNLogN    = Shape{Name: "x·log2(x)", F: func(x float64) float64 { return x * math.Log2(math.Max(x, 2)) }}
+	ShapeQuad     = Shape{Name: "x^2", F: func(x float64) float64 { return x * x }}
+	ShapeLog      = Shape{Name: "log2(x)", F: func(x float64) float64 { return math.Log2(math.Max(x, 2)) }}
+	ShapeN15      = Shape{Name: "x^1.5", F: func(x float64) float64 { return math.Pow(x, 1.5) }}
+	ShapeConstant = Shape{Name: "1", F: func(float64) float64 { return 1 }}
+)
+
+// Fit is the result of fitting y ~= C * f(x).
+type Fit struct {
+	Shape Shape
+	// C is the least-squares scale constant.
+	C float64
+	// R2 is the coefficient of determination of the scaled model.
+	R2 float64
+}
+
+// String renders the fit.
+func (f Fit) String() string {
+	return fmt.Sprintf("y ≈ %.4g · %s (R²=%.4f)", f.C, f.Shape.Name, f.R2)
+}
+
+// FitShape fits y = C * f(x) by least squares through the origin.
+func FitShape(xs, ys []float64, s Shape) Fit {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return Fit{Shape: s, C: math.NaN(), R2: math.NaN()}
+	}
+	var num, den float64
+	for i := range xs {
+		fx := s.F(xs[i])
+		num += ys[i] * fx
+		den += fx * fx
+	}
+	c := num / den
+	// R^2 against the mean model.
+	var mean float64
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	var ssRes, ssTot float64
+	for i := range xs {
+		r := ys[i] - c*s.F(xs[i])
+		ssRes += r * r
+		d := ys[i] - mean
+		ssTot += d * d
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return Fit{Shape: s, C: c, R2: r2}
+}
+
+// BestShape fits all candidate shapes and returns them sorted by descending
+// R^2; the first entry is the best explanation of the data.
+func BestShape(xs, ys []float64, shapes ...Shape) []Fit {
+	fits := make([]Fit, 0, len(shapes))
+	for _, s := range shapes {
+		fits = append(fits, FitShape(xs, ys, s))
+	}
+	sort.Slice(fits, func(i, j int) bool {
+		ri, rj := fits[i].R2, fits[j].R2
+		if math.IsNaN(ri) {
+			return false
+		}
+		if math.IsNaN(rj) {
+			return true
+		}
+		return ri > rj
+	})
+	return fits
+}
+
+// GrowthExponent estimates p in y ~ x^p from the first and last points of a
+// series (log-log slope), a quick sanity check for scaling sweeps.
+func GrowthExponent(xs, ys []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	x0, x1 := xs[0], xs[len(xs)-1]
+	y0, y1 := ys[0], ys[len(ys)-1]
+	if x0 <= 0 || x1 <= 0 || y0 <= 0 || y1 <= 0 || x0 == x1 {
+		return math.NaN()
+	}
+	return math.Log(y1/y0) / math.Log(x1/x0)
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Max returns the maximum value.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitShapeExactLinear(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3.5 * x
+	}
+	f := FitShape(xs, ys, ShapeLinear)
+	if math.Abs(f.C-3.5) > 1e-9 {
+		t.Fatalf("C = %g, want 3.5", f.C)
+	}
+	if f.R2 < 0.9999 {
+		t.Fatalf("R2 = %g", f.R2)
+	}
+}
+
+func TestBestShapeIdentifiesNLogN(t *testing.T) {
+	xs := []float64{8, 16, 32, 64, 128, 256, 512}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2 * x * math.Log2(x)
+	}
+	fits := BestShape(xs, ys, ShapeLinear, ShapeNLogN, ShapeQuad, ShapeLog)
+	if fits[0].Shape.Name != ShapeNLogN.Name {
+		t.Fatalf("best shape = %s, want %s (fits: %v)", fits[0].Shape.Name, ShapeNLogN.Name, fits)
+	}
+}
+
+func TestBestShapeIdentifiesQuadratic(t *testing.T) {
+	xs := []float64{4, 8, 16, 32, 64}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 0.5*x*x + 3 // small offset noise
+	}
+	fits := BestShape(xs, ys, ShapeLinear, ShapeNLogN, ShapeQuad)
+	if fits[0].Shape.Name != ShapeQuad.Name {
+		t.Fatalf("best shape = %s, want %s", fits[0].Shape.Name, ShapeQuad.Name)
+	}
+}
+
+func TestGrowthExponent(t *testing.T) {
+	xs := []float64{2, 4, 8, 16}
+	ys := []float64{4, 16, 64, 256} // y = x^2
+	if p := GrowthExponent(xs, ys); math.Abs(p-2) > 1e-9 {
+		t.Fatalf("exponent = %g, want 2", p)
+	}
+	if !math.IsNaN(GrowthExponent(nil, nil)) {
+		t.Fatal("want NaN on empty input")
+	}
+}
+
+func TestQuickFitRecoversConstant(t *testing.T) {
+	f := func(cRaw uint8) bool {
+		c := float64(cRaw%100) + 1
+		xs := []float64{1, 3, 7, 9, 20, 50}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = c * x
+		}
+		fit := FitShape(xs, ys, ShapeLinear)
+		return math.Abs(fit.C-c) < 1e-6 && fit.R2 > 0.999
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	xs := []float64{1, 2, 3, 10}
+	if Mean(xs) != 4 {
+		t.Fatalf("Mean = %g", Mean(xs))
+	}
+	if Max(xs) != 10 {
+		t.Fatalf("Max = %g", Max(xs))
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Max(nil)) {
+		t.Fatal("want NaN on empty input")
+	}
+}

@@ -1,0 +1,167 @@
+// Package trace records the event stream of a deterministic protocol run —
+// every send and delivery, with edges, sizes and symbols — and renders it as
+// a human-readable timeline or per-vertex/per-edge summaries. It plugs into
+// the simulator through sim.Options.Observer.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// EventKind distinguishes sends from deliveries.
+type EventKind int
+
+// Event kinds.
+const (
+	// KindSend is a message entering an edge.
+	KindSend EventKind = iota + 1
+	// KindDeliver is a message leaving an edge into its target vertex.
+	KindDeliver
+)
+
+// String returns the kind name.
+func (k EventKind) String() string {
+	switch k {
+	case KindSend:
+		return "send"
+	case KindDeliver:
+		return "deliver"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one recorded simulator event.
+type Event struct {
+	Kind EventKind
+	// Step is the delivery step (0 for sends, which happen inside the
+	// enclosing delivery).
+	Step int
+	Edge graph.EdgeID
+	Bits int
+	// Key is the symbol's canonical encoding, truncated for display.
+	Key string
+}
+
+// Recorder implements sim.Observer and accumulates events. The zero value is
+// not usable; call New.
+type Recorder struct {
+	g      *graph.G
+	events []Event
+	// KeyLimit truncates recorded symbol keys (0 = keep whole keys).
+	KeyLimit int
+}
+
+var _ sim.Observer = (*Recorder)(nil)
+
+// New returns a Recorder for runs on g.
+func New(g *graph.G) *Recorder {
+	return &Recorder{g: g, KeyLimit: 24}
+}
+
+// OnSend implements sim.Observer.
+func (r *Recorder) OnSend(e graph.EdgeID, msg protocol.Message) {
+	r.events = append(r.events, Event{Kind: KindSend, Edge: e, Bits: msg.Bits(), Key: r.trim(msg.Key())})
+}
+
+// OnDeliver implements sim.Observer.
+func (r *Recorder) OnDeliver(step int, e graph.EdgeID, msg protocol.Message) {
+	r.events = append(r.events, Event{Kind: KindDeliver, Step: step, Edge: e, Bits: msg.Bits(), Key: r.trim(msg.Key())})
+}
+
+func (r *Recorder) trim(k string) string {
+	if r.KeyLimit > 0 && len(k) > r.KeyLimit {
+		return k[:r.KeyLimit] + "…"
+	}
+	return k
+}
+
+// Events returns the recorded events in order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// NumSends returns the number of send events.
+func (r *Recorder) NumSends() int {
+	n := 0
+	for _, e := range r.events {
+		if e.Kind == KindSend {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteTimeline renders the event stream, one line per event.
+func (r *Recorder) WriteTimeline(w io.Writer) error {
+	var sb strings.Builder
+	for _, ev := range r.events {
+		edge := r.g.Edge(ev.Edge)
+		switch ev.Kind {
+		case KindSend:
+			fmt.Fprintf(&sb, "        send    v%d:%d -> v%d:%d  %4d bits  %q\n",
+				edge.From, edge.FromPort, edge.To, edge.ToPort, ev.Bits, ev.Key)
+		case KindDeliver:
+			fmt.Fprintf(&sb, "%6d  deliver v%d:%d -> v%d:%d  %4d bits\n",
+				ev.Step, edge.From, edge.FromPort, edge.To, edge.ToPort, ev.Bits)
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// VertexActivity summarizes per-vertex traffic.
+type VertexActivity struct {
+	Vertex            graph.VertexID
+	Received, Sent    int
+	BitsIn, BitsOut   int64
+	FirstDeliveryStep int
+}
+
+// ByVertex aggregates the trace per vertex, ordered by vertex ID.
+func (r *Recorder) ByVertex() []VertexActivity {
+	acts := make([]VertexActivity, r.g.NumVertices())
+	for v := range acts {
+		acts[v].Vertex = graph.VertexID(v)
+		acts[v].FirstDeliveryStep = -1
+	}
+	for _, ev := range r.events {
+		edge := r.g.Edge(ev.Edge)
+		switch ev.Kind {
+		case KindSend:
+			acts[edge.From].Sent++
+			acts[edge.From].BitsOut += int64(ev.Bits)
+		case KindDeliver:
+			a := &acts[edge.To]
+			a.Received++
+			a.BitsIn += int64(ev.Bits)
+			if a.FirstDeliveryStep < 0 {
+				a.FirstDeliveryStep = ev.Step
+			}
+		}
+	}
+	return acts
+}
+
+// WriteSummary renders the per-vertex aggregation.
+func (r *Recorder) WriteSummary(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("vertex  recv   sent   bits-in  bits-out  first-step\n")
+	for _, a := range r.ByVertex() {
+		role := ""
+		switch a.Vertex {
+		case r.g.Root():
+			role = " (s)"
+		case r.g.Terminal():
+			role = " (t)"
+		}
+		fmt.Fprintf(&sb, "v%-5d%s %-6d %-6d %-8d %-9d %d\n",
+			a.Vertex, role, a.Received, a.Sent, a.BitsIn, a.BitsOut, a.FirstDeliveryStep)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

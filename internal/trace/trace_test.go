@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+func TestRecorderCountsMatchMetrics(t *testing.T) {
+	g := graph.Ring(5)
+	rec := New(g)
+	r, err := sim.Run(g, core.NewGeneralBroadcast(nil), sim.Options{Observer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != sim.Terminated {
+		t.Fatalf("verdict %s", r.Verdict)
+	}
+	if rec.NumSends() != r.Metrics.Messages {
+		t.Fatalf("recorder saw %d sends, metrics %d", rec.NumSends(), r.Metrics.Messages)
+	}
+	// Deliveries <= sends (in-flight messages at termination are undelivered).
+	delivers := 0
+	for _, ev := range rec.Events() {
+		if ev.Kind == KindDeliver {
+			delivers++
+		}
+	}
+	if delivers != r.Steps {
+		t.Fatalf("recorder saw %d deliveries, steps %d", delivers, r.Steps)
+	}
+	if delivers > rec.NumSends() {
+		t.Fatal("more deliveries than sends")
+	}
+}
+
+func TestTimelineAndSummaryRender(t *testing.T) {
+	g := graph.Line(3)
+	rec := New(g)
+	if _, err := sim.Run(g, core.NewTreeBroadcast([]byte("m"), core.RulePow2), sim.Options{Observer: rec}); err != nil {
+		t.Fatal(err)
+	}
+	var tl strings.Builder
+	if err := rec.WriteTimeline(&tl); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"send", "deliver", "bits"} {
+		if !strings.Contains(tl.String(), want) {
+			t.Fatalf("timeline missing %q:\n%s", want, tl.String())
+		}
+	}
+	var sum strings.Builder
+	if err := rec.WriteSummary(&sum); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sum.String(), "(s)") || !strings.Contains(sum.String(), "(t)") {
+		t.Fatalf("summary missing role markers:\n%s", sum.String())
+	}
+}
+
+func TestByVertexAggregation(t *testing.T) {
+	g := graph.Line(2) // s -> v1 -> v2 -> t
+	rec := New(g)
+	if _, err := sim.Run(g, core.NewTreeBroadcast(nil, core.RulePow2), sim.Options{Observer: rec}); err != nil {
+		t.Fatal(err)
+	}
+	acts := rec.ByVertex()
+	// Root sends one message (the engine's injection is attributed to it),
+	// never receives.
+	if acts[g.Root()].Received != 0 {
+		t.Fatal("root received a message")
+	}
+	if acts[g.Root()].Sent != 1 {
+		t.Fatalf("root sent %d", acts[g.Root()].Sent)
+	}
+	// Terminal receives one and sends none.
+	ta := acts[g.Terminal()]
+	if ta.Received != 1 || ta.Sent != 0 {
+		t.Fatalf("terminal activity %+v", ta)
+	}
+	if ta.FirstDeliveryStep <= 0 {
+		t.Fatalf("terminal first delivery step %d", ta.FirstDeliveryStep)
+	}
+	// Internal vertices relay: one in, one out.
+	for _, v := range []graph.VertexID{1, 2} {
+		if acts[v].Received != 1 || acts[v].Sent != 1 {
+			t.Fatalf("vertex %d activity %+v", v, acts[v])
+		}
+	}
+}
+
+func TestSynchronousObserver(t *testing.T) {
+	g := graph.Chain(4)
+	rec := New(g)
+	r, err := sim.RunSynchronous(g, core.NewTreeBroadcast(nil, core.RulePow2), sim.Options{Observer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != sim.Terminated {
+		t.Fatalf("verdict %s", r.Verdict)
+	}
+	if rec.NumSends() != r.Metrics.Messages {
+		t.Fatalf("sync recorder saw %d sends, metrics %d", rec.NumSends(), r.Metrics.Messages)
+	}
+}
+
+func TestKeyTruncation(t *testing.T) {
+	g := graph.Line(1)
+	rec := New(g)
+	rec.KeyLimit = 4
+	if _, err := sim.Run(g, core.NewGeneralBroadcast(nil), sim.Options{Observer: rec}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range rec.Events() {
+		// 4 bytes + the ellipsis rune.
+		if len(ev.Key) > 4+len("…") {
+			t.Fatalf("key not truncated: %d bytes", len(ev.Key))
+		}
+	}
+}

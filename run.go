@@ -1,0 +1,327 @@
+package anonnet
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/netrun"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// Engine selects the execution substrate.
+type Engine int
+
+// Available engines.
+const (
+	// EngineSequential is the deterministic event-driven simulator with an
+	// adversarial delivery order (default).
+	EngineSequential Engine = iota
+	// EngineConcurrent runs one goroutine per vertex; interleaving comes
+	// from the Go scheduler.
+	EngineConcurrent
+	// EngineSynchronous runs in global rounds (every message sent in round k
+	// arrives in round k+1) and additionally reports Report.Rounds, the time
+	// complexity the asynchronous model has no counterpart for.
+	EngineSynchronous
+	// EngineTCP runs every vertex as a goroutine with its own localhost TCP
+	// listener and every edge as a real TCP connection; messages travel as
+	// actual wire-encoded bytes. Reported bits include the wire framing.
+	EngineTCP
+)
+
+// Order selects the adversarial delivery order of the sequential engine.
+type Order int
+
+// Delivery orders (sequential engine only). All preserve per-edge FIFO.
+const (
+	// OrderFIFO delivers in global send order.
+	OrderFIFO Order = iota
+	// OrderLIFO prefers the most recently activated edge.
+	OrderLIFO
+	// OrderRandom picks a uniformly random pending edge (seeded).
+	OrderRandom
+)
+
+// ProtocolKind selects a specific protocol instead of the automatic choice.
+type ProtocolKind int
+
+// Protocols.
+const (
+	// ProtoAuto picks the cheapest correct protocol for the graph class.
+	ProtoAuto ProtocolKind = iota
+	// ProtoTreePow2 is the grounded-tree broadcast with power-of-2 flow.
+	ProtoTreePow2
+	// ProtoTreeNaive is the grounded-tree broadcast with the naive x/d flow.
+	ProtoTreeNaive
+	// ProtoDAG is the scalar-commodity DAG broadcast.
+	ProtoDAG
+	// ProtoGeneral is the interval-union general-graph broadcast.
+	ProtoGeneral
+)
+
+// Option configures a protocol run.
+type Option func(*runConfig)
+
+type runConfig struct {
+	engine   Engine
+	order    Order
+	seed     int64
+	maxSteps int
+	kind     ProtocolKind
+	alphabet bool
+}
+
+// WithEngine selects the execution engine.
+func WithEngine(e Engine) Option { return func(c *runConfig) { c.engine = e } }
+
+// WithOrder selects the adversarial delivery order (sequential engine).
+func WithOrder(o Order) Option { return func(c *runConfig) { c.order = o } }
+
+// WithSeed seeds OrderRandom.
+func WithSeed(seed int64) Option { return func(c *runConfig) { c.seed = seed } }
+
+// WithMaxSteps bounds the number of delivery steps (0 = default).
+func WithMaxSteps(n int) Option { return func(c *runConfig) { c.maxSteps = n } }
+
+// WithProtocol forces a specific broadcast protocol.
+func WithProtocol(k ProtocolKind) Option { return func(c *runConfig) { c.kind = k } }
+
+// WithAlphabetTracking enables Report.AlphabetSize.
+func WithAlphabetTracking() Option { return func(c *runConfig) { c.alphabet = true } }
+
+// Report summarizes a protocol run with the paper's quality measures.
+type Report struct {
+	// Protocol is the name of the protocol that ran.
+	Protocol string
+	// Terminated reports whether the terminal's stopping predicate held.
+	// When false the run went quiescent: some vertex cannot reach t.
+	Terminated bool
+	// AllReceived reports whether every vertex received the broadcast.
+	AllReceived bool
+	// Messages is the total number of messages delivered.
+	Messages int
+	// TotalBits is the total communication complexity in bits.
+	TotalBits int64
+	// BandwidthBits is the maximal number of bits carried by a single edge.
+	BandwidthBits int64
+	// MaxMessageBits is the largest single message in bits.
+	MaxMessageBits int
+	// AlphabetSize is |Sigma_G|, when tracking was requested.
+	AlphabetSize int
+	// Steps is the number of delivery steps executed.
+	Steps int
+	// Rounds is the synchronous time complexity (EngineSynchronous only).
+	Rounds int
+	// MaxStateBits is the largest per-vertex memory footprint observed.
+	MaxStateBits int
+}
+
+func buildConfig(opts []Option) runConfig {
+	var c runConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+func (c runConfig) simOptions() sim.Options {
+	return sim.Options{
+		Order:         sim.Order(c.order),
+		Seed:          c.seed,
+		MaxSteps:      c.maxSteps,
+		TrackAlphabet: c.alphabet,
+	}
+}
+
+func (c runConfig) execute(g *graph.G, p protocol.Protocol) (*sim.Result, error) {
+	switch c.engine {
+	case EngineConcurrent:
+		return sim.RunConcurrent(g, p, c.simOptions())
+	case EngineSynchronous:
+		return sim.RunSynchronous(g, p, c.simOptions())
+	case EngineTCP:
+		return netrun.Run(g, p, core.Codec{}, netrun.Options{})
+	default:
+		return sim.Run(g, p, c.simOptions())
+	}
+}
+
+func report(p protocol.Protocol, r *sim.Result) *Report {
+	return &Report{
+		Protocol:       p.Name(),
+		Terminated:     r.Verdict == sim.Terminated,
+		AllReceived:    r.AllVisited(),
+		Messages:       r.Metrics.Messages,
+		TotalBits:      r.Metrics.TotalBits,
+		BandwidthBits:  r.Metrics.MaxEdgeBits(),
+		MaxMessageBits: r.Metrics.MaxMsgBits,
+		AlphabetSize:   r.Metrics.AlphabetSize(),
+		Steps:          r.Steps,
+		Rounds:         r.Rounds,
+		MaxStateBits:   r.MaxStateBits(),
+	}
+}
+
+func selectProtocol(n *Network, kind ProtocolKind, m []byte) (protocol.Protocol, error) {
+	switch kind {
+	case ProtoTreePow2:
+		return core.NewTreeBroadcast(m, core.RulePow2), nil
+	case ProtoTreeNaive:
+		return core.NewTreeBroadcast(m, core.RuleNaive), nil
+	case ProtoDAG:
+		return core.NewDAGBroadcast(m), nil
+	case ProtoGeneral:
+		return core.NewGeneralBroadcast(m), nil
+	case ProtoAuto:
+		switch n.Class() {
+		case ClassGroundedTree:
+			return core.NewTreeBroadcast(m, core.RulePow2), nil
+		case ClassDAG:
+			return core.NewDAGBroadcast(m), nil
+		default:
+			return core.NewGeneralBroadcast(m), nil
+		}
+	default:
+		return nil, fmt.Errorf("anonnet: unknown protocol kind %d", kind)
+	}
+}
+
+// Broadcast delivers m from the root to every vertex of n. It returns a
+// report of the run; if not every vertex can reach the terminal the protocol
+// (correctly) never terminates and ErrNotTerminated is returned alongside
+// the report of the quiesced run.
+func Broadcast(n *Network, m []byte, opts ...Option) (*Report, error) {
+	c := buildConfig(opts)
+	p, err := selectProtocol(n, c.kind, m)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.execute(n.graphHandle(), p)
+	if err != nil {
+		return nil, err
+	}
+	rep := report(p, r)
+	if !rep.Terminated {
+		return rep, ErrNotTerminated
+	}
+	return rep, nil
+}
+
+// Label is a vertex identity assigned by AssignLabels: a half-open
+// sub-interval [Lo, Hi) of [0, 1) with dyadic end points, unique across the
+// network. Its encoded length is Theta(|V| log dout) in the worst case,
+// which the paper proves optimal for directed anonymous networks.
+type Label struct {
+	// Lo and Hi are binary positional renderings of the end points,
+	// e.g. "0.101".
+	Lo, Hi string
+	// Bits is the exact encoded length of the label.
+	Bits int
+
+	union interval.Union
+}
+
+// String renders the label as [lo, hi).
+func (l Label) String() string { return fmt.Sprintf("[%s, %s)", l.Lo, l.Hi) }
+
+// Equal reports whether two labels denote the same interval.
+func (l Label) Equal(o Label) bool { return l.union.Equal(o.union) }
+
+// AssignLabels runs the Section 5 protocol and returns the unique label of
+// every internal vertex (the root and terminal are the distinguished pair
+// and receive none).
+func AssignLabels(n *Network, opts ...Option) (map[VertexID]Label, *Report, error) {
+	c := buildConfig(opts)
+	p := core.NewLabelAssign(nil)
+	r, err := c.execute(n.graphHandle(), p)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := report(p, r)
+	if !rep.Terminated {
+		return nil, rep, ErrNotTerminated
+	}
+	labels := make(map[VertexID]Label)
+	for v, node := range r.Nodes {
+		ln, ok := node.(core.Labeled)
+		if !ok {
+			continue
+		}
+		u, has := ln.Label()
+		if !has {
+			continue
+		}
+		iv := u.Intervals()[0]
+		labels[VertexID(v)] = Label{
+			Lo:    iv.Lo.String(),
+			Hi:    iv.Hi.String(),
+			Bits:  iv.EncodedBits(),
+			union: u,
+		}
+	}
+	return labels, rep, nil
+}
+
+// TopologyEdge is one edge of an extracted topology, with both port numbers.
+type TopologyEdge struct {
+	From, To        string
+	OutPort, InPort int
+	FromOutDegree   int
+}
+
+// Topology is the network map reconstructed at the terminal: every vertex
+// (the root "s", the terminal "t", and each internal vertex named by its
+// label) and every port-numbered edge.
+type Topology struct {
+	Vertices []string
+	Edges    []TopologyEdge
+
+	inner *core.Topology
+}
+
+// IsomorphicTo reports whether the extracted topology is isomorphic to n as
+// an anonymous network (root-, terminal- and port-preserving), using
+// canonical forms — no privileged vertex identities are consulted.
+func (t *Topology) IsomorphicTo(n *Network) (bool, error) {
+	g, err := t.inner.ToGraph()
+	if err != nil {
+		return false, err
+	}
+	return graph.Isomorphic(n.graphHandle(), g), nil
+}
+
+// ExtractTopology runs the mapping protocol and returns the reconstructed
+// topology.
+func ExtractTopology(n *Network, opts ...Option) (*Topology, *Report, error) {
+	c := buildConfig(opts)
+	p := core.NewMapExtract(nil)
+	r, err := c.execute(n.graphHandle(), p)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := report(p, r)
+	if !rep.Terminated {
+		return nil, rep, ErrNotTerminated
+	}
+	topo, ok := r.Output.(*core.Topology)
+	if !ok {
+		return nil, rep, fmt.Errorf("anonnet: unexpected mapping output %T", r.Output)
+	}
+	out := &Topology{inner: topo}
+	for _, v := range topo.Vertices {
+		out.Vertices = append(out.Vertices, v.Key())
+	}
+	for _, e := range topo.Edges {
+		out.Edges = append(out.Edges, TopologyEdge{
+			From:          e.From.Key(),
+			To:            e.To.Key(),
+			OutPort:       e.OutPort,
+			InPort:        e.InPort,
+			FromOutDegree: e.FromOutDeg,
+		})
+	}
+	return out, rep, nil
+}
