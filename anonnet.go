@@ -20,8 +20,34 @@
 //   - ExtractTopology: reconstruct the entire network — every vertex and
 //     every port-numbered edge — at the terminal.
 //
-// All executions are asynchronous; the engine can be the deterministic
-// adversarial scheduler or a goroutine-per-vertex concurrent runtime.
+// # Engines and scheduling adversaries
+//
+// Every run selects an execution engine (WithEngine); the sequential engine
+// additionally selects an adversarial scheduler (WithScheduler) that decides
+// which in-flight message is delivered next. The paper's guarantees are
+// schedule-independent, so verdicts, label uniqueness, and extracted
+// topologies must agree across this whole matrix — the cross-engine
+// conformance suite asserts exactly that:
+//
+//	engine       schedule source              scheduler support
+//	------       ---------------              -----------------
+//	seq          pluggable adversary          fifo, lifo, random, rr-vertex,
+//	                                          latency, starve-oldest, greedy
+//	                                          (seeded, deterministic)
+//	concurrent   Go runtime interleaving      n/a (nondeterministic)
+//	sync         global rounds (Section 2)    n/a (one fixed schedule)
+//	tcp          kernel loopback sockets      n/a (real transport)
+//
+// The sequential adversaries, selectable by name through WithScheduler and
+// the -sched CLI flags:
+//
+//	fifo           deliver in global send order (default)
+//	lifo           drain the most recently activated edge first
+//	random         uniformly random pending edge, seeded
+//	rr-vertex      round-robin over destination vertices (fair)
+//	latency        per-edge latency classes drawn from the seed
+//	starve-oldest  always deliver the newest message, starving the oldest
+//	greedy         maximize in-flight messages (worst-case adversary)
 package anonnet
 
 import (

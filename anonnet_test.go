@@ -335,3 +335,77 @@ func TestTopologyIsomorphicTo(t *testing.T) {
 		t.Fatal("topology isomorphic to an unrelated network")
 	}
 }
+
+func TestWithSchedulerAllAdversaries(t *testing.T) {
+	// On a grounded tree the broadcast sends exactly one message per edge,
+	// so message count and total bits are schedule-independent quantities
+	// every adversary must reproduce exactly (Theorem 3.1); on general
+	// graphs only the verdict is invariant.
+	tree := Chain(8)
+	var want *Report
+	for _, name := range SchedulerNames() {
+		rep, err := Broadcast(tree, []byte("sched"), WithScheduler(name), WithSeed(11))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !rep.Terminated || !rep.AllReceived {
+			t.Fatalf("%s: report %+v", name, rep)
+		}
+		if want == nil {
+			want = rep
+		} else if rep.Messages != want.Messages || rep.TotalBits != want.TotalBits {
+			t.Fatalf("%s: %d msgs / %d bits, want %d / %d (tree broadcast is one message per edge under every schedule)",
+				name, rep.Messages, rep.TotalBits, want.Messages, want.TotalBits)
+		}
+	}
+	cyclic := RandomNetwork(10, 12, 4)
+	for _, name := range SchedulerNames() {
+		rep, err := Broadcast(cyclic, []byte("sched"), WithScheduler(name), WithSeed(11))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !rep.Terminated || !rep.AllReceived {
+			t.Fatalf("%s: report %+v", name, rep)
+		}
+	}
+}
+
+func TestWithSchedulerUnknownName(t *testing.T) {
+	_, err := Broadcast(Line(3), nil, WithScheduler("no-such-adversary"))
+	if err == nil {
+		t.Fatal("Broadcast accepted an unknown scheduler name")
+	}
+	if !strings.Contains(err.Error(), "unknown scheduler") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestEngineByName(t *testing.T) {
+	for _, name := range EngineNames() {
+		e, err := EngineByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.String() != name {
+			t.Fatalf("engine %q round-trips to %q", name, e.String())
+		}
+	}
+	if _, err := EngineByName("quantum"); err == nil {
+		t.Fatal("EngineByName accepted an unknown name")
+	}
+}
+
+func TestSchedulerAcrossEngineMatrix(t *testing.T) {
+	// A scheduler option combined with a non-sequential engine is simply
+	// ignored by that engine; the run must still succeed and agree.
+	n := Ring(5)
+	for _, eng := range []Engine{EngineSequential, EngineConcurrent, EngineSynchronous} {
+		rep, err := Broadcast(n, []byte("x"), WithEngine(eng), WithScheduler("greedy"), WithSeed(2))
+		if err != nil {
+			t.Fatalf("engine %s: %v", eng, err)
+		}
+		if !rep.Terminated || !rep.AllReceived {
+			t.Fatalf("engine %s: report %+v", eng, rep)
+		}
+	}
+}

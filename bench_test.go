@@ -266,24 +266,52 @@ func BenchmarkE10Mapping(b *testing.B) {
 	}
 }
 
-// BenchmarkEngineComparison contrasts the two runtimes on the same workload.
+// BenchmarkEngineComparison contrasts the in-memory runtimes on the same
+// workload, all reached through the unified sim.Engine interface.
 func BenchmarkEngineComparison(b *testing.B) {
 	g := graph.LayeredDigraph(4, 4, 3)
 	p := core.NewGeneralBroadcast(nil)
-	b.Run("sequential", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, err := sim.Run(g, p, sim.Options{}); err != nil {
+	for _, eng := range sim.InMemoryEngines() {
+		b.Run(eng.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(g, p, sim.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSchedulerAdversaries100k runs the paper's grounded-tree broadcast
+// on a 100k-vertex tree under every adversarial scheduler: the indexed
+// pending-edge structure keeps each adversary's per-step cost at O(1) or
+// O(log n), so the whole catalog stays within a small factor of fifo. The
+// indexed-vs-seed comparison itself lives in internal/sim
+// (BenchmarkPendingEdge100k), next to the preserved seed loop.
+func BenchmarkSchedulerAdversaries100k(b *testing.B) {
+	g := graph.RandomGroundedTree(100_000, 0.2, 1)
+	p := core.NewTreeBroadcast(make([]byte, 8), core.RulePow2)
+	for _, name := range sim.SchedulerNames() {
+		b.Run(name, func(b *testing.B) {
+			sched, err := sim.NewScheduler(name)
+			if err != nil {
 				b.Fatal(err)
 			}
-		}
-	})
-	b.Run("concurrent", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, err := sim.RunConcurrent(g, p, sim.Options{}); err != nil {
-				b.Fatal(err)
+			var last *sim.Result
+			for i := 0; i < b.N; i++ {
+				r, err := sim.Run(g, p, sim.Options{Scheduler: sched, Seed: 3})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Verdict != sim.Terminated {
+					b.Fatal("did not terminate")
+				}
+				last = r
 			}
-		}
-	})
+			b.ReportMetric(float64(last.Metrics.TotalBits), "bits")
+			b.ReportMetric(float64(last.Steps), "steps")
+		})
+	}
 }
 
 // BenchmarkE11Rounds: the synchronous extension — round complexity of the

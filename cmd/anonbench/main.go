@@ -3,9 +3,13 @@
 //
 // Usage:
 //
-//	anonbench [-only E5] [-quick] [-v]
+//	anonbench [-only E5] [-quick] [-sched greedy] [-v]
 //
-// With -quick, reduced parameter sweeps are used (for smoke testing).
+// With -quick, reduced parameter sweeps are used (for smoke testing). With
+// -sched, every sequential run in the sweeps uses the named adversarial
+// scheduler (fifo, lifo, random, rr-vertex, latency, starve-oldest, greedy)
+// instead of each experiment's default — the qualitative verdicts must not
+// change, since the paper's claims are schedule-independent.
 package main
 
 import (
@@ -16,13 +20,19 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sim"
 )
 
 func main() {
 	only := flag.String("only", "", "run only the experiment with this ID (e.g. E4)")
 	quick := flag.Bool("quick", false, "use reduced sweeps")
+	sched := flag.String("sched", "", "adversarial scheduler for all sequential runs: "+strings.Join(sim.SchedulerNames(), "|"))
 	verbose := flag.Bool("v", false, "print per-experiment timing to stderr")
 	flag.Parse()
+	if err := experiments.SetScheduler(*sched); err != nil {
+		fmt.Fprintln(os.Stderr, "anonbench:", err)
+		os.Exit(1)
+	}
 	if err := run(*only, *quick, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "anonbench:", err)
 		os.Exit(1)

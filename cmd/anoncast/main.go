@@ -3,16 +3,22 @@
 //
 // Usage:
 //
-//	anoncast -topo ring -n 12 -msg "hello" [-proto general] [-engine concurrent] [-order random -seed 7] [-dot out.dot]
+//	anoncast -topo ring -n 12 -msg "hello" [-proto general] [-engine concurrent] [-sched greedy -seed 7] [-dot out.dot]
 //
 // Topologies: line, chain, ring, karytree (use -h and -d), randtree,
 // randdag, randnet, layered (use -layers and -width).
+//
+// Engines: seq (deterministic, adversarial scheduler), concurrent
+// (goroutine per vertex), sync (global rounds), tcp (real sockets).
+// Schedulers (seq engine): fifo, lifo, random, rr-vertex, latency,
+// starve-oldest, greedy.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro"
 )
@@ -29,8 +35,8 @@ func main() {
 		seed   = flag.Int64("seed", 1, "generator / scheduler seed")
 		msg    = flag.String("msg", "hello, anonymous world", "broadcast payload")
 		proto  = flag.String("proto", "auto", "protocol: auto|tree|tree-naive|dag|general")
-		engine = flag.String("engine", "seq", "engine: seq|concurrent")
-		order  = flag.String("order", "fifo", "delivery order (seq engine): fifo|lifo|random")
+		engine = flag.String("engine", "seq", "engine: "+strings.Join(anonnet.EngineNames(), "|"))
+		sched  = flag.String("sched", "fifo", "adversarial scheduler (seq engine): "+strings.Join(anonnet.SchedulerNames(), "|"))
 		dot    = flag.String("dot", "", "write the network in DOT format to this file")
 		file   = flag.String("file", "", "load the network from this file (anonnet v1 text format) instead of generating one")
 		save   = flag.String("save", "", "write the generated network to this file in the text format")
@@ -39,7 +45,7 @@ func main() {
 	if err := run(params{
 		topo: *topo, n: *n, height: *height, degree: *degree,
 		layers: *layers, width: *width, extra: *extra, seed: *seed,
-		msg: *msg, proto: *proto, engine: *engine, order: *order,
+		msg: *msg, proto: *proto, engine: *engine, sched: *sched,
 		dot: *dot, file: *file, save: *save,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "anoncast:", err)
@@ -52,7 +58,7 @@ type params struct {
 	n, height, degree, layers, width int
 	extra                            int
 	seed                             int64
-	msg, proto, engine, order        string
+	msg, proto, engine, sched        string
 	dot, file, save                  string
 }
 
@@ -81,7 +87,7 @@ func run(p params) error {
 	fmt.Printf("network: %s  (|V|=%d |E|=%d class=%s dout=%d)\n",
 		net, net.NumVertices(), net.NumEdges(), net.Class(), net.MaxOutDegree())
 
-	opts, err := buildOptions(p.proto, p.engine, p.order, p.seed)
+	opts, err := buildOptions(p.proto, p.engine, p.sched, p.seed)
 	if err != nil {
 		return err
 	}
@@ -139,7 +145,7 @@ func buildNetwork(topo string, n, height, degree, layers, width, extra int, seed
 	}
 }
 
-func buildOptions(proto, engine, order string, seed int64) ([]anonnet.Option, error) {
+func buildOptions(proto, engine, sched string, seed int64) ([]anonnet.Option, error) {
 	var opts []anonnet.Option
 	switch proto {
 	case "auto":
@@ -154,21 +160,11 @@ func buildOptions(proto, engine, order string, seed int64) ([]anonnet.Option, er
 	default:
 		return nil, fmt.Errorf("unknown protocol %q", proto)
 	}
-	switch engine {
-	case "seq":
-	case "concurrent":
-		opts = append(opts, anonnet.WithEngine(anonnet.EngineConcurrent))
-	default:
-		return nil, fmt.Errorf("unknown engine %q", engine)
+	eng, err := anonnet.EngineByName(engine)
+	if err != nil {
+		return nil, err
 	}
-	switch order {
-	case "fifo":
-	case "lifo":
-		opts = append(opts, anonnet.WithOrder(anonnet.OrderLIFO))
-	case "random":
-		opts = append(opts, anonnet.WithOrder(anonnet.OrderRandom), anonnet.WithSeed(seed))
-	default:
-		return nil, fmt.Errorf("unknown order %q", order)
-	}
+	opts = append(opts, anonnet.WithEngine(eng))
+	opts = append(opts, anonnet.WithScheduler(sched), anonnet.WithSeed(seed))
 	return opts, nil
 }

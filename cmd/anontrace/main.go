@@ -5,13 +5,14 @@
 //
 // Usage:
 //
-//	anontrace -topo ring -n 5 -proto general [-summary-only]
+//	anontrace -topo ring -n 5 -proto general [-sched starve-oldest] [-summary-only]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -24,18 +25,19 @@ func main() {
 	var (
 		topo        = flag.String("topo", "ring", "topology: line|chain|ring|karytree|randnet")
 		n           = flag.Int("n", 5, "size parameter")
-		seed        = flag.Int64("seed", 1, "generator seed")
+		seed        = flag.Int64("seed", 1, "generator / scheduler seed")
 		proto       = flag.String("proto", "auto", "protocol: auto|tree|dag|general|label|map")
+		sched       = flag.String("sched", "fifo", "adversarial scheduler: "+strings.Join(sim.SchedulerNames(), "|"))
 		summaryOnly = flag.Bool("summary-only", false, "omit the per-event timeline")
 	)
 	flag.Parse()
-	if err := run(*topo, *n, *seed, *proto, *summaryOnly); err != nil {
+	if err := run(*topo, *n, *seed, *proto, *sched, *summaryOnly); err != nil {
 		fmt.Fprintln(os.Stderr, "anontrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topo string, n int, seed int64, proto string, summaryOnly bool) error {
+func run(topo string, n int, seed int64, proto, sched string, summaryOnly bool) error {
 	g, err := buildGraph(topo, n, seed)
 	if err != nil {
 		return err
@@ -44,8 +46,12 @@ func run(topo string, n int, seed int64, proto string, summaryOnly bool) error {
 	if err != nil {
 		return err
 	}
+	adversary, err := sim.NewScheduler(sched)
+	if err != nil {
+		return err
+	}
 	rec := trace.New(g)
-	r, err := sim.Run(g, p, sim.Options{Observer: rec})
+	r, err := sim.Run(g, p, sim.Options{Observer: rec, Scheduler: adversary, Seed: seed})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,300 @@
+package conformance
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/netrun"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// protoCase is one protocol under test, with a factory so every run gets
+// fresh node state.
+type protoCase struct {
+	name string
+	make func() protocol.Protocol
+}
+
+var protoCases = []protoCase{
+	{"treecast", func() protocol.Protocol { return core.NewTreeBroadcast([]byte("m"), core.RulePow2) }},
+	{"dagcast", func() protocol.Protocol { return core.NewDAGBroadcast([]byte("m")) }},
+	{"generalcast", func() protocol.Protocol { return core.NewGeneralBroadcast([]byte("m")) }},
+	{"labelcast", func() protocol.Protocol { return core.NewLabelAssign(nil) }},
+	{"mapcast", func() protocol.Protocol { return core.NewMapExtract(nil) }},
+}
+
+// graphsFor returns the graph-family instances a protocol is applicable to,
+// spanning every generator in internal/graph/gen.go. Sizes are small: the
+// matrix below multiplies them by engines × schedulers.
+func graphsFor(proto string) []*graph.G {
+	trees := []*graph.G{
+		graph.Line(4),
+		graph.Chain(4),
+		graph.KaryGroundedTree(2, 2),
+		graph.RandomGroundedTree(9, 0.3, 5),
+	}
+	dags := append([]*graph.G{
+		graph.RandomDAG(8, 5, 3),
+	}, trees...)
+	general := append([]*graph.G{
+		graph.Ring(5),
+		graph.RandomDigraph(8, 11, graph.RandomDigraphOpts{ExtraEdges: 8, TerminalFrac: 0.3}),
+		graph.LayeredDigraph(3, 3, 7),
+	}, dags...)
+	switch proto {
+	case "treecast":
+		return trees
+	case "dagcast":
+		return dags
+	default:
+		return general
+	}
+}
+
+// outcome is the schedule-independent footprint of one run: everything the
+// paper proves invariant across asynchronous schedules. Metrics (bits,
+// messages) are deliberately absent, and so are the concrete label values:
+// *which* sub-interval of [0,1) a vertex ends up owning depends on the
+// delivery order (the suite itself demonstrates this — labels differ between
+// fifo and lifo), while the labeled-vertex set, label uniqueness, and the
+// single-interval shape of Theorem 5.1 hold under every schedule.
+type outcome struct {
+	verdict    sim.Verdict
+	allVisited bool
+	labeled    string // sorted set of vertices that received a label
+	topoOK     bool   // extracted topology isomorphic to ground truth
+}
+
+func outcomeOf(t *testing.T, g *graph.G, r *sim.Result) outcome {
+	t.Helper()
+	o := outcome{verdict: r.Verdict, allVisited: r.AllVisited()}
+	var labeled []int
+	seen := make(map[string]int)
+	for v, node := range r.Nodes {
+		ln, ok := node.(core.Labeled)
+		if !ok {
+			continue
+		}
+		u, has := ln.Label()
+		if !has {
+			continue
+		}
+		labeled = append(labeled, v)
+		if r.Verdict == sim.Terminated {
+			if u.NumIntervals() != 1 {
+				t.Errorf("vertex %d label %s is not a single interval", v, u)
+			}
+			if prev, dup := seen[u.Key()]; dup {
+				t.Errorf("label collision: vertices %d and %d both own %s", prev, v, u)
+			}
+			seen[u.Key()] = v
+		}
+	}
+	sort.Ints(labeled)
+	o.labeled = fmt.Sprint(labeled)
+	if topo, ok := r.Output.(*core.Topology); ok && r.Verdict == sim.Terminated {
+		gg, err := topo.ToGraph()
+		if err != nil {
+			t.Fatalf("extracted topology does not rebuild: %v", err)
+		}
+		o.topoOK = graph.Isomorphic(g, gg)
+	}
+	return o
+}
+
+// seqVariants returns one sequential-engine run configuration per scheduler.
+func seqVariants(seed int64) []struct {
+	name string
+	opts sim.Options
+} {
+	var vs []struct {
+		name string
+		opts sim.Options
+	}
+	for _, name := range sim.SchedulerNames() {
+		sched, err := sim.NewScheduler(name)
+		if err != nil {
+			panic(err)
+		}
+		vs = append(vs, struct {
+			name string
+			opts sim.Options
+		}{"seq/" + name, sim.Options{Scheduler: sched, Seed: seed}})
+	}
+	return vs
+}
+
+// TestCrossEngineConformance is the differential matrix: protocol × graph
+// family × (every scheduler of the sequential engine, the concurrent engine,
+// the synchronous engine). All runs must agree on verdict, visited set
+// completeness, label assignment, and extracted-topology isomorphism.
+func TestCrossEngineConformance(t *testing.T) {
+	for _, pc := range protoCases {
+		for gi, g := range graphsFor(pc.name) {
+			t.Run(fmt.Sprintf("%s/%s-%d", pc.name, g.Name(), gi), func(t *testing.T) {
+				// Reference: sequential engine, default adversary.
+				ref, err := sim.Sequential().Run(g, pc.make(), sim.Options{})
+				if err != nil {
+					t.Fatalf("reference run: %v", err)
+				}
+				want := outcomeOf(t, g, ref)
+				if want.verdict == sim.Terminated && !want.allVisited {
+					t.Fatalf("reference terminated without full broadcast on %s", g)
+				}
+				if _, isMap := ref.Output.(*core.Topology); isMap && !want.topoOK {
+					t.Fatalf("reference extracted topology not isomorphic on %s", g)
+				}
+
+				check := func(name string, r *sim.Result, err error) {
+					t.Helper()
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					got := outcomeOf(t, g, r)
+					if got.verdict != want.verdict {
+						t.Errorf("%s: verdict %s, reference %s", name, got.verdict, want.verdict)
+					}
+					if got.allVisited != want.allVisited {
+						t.Errorf("%s: allVisited %v, reference %v", name, got.allVisited, want.allVisited)
+					}
+					if got.labeled != want.labeled {
+						t.Errorf("%s: labeled-vertex set diverges\n got: %s\nwant: %s", name, got.labeled, want.labeled)
+					}
+					if got.topoOK != want.topoOK {
+						t.Errorf("%s: topology isomorphism %v, reference %v", name, got.topoOK, want.topoOK)
+					}
+				}
+
+				for _, v := range seqVariants(int64(gi)*37 + 1) {
+					r, err := sim.Sequential().Run(g, pc.make(), v.opts)
+					check(v.name, r, err)
+				}
+				r, err := sim.Concurrent().Run(g, pc.make(), sim.Options{})
+				check("concurrent", r, err)
+				r, err = sim.Synchronous().Run(g, pc.make(), sim.Options{})
+				check("sync", r, err)
+			})
+		}
+	}
+}
+
+// deadEndGraph builds a network with a 2-cycle that cannot reach the
+// terminal: the exact condition under which the paper's protocols must
+// refuse to terminate, on every engine and schedule.
+func deadEndGraph(t *testing.T) *graph.G {
+	t.Helper()
+	b := graph.NewBuilder(0)
+	s := b.AddVertex()
+	a := b.AddVertex()
+	x := b.AddVertex()
+	y := b.AddVertex()
+	tt := b.AddVertex()
+	b.AddEdge(s, a)
+	b.AddEdge(a, x).AddEdge(a, tt)
+	b.AddEdge(x, y)
+	b.AddEdge(y, x)
+	b.SetRoot(s).SetTerminal(tt).SetName("dead-end")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestCrossEngineQuiescence checks the negative half of Theorem 4.2 on the
+// full matrix: when some vertex cannot reach the terminal, every engine and
+// every scheduler must report quiescence, never termination.
+func TestCrossEngineQuiescence(t *testing.T) {
+	g := deadEndGraph(t)
+	if g.AllConnectedToTerminal() {
+		t.Fatal("test graph unexpectedly fully connected to terminal")
+	}
+	for _, pc := range protoCases {
+		if pc.name == "treecast" || pc.name == "dagcast" {
+			continue // the graph is cyclic; those protocols don't apply
+		}
+		t.Run(pc.name, func(t *testing.T) {
+			for _, v := range seqVariants(17) {
+				r, err := sim.Sequential().Run(g, pc.make(), v.opts)
+				if err != nil {
+					t.Fatalf("%s: %v", v.name, err)
+				}
+				if r.Verdict != sim.Quiescent {
+					t.Errorf("%s: verdict %s, want quiescent", v.name, r.Verdict)
+				}
+			}
+			r, err := sim.Concurrent().Run(g, pc.make(), sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Verdict != sim.Quiescent {
+				t.Errorf("concurrent: verdict %s, want quiescent", r.Verdict)
+			}
+			r, err = sim.Synchronous().Run(g, pc.make(), sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Verdict != sim.Quiescent {
+				t.Errorf("sync: verdict %s, want quiescent", r.Verdict)
+			}
+		})
+	}
+}
+
+// TestTCPConformance runs a reduced matrix over the real-socket tier: one
+// graph per protocol, compared against the sequential reference. Kept small
+// because every run opens |V| listeners and |E| connections.
+func TestTCPConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping socket tier")
+	}
+	cases := []struct {
+		pc protoCase
+		g  *graph.G
+	}{
+		{protoCases[0], graph.KaryGroundedTree(2, 2)},
+		{protoCases[1], graph.RandomDAG(6, 4, 3)},
+		{protoCases[2], graph.Ring(4)},
+		{protoCases[3], graph.RandomDigraph(6, 11, graph.RandomDigraphOpts{ExtraEdges: 5, TerminalFrac: 0.3})},
+		{protoCases[4], graph.Ring(4)},
+	}
+	eng := netrun.Engine(core.Codec{}, netrun.Options{})
+	for _, c := range cases {
+		t.Run(c.pc.name+"/"+c.g.Name(), func(t *testing.T) {
+			ref, err := sim.Sequential().Run(c.g, c.pc.make(), sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := outcomeOf(t, c.g, ref)
+			r, err := eng.Run(c.g, c.pc.make(), sim.Options{})
+			if err != nil {
+				t.Fatalf("tcp: %v", err)
+			}
+			got := outcomeOf(t, c.g, r)
+			if got.verdict != want.verdict {
+				t.Errorf("tcp: verdict %s, reference %s", got.verdict, want.verdict)
+			}
+			if got.labeled != want.labeled {
+				t.Errorf("tcp: labeled-vertex set diverges\n got: %s\nwant: %s", got.labeled, want.labeled)
+			}
+			if got.topoOK != want.topoOK {
+				t.Errorf("tcp: topology isomorphism %v, reference %v", got.topoOK, want.topoOK)
+			}
+		})
+	}
+
+	t.Run("quiescence", func(t *testing.T) {
+		g := deadEndGraph(t)
+		r, err := eng.Run(g, core.NewGeneralBroadcast([]byte("m")), sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Verdict != sim.Quiescent {
+			t.Errorf("tcp: verdict %s, want quiescent", r.Verdict)
+		}
+	})
+}

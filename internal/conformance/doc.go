@@ -1,0 +1,17 @@
+// Package conformance holds the cross-engine differential test suite: every
+// protocol of the reproduction (treecast, dagcast, generalcast, labelcast,
+// mapcast) is run on every applicable graph family under every engine and
+// every adversarial scheduler, and the outcomes are required to agree.
+//
+// The paper's theorems are statements about *all* asynchronous schedules: a
+// broadcast must terminate exactly when every vertex can reach the terminal,
+// labels must be unique, and the extracted topology must be isomorphic to
+// the ground truth, no matter which in-flight message an adversary delivers
+// next. The synchronous engine is one particular schedule, the concurrent
+// and TCP engines draw schedules from the Go runtime and the kernel, and the
+// sequential engine realizes seven named adversaries — so agreement across
+// the whole matrix is a machine-checked form of the schedule-independence
+// the proofs rely on.
+//
+// The package contains only tests; there is no library API.
+package conformance

@@ -19,6 +19,40 @@ import (
 	"repro/internal/stats"
 )
 
+// schedOverride, when non-nil, supplies the adversarial scheduler used by
+// every sequential run in the sweeps, replacing each driver's default. One
+// fresh instance per run: schedulers are stateful and not reusable
+// concurrently.
+var schedOverride func() sim.Scheduler
+
+// SetScheduler routes every sequential run of the experiment drivers through
+// the named adversary (see sim.SchedulerNames); an empty name restores the
+// per-driver defaults. The paper's verdict claims are schedule-independent,
+// so rerunning the sweeps under a different adversary must reproduce every
+// qualitative verdict — only the measured traffic may shift.
+func SetScheduler(name string) error {
+	if name == "" {
+		schedOverride = nil
+		return nil
+	}
+	if _, err := sim.NewScheduler(name); err != nil {
+		return err
+	}
+	schedOverride = func() sim.Scheduler {
+		s, _ := sim.NewScheduler(name)
+		return s
+	}
+	return nil
+}
+
+// seqOpts applies the scheduler override to one sequential run's options.
+func seqOpts(o sim.Options) sim.Options {
+	if schedOverride != nil {
+		o.Scheduler = schedOverride()
+	}
+	return o
+}
+
 // Row is one line of an experiment table.
 type Row struct {
 	Cells []string
@@ -65,7 +99,7 @@ func E1TreeBroadcast(sizes []int, payloadBytes int) (*Table, error) {
 	var xs, ys []float64
 	for _, n := range sizes {
 		g := graph.RandomGroundedTree(n, 0.3, int64(n))
-		r, err := sim.Run(g, core.NewTreeBroadcast(m, core.RulePow2), sim.Options{})
+		r, err := sim.Run(g, core.NewTreeBroadcast(m, core.RulePow2), seqOpts(sim.Options{}))
 		if err != nil {
 			return nil, err
 		}
@@ -106,11 +140,11 @@ func E1bNaiveVsPow2(depths []int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rn, err := sim.Run(g, core.NewTreeBroadcast(nil, core.RuleNaive), sim.Options{})
+		rn, err := sim.Run(g, core.NewTreeBroadcast(nil, core.RuleNaive), seqOpts(sim.Options{}))
 		if err != nil {
 			return nil, err
 		}
-		rp, err := sim.Run(g, core.NewTreeBroadcast(nil, core.RulePow2), sim.Options{})
+		rp, err := sim.Run(g, core.NewTreeBroadcast(nil, core.RulePow2), seqOpts(sim.Options{}))
 		if err != nil {
 			return nil, err
 		}
@@ -192,7 +226,7 @@ func E3DAGBroadcast(sizes []int) (*Table, error) {
 	var xs, bw []float64
 	for _, n := range sizes {
 		g := graph.RandomDAG(n, n, int64(n))
-		r, err := sim.Run(g, core.NewDAGBroadcast(nil), sim.Options{})
+		r, err := sim.Run(g, core.NewDAGBroadcast(nil), seqOpts(sim.Options{}))
 		if err != nil {
 			return nil, err
 		}
@@ -251,7 +285,7 @@ func E5GeneralBroadcast(sizes []int) (*Table, error) {
 	var xs, ys []float64
 	for _, n := range sizes {
 		g := graph.RandomDigraph(n, int64(n), graph.RandomDigraphOpts{ExtraEdges: 2 * n, TerminalFrac: 0.15})
-		r, err := sim.Run(g, core.NewGeneralBroadcast(nil), sim.Options{Order: sim.OrderRandom, Seed: int64(n)})
+		r, err := sim.Run(g, core.NewGeneralBroadcast(nil), seqOpts(sim.Options{Order: sim.OrderRandom, Seed: int64(n)}))
 		if err != nil {
 			return nil, err
 		}
@@ -285,7 +319,7 @@ func E6SymbolSize(sizes []int) (*Table, error) {
 	}
 	for _, n := range sizes {
 		g := graph.RandomDigraph(n, int64(3*n), graph.RandomDigraphOpts{ExtraEdges: 2 * n, TerminalFrac: 0.15})
-		r, err := sim.Run(g, core.NewGeneralBroadcast(nil), sim.Options{})
+		r, err := sim.Run(g, core.NewGeneralBroadcast(nil), seqOpts(sim.Options{}))
 		if err != nil {
 			return nil, err
 		}
@@ -316,7 +350,7 @@ func E7Labeling(sizes []int) (*Table, error) {
 	}
 	for _, n := range sizes {
 		g := graph.RandomDigraph(n, int64(n+7), graph.RandomDigraphOpts{ExtraEdges: 2 * n, TerminalFrac: 0.15})
-		r, err := sim.Run(g, core.NewLabelAssign(nil), sim.Options{})
+		r, err := sim.Run(g, core.NewLabelAssign(nil), seqOpts(sim.Options{}))
 		if err != nil {
 			return nil, err
 		}
@@ -411,7 +445,7 @@ func E9LinearCuts() (*Table, error) {
 		terminated, nonterm, subsetPairs := 0, 0, 0
 		snaps := make([]map[string]int, len(cuts))
 		for i, c := range cuts {
-			snap, err := linearcut.Snapshot(g, p, c, sim.Options{})
+			snap, err := linearcut.Snapshot(g, p, c, seqOpts(sim.Options{}))
 			if err != nil {
 				return nil, err
 			}
@@ -424,7 +458,7 @@ func E9LinearCuts() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			r, err := sim.Run(gs, p, sim.Options{})
+			r, err := sim.Run(gs, p, seqOpts(sim.Options{}))
 			if err != nil {
 				return nil, err
 			}
@@ -437,7 +471,7 @@ func E9LinearCuts() (*Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				rs, err := sim.Run(gsp, p, sim.Options{})
+				rs, err := sim.Run(gsp, p, seqOpts(sim.Options{}))
 				if err != nil {
 					return nil, err
 				}
@@ -489,7 +523,7 @@ func E10Mapping(sizes []int) (*Table, error) {
 	}
 	for _, n := range sizes {
 		g := graph.RandomDigraph(n, int64(n*13), graph.RandomDigraphOpts{ExtraEdges: 2 * n, TerminalFrac: 0.2})
-		r, err := sim.Run(g, core.NewMapExtract(nil), sim.Options{Order: sim.OrderRandom, Seed: int64(n)})
+		r, err := sim.Run(g, core.NewMapExtract(nil), seqOpts(sim.Options{Order: sim.OrderRandom, Seed: int64(n)}))
 		if err != nil {
 			return nil, err
 		}
@@ -567,7 +601,7 @@ func E12Ablation(graphs int) (*Table, error) {
 		var o outcome
 		for seed := int64(0); seed < int64(graphs); seed++ {
 			g := graph.RandomDigraph(20, seed, graph.RandomDigraphOpts{ExtraEdges: 10, TerminalFrac: 0.3})
-			r, err := sim.Run(g, p, sim.Options{})
+			r, err := sim.Run(g, p, seqOpts(sim.Options{}))
 			if err != nil {
 				return o, err
 			}
@@ -627,7 +661,7 @@ func E13StateSize(sizes []int) (*Table, error) {
 			{gg, core.NewLabelAssign(nil)},
 			{gg, core.NewMapExtract(nil)},
 		} {
-			r, err := sim.Run(run.g, run.p, sim.Options{})
+			r, err := sim.Run(run.g, run.p, seqOpts(sim.Options{}))
 			if err != nil {
 				return nil, err
 			}

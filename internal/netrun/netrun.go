@@ -30,6 +30,27 @@ import (
 	"repro/internal/sim"
 )
 
+// Engine adapts the TCP runner to the sim.Engine interface so callers can
+// select the real-socket tier exactly like the in-memory engines. The codec
+// turns protocol messages into wire bytes; opts carries the TCP-specific
+// budgets (sim.Options' scheduler and step limit do not apply — the schedule
+// here comes from the kernel's loopback stack, and the backstop is
+// Options.MaxMessages/Timeout).
+func Engine(codec protocol.Codec, opts Options) sim.Engine {
+	return tcpEngine{codec: codec, opts: opts}
+}
+
+type tcpEngine struct {
+	codec protocol.Codec
+	opts  Options
+}
+
+func (e tcpEngine) Name() string { return "tcp" }
+
+func (e tcpEngine) Run(g *graph.G, p protocol.Protocol, _ sim.Options) (*sim.Result, error) {
+	return Run(g, p, e.codec, e.opts)
+}
+
 // Options configures a TCP run.
 type Options struct {
 	// Timeout aborts the run if neither termination nor quiescence is
@@ -131,6 +152,7 @@ func Run(g *graph.G, p protocol.Protocol, codec protocol.Codec, opts Options) (*
 	r.inFlight.Release()
 	watcherWG.Wait()
 
+	r.res.Steps = int(r.steps.Load())
 	if r.err != nil {
 		return r.res, r.err
 	}

@@ -47,9 +47,12 @@ func TestTCPGeneralBroadcastOnCycle(t *testing.T) {
 }
 
 func TestTCPLabelingMatchesSimLabels(t *testing.T) {
-	// Labels are deterministic per graph (first messages per edge are
-	// schedule-independent), so TCP and the in-memory engine must assign
-	// the same label to every vertex.
+	// The concrete interval a vertex receives is schedule-dependent (the
+	// cross-engine conformance suite demonstrates fifo and lifo already
+	// disagree), and the TCP schedule is timing-nondeterministic — so TCP
+	// and the in-memory engine are compared on the properties Theorem 5.1
+	// makes schedule-independent: the same set of vertices is labeled, and
+	// every label is a unique single interval.
 	g := graph.LayeredDigraph(3, 3, 4)
 	rt := tcpRun(t, g, core.NewLabelAssign(nil))
 	if rt.Verdict != sim.Terminated {
@@ -59,6 +62,7 @@ func TestTCPLabelingMatchesSimLabels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	seen := make(map[string]int)
 	for v := range rt.Nodes {
 		lt, okT := rt.Nodes[v].(core.Labeled)
 		ls, okS := rs.Nodes[v].(core.Labeled)
@@ -69,13 +73,20 @@ func TestTCPLabelingMatchesSimLabels(t *testing.T) {
 			continue
 		}
 		ut, hasT := lt.Label()
-		us, hasS := ls.Label()
+		_, hasS := ls.Label()
 		if hasT != hasS {
 			t.Fatalf("vertex %d has-label differs", v)
 		}
-		if hasT && !ut.Equal(us) {
-			t.Fatalf("vertex %d label differs: tcp %s vs sim %s", v, ut, us)
+		if !hasT {
+			continue
 		}
+		if ut.NumIntervals() != 1 {
+			t.Fatalf("vertex %d tcp label %s is not a single interval", v, ut)
+		}
+		if prev, dup := seen[ut.Key()]; dup {
+			t.Fatalf("tcp label collision: vertices %d and %d both own %s", prev, v, ut)
+		}
+		seen[ut.Key()] = v
 	}
 }
 

@@ -123,6 +123,7 @@ func RunConcurrent(g *graph.G, p protocol.Protocol, opts Options) (*Result, erro
 	run.inFlight.release()
 	watcherWG.Wait()
 
+	res.Steps = int(run.steps.Load())
 	if run.err != nil {
 		return res, run.err
 	}

@@ -1,15 +1,19 @@
-// Package sim provides two independent executions of anonymous protocols on
-// directed anonymous networks:
+// Package sim provides independent executions of anonymous protocols on
+// directed anonymous networks, all behind the Engine interface:
 //
-//   - Run (seqsim): a deterministic, event-driven simulator whose adversarial
-//     delivery order is pluggable — asynchrony is modeled as an adversary
-//     choosing which in-flight message is delivered next, with per-edge FIFO
-//     links;
-//   - RunConcurrent (chansim): a goroutine-per-vertex, mailbox-per-vertex
-//     concurrent runtime where asynchrony comes from the Go scheduler itself.
+//   - Run (Sequential): a deterministic, event-driven simulator whose
+//     adversarial delivery order is a pluggable, seeded Scheduler —
+//     asynchrony is modeled as an adversary choosing which in-flight message
+//     is delivered next, with per-edge FIFO links;
+//   - RunConcurrent (Concurrent): a goroutine-per-vertex, mailbox-per-vertex
+//     concurrent runtime where asynchrony comes from the Go scheduler itself;
+//   - RunSynchronous (Synchronous): global rounds, the paper's Section 2
+//     extension, which additionally measures time (Result.Rounds).
 //
-// Both meter communication exactly in bits and agree on verdicts; that
-// agreement is asserted by tests.
+// A fourth engine — real TCP sockets — lives in package netrun and satisfies
+// the same interface. All engines meter communication exactly in bits and
+// agree on verdicts under every schedule; that agreement is asserted by the
+// cross-engine conformance suite in internal/conformance.
 package sim
 
 import (
@@ -161,7 +165,11 @@ func (r *Result) AllVisited() bool {
 	return true
 }
 
-// Order selects the adversarial delivery order of the event-driven engine.
+// Order selects one of the built-in adversarial delivery orders of the
+// event-driven engine. It predates the Scheduler interface and remains the
+// zero-value default; new code should set Options.Scheduler (or use
+// NewScheduler) directly, which also unlocks the adversaries that have no
+// Order constant.
 type Order int
 
 // Delivery orders. All preserve per-edge FIFO.
@@ -191,8 +199,19 @@ func (o Order) String() string {
 // Options configures a run. The zero value is a sensible default: FIFO
 // order, a generous step limit, no alphabet tracking.
 type Options struct {
+	// Scheduler is the adversarial delivery order of the sequential engine
+	// (see the Scheduler interface). When nil, the legacy Order field picks
+	// one of the built-in adversaries. The other engines ignore it: the
+	// concurrent and TCP engines draw their schedule from the Go scheduler
+	// and the network, the synchronous engine is itself one fixed schedule.
+	Scheduler Scheduler
+	// Order is the legacy adversary selector, used only when Scheduler is
+	// nil; the zero value still selects the fifo adversary. Note the
+	// indexed fifo delivers in true global send order, whereas the seed
+	// engine drained the oldest pending edge fully — same adversary
+	// family, different exact trace.
 	Order Order
-	// Seed drives OrderRandom.
+	// Seed drives the seeded schedulers (random, latency, ...).
 	Seed int64
 	// MaxSteps aborts runaway executions; 0 means the default limit.
 	MaxSteps int

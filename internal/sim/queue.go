@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"sync"
+
+	"repro/internal/protocol"
+)
+
+// The sequential engine keeps one FIFO of in-flight messages per edge. On
+// 100k+-vertex sweeps the naive []Message-with-reslicing representation is
+// the allocation hot spot: every queue grows its own backing array and the
+// `q = q[1:]` pop pins delivered messages until the whole array dies. The
+// chunked queue below stores (message, send-sequence) pairs in fixed-size
+// chunks drawn from a shared sync.Pool: pops release chunks (and their
+// message pointers) as soon as a chunk drains, and the chunks are recycled
+// across edges and across runs, so steady-state allocation is proportional
+// to the peak number of in-flight messages, not to the total traffic.
+
+const chunkSize = 32
+
+// flightMsg is one queued message with its global send-sequence number (the
+// scheduler's notion of send time).
+type flightMsg struct {
+	msg protocol.Message
+	seq uint64
+}
+
+// msgChunk is one pooled segment of a queue's ring of messages.
+type msgChunk struct {
+	items [chunkSize]flightMsg
+	next  *msgChunk
+}
+
+var chunkPool = sync.Pool{New: func() any { return new(msgChunk) }}
+
+func putChunk(c *msgChunk) {
+	// Clear the message pointers so pooled chunks don't pin payloads.
+	*c = msgChunk{}
+	chunkPool.Put(c)
+}
+
+// msgQueue is an unbounded FIFO over pooled chunks. The zero value is an
+// empty queue.
+type msgQueue struct {
+	head, tail *msgChunk
+	// hi is the index of the front element in head; ti is the index one
+	// past the back element in tail.
+	hi, ti int
+	n      int
+}
+
+// push appends a message with its global send-sequence number.
+func (q *msgQueue) push(m protocol.Message, seq uint64) {
+	if q.tail == nil || q.ti == chunkSize {
+		c := chunkPool.Get().(*msgChunk)
+		c.next = nil
+		if q.tail == nil {
+			q.head, q.tail = c, c
+			q.hi = 0
+		} else {
+			q.tail.next = c
+			q.tail = c
+		}
+		q.ti = 0
+	}
+	q.tail.items[q.ti] = flightMsg{msg: m, seq: seq}
+	q.ti++
+	q.n++
+}
+
+// pop removes and returns the front message.
+func (q *msgQueue) pop() protocol.Message {
+	m := q.head.items[q.hi].msg
+	q.head.items[q.hi] = flightMsg{}
+	q.hi++
+	if q.hi == chunkSize || (q.head == q.tail && q.hi == q.ti) {
+		c := q.head
+		q.head = c.next
+		putChunk(c)
+		q.hi = 0
+		if q.head == nil {
+			q.tail = nil
+			q.ti = 0
+		}
+	}
+	q.n--
+	return m
+}
+
+// frontSeq returns the send-sequence number of the front message.
+func (q *msgQueue) frontSeq() uint64 { return q.head.items[q.hi].seq }
+
+// len reports the number of queued messages.
+func (q *msgQueue) len() int { return q.n }
+
+// release returns all remaining chunks to the pool (used when a run ends
+// with messages still queued, e.g. on early termination).
+func (q *msgQueue) release() {
+	for c := q.head; c != nil; {
+		next := c.next
+		putChunk(c)
+		c = next
+	}
+	*q = msgQueue{}
+}

@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/graph"
 	"repro/internal/protocol"
@@ -11,10 +10,15 @@ import (
 // Run executes p on g under the event-driven engine and returns the result.
 //
 // Asynchrony model: every sent message becomes an in-flight event on its
-// edge; an adversary (Options.Order) repeatedly picks a pending edge and
-// delivers the oldest message on it (links are FIFO). The run ends when the
-// terminal's stopping predicate holds (Terminated) or no events remain
-// (Quiescent).
+// edge; an adversary (Options.Scheduler, or the legacy Options.Order)
+// repeatedly picks a pending edge and delivers the oldest message on it
+// (links are FIFO). The run ends when the terminal's stopping predicate
+// holds (Terminated) or no events remain (Quiescent).
+//
+// The engine maintains one pooled chunked FIFO per edge and hands the
+// scheduler an indexed view of the pending-edge set, so a delivery step
+// costs O(1) or O(log |pending|) depending on the adversary — never a
+// linear scan.
 func Run(g *graph.G, p protocol.Protocol, opts Options) (*Result, error) {
 	nV, nE := g.NumVertices(), g.NumEdges()
 	nodes := make([]protocol.Node, nV)
@@ -54,10 +58,25 @@ func Run(g *graph.G, p protocol.Protocol, opts Options) (*Result, error) {
 	}
 	res.Visited[g.Root()] = true
 
-	// Per-edge FIFO queues plus the set of edges with pending messages.
-	queues := make([][]protocol.Message, nE)
-	var pending []graph.EdgeID // edges with non-empty queues, insertion order
-	inPending := make([]bool, nE)
+	sched := opts.Scheduler
+	if sched == nil {
+		sched = schedulerForOrder(opts.Order)
+	}
+	sched.Reset(SchedContext{
+		Graph:   g,
+		Seed:    opts.Seed,
+		Visited: func(v graph.VertexID) bool { return res.Visited[v] },
+	})
+
+	// Per-edge FIFO queues over pooled chunks. An edge is registered with
+	// the scheduler exactly when its front message is deliverable.
+	queues := make([]msgQueue, nE)
+	defer func() {
+		for e := range queues {
+			queues[e].release()
+		}
+	}()
+	var sendSeq uint64 // global send-sequence number, drives HeadSeq
 	drops := make(map[graph.EdgeID]int, len(opts.DropFirst))
 	for e, k := range opts.DropFirst {
 		drops[e] = k
@@ -67,17 +86,14 @@ func Run(g *graph.G, p protocol.Protocol, opts Options) (*Result, error) {
 			drops[e]--
 			return
 		}
-		queues[e] = append(queues[e], msg)
-		if !inPending[e] {
-			inPending[e] = true
-			pending = append(pending, e)
+		seq := sendSeq
+		sendSeq++
+		queues[e].push(msg, seq)
+		if queues[e].len() == 1 {
+			sched.Push(PendingEdge{Edge: e, HeadSeq: seq})
 		}
 	}
 
-	var rng *rand.Rand
-	if opts.Order == OrderRandom {
-		rng = rand.New(rand.NewSource(opts.Seed))
-	}
 	maxSteps := opts.MaxSteps
 	if maxSteps <= 0 {
 		maxSteps = defaultMaxSteps
@@ -100,28 +116,18 @@ func Run(g *graph.G, p protocol.Protocol, opts Options) (*Result, error) {
 		push(rootEdge.ID, init)
 	}
 
-	for len(pending) > 0 {
+	for sched.Len() > 0 {
 		if res.Steps >= maxSteps {
 			return res, fmt.Errorf("%w (%d steps, graph %s, protocol %s)", ErrStepLimit, res.Steps, g, p.Name())
 		}
 		res.Steps++
 
-		// Adversary: choose the next pending edge.
-		var idx int
-		switch opts.Order {
-		case OrderLIFO:
-			idx = len(pending) - 1
-		case OrderRandom:
-			idx = rng.Intn(len(pending))
-		default:
-			idx = 0
-		}
-		e := pending[idx]
-		msg := queues[e][0]
-		queues[e] = queues[e][1:]
-		if len(queues[e]) == 0 {
-			inPending[e] = false
-			pending = append(pending[:idx], pending[idx+1:]...)
+		// Adversary: choose the next pending edge; deliver its oldest
+		// message (links are FIFO).
+		e := sched.Pop()
+		msg := queues[e].pop()
+		if queues[e].len() > 0 {
+			sched.Push(PendingEdge{Edge: e, HeadSeq: queues[e].frontSeq()})
 		}
 
 		edge := g.Edge(e)

@@ -11,13 +11,16 @@ import (
 	"repro/internal/sim"
 )
 
-// Engine selects the execution substrate.
+// Engine selects the execution substrate. All four engines implement the
+// same internal sim.Engine interface; this enum is the facade's stable way
+// to name them.
 type Engine int
 
 // Available engines.
 const (
 	// EngineSequential is the deterministic event-driven simulator with an
-	// adversarial delivery order (default).
+	// adversarial delivery order (default). Only this engine honors the
+	// scheduler options (WithScheduler / WithOrder / WithSeed).
 	EngineSequential Engine = iota
 	// EngineConcurrent runs one goroutine per vertex; interleaving comes
 	// from the Go scheduler.
@@ -32,7 +35,45 @@ const (
 	EngineTCP
 )
 
-// Order selects the adversarial delivery order of the sequential engine.
+// String returns the engine's CLI name.
+func (e Engine) String() string {
+	switch e {
+	case EngineSequential:
+		return "seq"
+	case EngineConcurrent:
+		return "concurrent"
+	case EngineSynchronous:
+		return "sync"
+	case EngineTCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("engine(%d)", int(e))
+	}
+}
+
+// EngineByName parses a CLI engine name (seq|concurrent|sync|tcp).
+func EngineByName(name string) (Engine, error) {
+	switch name {
+	case "seq", "sequential":
+		return EngineSequential, nil
+	case "concurrent":
+		return EngineConcurrent, nil
+	case "sync", "synchronous":
+		return EngineSynchronous, nil
+	case "tcp":
+		return EngineTCP, nil
+	default:
+		return 0, fmt.Errorf("anonnet: unknown engine %q (have seq|concurrent|sync|tcp)", name)
+	}
+}
+
+// EngineNames lists the selectable engines in CLI spelling.
+func EngineNames() []string { return []string{"seq", "concurrent", "sync", "tcp"} }
+
+// Order selects one of the three classic adversarial delivery orders of the
+// sequential engine. WithScheduler supersedes it and exposes the full
+// adversary catalog; Order remains for compatibility and as the zero-value
+// default.
 type Order int
 
 // Delivery orders (sequential engine only). All preserve per-edge FIFO.
@@ -44,6 +85,11 @@ const (
 	// OrderRandom picks a uniformly random pending edge (seeded).
 	OrderRandom
 )
+
+// SchedulerNames lists every adversarial scheduler of the sequential engine,
+// sorted; each name is accepted by WithScheduler and by the -sched flags of
+// cmd/anoncast and cmd/anonbench.
+func SchedulerNames() []string { return sim.SchedulerNames() }
 
 // ProtocolKind selects a specific protocol instead of the automatic choice.
 type ProtocolKind int
@@ -68,6 +114,7 @@ type Option func(*runConfig)
 type runConfig struct {
 	engine   Engine
 	order    Order
+	sched    string
 	seed     int64
 	maxSteps int
 	kind     ProtocolKind
@@ -77,10 +124,15 @@ type runConfig struct {
 // WithEngine selects the execution engine.
 func WithEngine(e Engine) Option { return func(c *runConfig) { c.engine = e } }
 
-// WithOrder selects the adversarial delivery order (sequential engine).
+// WithOrder selects one of the classic adversarial delivery orders
+// (sequential engine). WithScheduler gives access to the full catalog.
 func WithOrder(o Order) Option { return func(c *runConfig) { c.order = o } }
 
-// WithSeed seeds OrderRandom.
+// WithScheduler selects the sequential engine's adversarial scheduler by
+// name; SchedulerNames lists the valid names. It overrides WithOrder.
+func WithScheduler(name string) Option { return func(c *runConfig) { c.sched = name } }
+
+// WithSeed seeds the randomized schedulers (random, latency, ...).
 func WithSeed(seed int64) Option { return func(c *runConfig) { c.seed = seed } }
 
 // WithMaxSteps bounds the number of delivery steps (0 = default).
@@ -127,26 +179,51 @@ func buildConfig(opts []Option) runConfig {
 	return c
 }
 
-func (c runConfig) simOptions() sim.Options {
-	return sim.Options{
+func (c runConfig) simOptions() (sim.Options, error) {
+	opts := sim.Options{
 		Order:         sim.Order(c.order),
 		Seed:          c.seed,
 		MaxSteps:      c.maxSteps,
 		TrackAlphabet: c.alphabet,
 	}
+	if c.sched != "" {
+		sched, err := sim.NewScheduler(c.sched)
+		if err != nil {
+			return opts, err
+		}
+		opts.Scheduler = sched
+	}
+	return opts, nil
+}
+
+// engineImpl resolves the selected engine to its implementation. Every tier
+// — the three in-memory engines and TCP — is reached through the same
+// sim.Engine interface.
+func (c runConfig) engineImpl() (sim.Engine, error) {
+	switch c.engine {
+	case EngineSequential:
+		return sim.Sequential(), nil
+	case EngineConcurrent:
+		return sim.Concurrent(), nil
+	case EngineSynchronous:
+		return sim.Synchronous(), nil
+	case EngineTCP:
+		return netrun.Engine(core.Codec{}, netrun.Options{}), nil
+	default:
+		return nil, fmt.Errorf("anonnet: unknown engine %d", c.engine)
+	}
 }
 
 func (c runConfig) execute(g *graph.G, p protocol.Protocol) (*sim.Result, error) {
-	switch c.engine {
-	case EngineConcurrent:
-		return sim.RunConcurrent(g, p, c.simOptions())
-	case EngineSynchronous:
-		return sim.RunSynchronous(g, p, c.simOptions())
-	case EngineTCP:
-		return netrun.Run(g, p, core.Codec{}, netrun.Options{})
-	default:
-		return sim.Run(g, p, c.simOptions())
+	eng, err := c.engineImpl()
+	if err != nil {
+		return nil, err
 	}
+	opts, err := c.simOptions()
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(g, p, opts)
 }
 
 func report(p protocol.Protocol, r *sim.Result) *Report {
