@@ -31,23 +31,35 @@
 //
 //	engine       schedule source              scheduler support
 //	------       ---------------              -----------------
-//	seq          pluggable adversary          fifo, lifo, random, rr-vertex,
-//	                                          latency, starve-oldest, greedy
+//	seq          pluggable adversary          every adversary below
 //	                                          (seeded, deterministic)
 //	concurrent   Go runtime interleaving      n/a (nondeterministic)
 //	sync         global rounds (Section 2)    n/a (one fixed schedule)
 //	tcp          kernel loopback sockets      n/a (real transport)
 //
 // The sequential adversaries, selectable by name through WithScheduler and
-// the -sched CLI flags:
+// the -sched CLI flags (this table is drift-guarded against
+// sim.SchedulerNames by a test):
 //
-//	fifo           deliver in global send order (default)
-//	lifo           drain the most recently activated edge first
-//	random         uniformly random pending edge, seeded
-//	rr-vertex      round-robin over destination vertices (fair)
-//	latency        per-edge latency classes drawn from the seed
-//	starve-oldest  always deliver the newest message, starving the oldest
-//	greedy         maximize in-flight messages (worst-case adversary)
+//	fifo            deliver in global send order (default)
+//	lifo            drain the most recently activated edge first
+//	random          uniformly random pending edge, seeded
+//	rr-vertex       round-robin over destination vertices (fair)
+//	latency         per-edge latency classes drawn from the seed
+//	latency-pareto  heavy-tailed per-edge Pareto delays, seeded
+//	starve-oldest   always deliver the newest message, starving the oldest
+//	greedy          maximize in-flight messages (worst-case adversary)
+//
+// # Trace record, replay, and shrink
+//
+// Any sequential (or synchronous) run can pin its schedule to a
+// self-contained binary trace via WithRecordTrace; WithReplayTrace
+// re-executes a recorded schedule byte-identically on the sequential engine,
+// erroring loudly on a graph, protocol, or behavior mismatch. The trace
+// embeds the network, so TraceData.Network rebuilds it from the file alone.
+// cmd/anonshrink additionally delta-debugs a failing trace to a 1-minimal
+// adversarial prefix, and the conformance suite auto-shrinks and saves a
+// repro trace whenever a matrix cell diverges (see internal/replay).
 package anonnet
 
 import (

@@ -10,8 +10,12 @@
 //
 // Engines: seq (deterministic, adversarial scheduler), concurrent
 // (goroutine per vertex), sync (global rounds), tcp (real sockets).
-// Schedulers (seq engine): fifo, lifo, random, rr-vertex, latency,
-// starve-oldest, greedy.
+// Schedulers (seq engine): every sim.SchedulerNames entry — fifo, lifo,
+// random, rr-vertex, latency, latency-pareto, starve-oldest, greedy.
+//
+// -record FILE pins the run's delivery schedule to a self-contained trace
+// file; -replay FILE re-executes one byte-identically (network and protocol
+// come from the file). Minimize failing traces with cmd/anonshrink.
 package main
 
 import (
@@ -40,13 +44,15 @@ func main() {
 		dot    = flag.String("dot", "", "write the network in DOT format to this file")
 		file   = flag.String("file", "", "load the network from this file (anonnet v1 text format) instead of generating one")
 		save   = flag.String("save", "", "write the generated network to this file in the text format")
+		record = flag.String("record", "", "write the run's delivery schedule to this trace file (seq/sync engines)")
+		replay = flag.String("replay", "", "replay a recorded trace file (seq engine; overrides -topo/-file/-sched/-proto)")
 	)
 	flag.Parse()
 	if err := run(params{
 		topo: *topo, n: *n, height: *height, degree: *degree,
 		layers: *layers, width: *width, extra: *extra, seed: *seed,
 		msg: *msg, proto: *proto, engine: *engine, sched: *sched,
-		dot: *dot, file: *file, save: *save,
+		dot: *dot, file: *file, save: *save, record: *record, replay: *replay,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "anoncast:", err)
 		os.Exit(1)
@@ -60,19 +66,40 @@ type params struct {
 	seed                             int64
 	msg, proto, engine, sched        string
 	dot, file, save                  string
+	record, replay                   string
 }
 
 func run(p params) error {
 	var net *anonnet.Network
+	var replayTrace *anonnet.TraceData
 	var err error
-	if p.file != "" {
+	switch {
+	case p.replay != "":
+		data, rerr := os.ReadFile(p.replay)
+		if rerr != nil {
+			return rerr
+		}
+		replayTrace, err = anonnet.DecodeTrace(data)
+		if err != nil {
+			return err
+		}
+		net, err = replayTrace.Network()
+		if err != nil {
+			return err
+		}
+		p.proto, err = protoFlagFor(replayTrace.Protocol())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replaying %s\n", replayTrace)
+	case p.file != "":
 		f, ferr := os.Open(p.file)
 		if ferr != nil {
 			return ferr
 		}
 		net, err = anonnet.ParseNetwork(f)
 		f.Close()
-	} else {
+	default:
 		net, err = buildNetwork(p.topo, p.n, p.height, p.degree, p.layers, p.width, p.extra, p.seed)
 	}
 	if err != nil {
@@ -92,6 +119,13 @@ func run(p params) error {
 		return err
 	}
 	opts = append(opts, anonnet.WithAlphabetTracking())
+	var recorded *anonnet.TraceData
+	if p.record != "" {
+		opts = append(opts, anonnet.WithRecordTrace(&recorded))
+	}
+	if replayTrace != nil {
+		opts = append(opts, anonnet.WithReplayTrace(replayTrace))
+	}
 
 	rep, err := anonnet.Broadcast(net, []byte(p.msg), opts...)
 	if rep != nil {
@@ -108,6 +142,12 @@ func run(p params) error {
 	if err != nil {
 		return err
 	}
+	if recorded != nil {
+		if err := os.WriteFile(p.record, recorded.Encode(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("recorded %s to %s\n", recorded, p.record)
+	}
 	if p.dot != "" {
 		f, err := os.Create(p.dot)
 		if err != nil {
@@ -120,6 +160,24 @@ func run(p params) error {
 		fmt.Printf("wrote %s\n", p.dot)
 	}
 	return nil
+}
+
+// protoFlagFor maps the protocol name in a trace header back onto the -proto
+// flag vocabulary. Broadcast drives only the broadcast protocols; traces of
+// labelcast/mapcast replay through anonshrink instead.
+func protoFlagFor(traceProto string) (string, error) {
+	switch traceProto {
+	case "treecast/pow2":
+		return "tree", nil
+	case "treecast/naive":
+		return "tree-naive", nil
+	case "dagcast":
+		return "dag", nil
+	case "generalcast":
+		return "general", nil
+	default:
+		return "", fmt.Errorf("trace records protocol %q; replay it with anonshrink instead", traceProto)
+	}
 }
 
 func buildNetwork(topo string, n, height, degree, layers, width, extra int, seed int64) (*anonnet.Network, error) {

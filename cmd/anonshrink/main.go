@@ -1,0 +1,318 @@
+// Command anonshrink records, replays, and minimizes adversarial delivery
+// schedules. A recorded trace is self-contained (it embeds the network, the
+// protocol name, the scheduler name and seed alongside the full send/deliver
+// stream), so a single file turns any adversarial run — including a
+// conformance divergence found in CI — into a deterministic regression case.
+//
+// Record a schedule:
+//
+//	anonshrink record -topo randnet -n 12 -proto generalcast -sched random -seed 3 -o run.trace
+//	anonshrink record -net graph.txt -proto labelcast -sched latency-pareto -o run.trace
+//
+// Replay it byte-identically (errors loudly on any divergence — wrong graph,
+// wrong protocol, or changed engine behavior):
+//
+//	anonshrink replay -in run.trace [-timeline] [-summary]
+//
+// Delta-debug it to a 1-minimal failing schedule for a predicate:
+//
+//	anonshrink shrink -in run.trace -pred terminated -o min.trace
+//	anonshrink shrink -in run.trace -pred visited:7 -o min.trace
+//
+// Predicates: quiescent, terminated, not-all-visited, all-visited,
+// label-collision, and visited:<vertex>; a comma-separated list is their
+// conjunction. The output trace is marked truncated and replays leniently
+// (the run simply stops when the schedule is exhausted). Beware predicates
+// the empty schedule already satisfies (quiescent, not-all-visited): alone
+// they shrink to a zero-delivery witness, which the tool flags — add a
+// visited:<v> floor, e.g. -pred quiescent,visited:3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/protocol"
+	"repro/internal/replay"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = cmdRecord(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "shrink":
+		err = cmdShrink(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		usage()
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "anonshrink:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  anonshrink record -topo T -n N -proto P -sched S [-seed K] [-net FILE] -o OUT
+  anonshrink replay -in FILE [-timeline] [-summary]
+  anonshrink shrink -in FILE -pred PRED -o OUT
+
+topologies: line|chain|ring|karytree|randnet   protocols: %s
+schedulers: %s
+predicates: quiescent|terminated|all-visited|not-all-visited|label-collision|visited:<v>
+            (comma-separate for a conjunction, e.g. quiescent,visited:3)
+`, strings.Join(replay.ProtocolNames(), "|"), strings.Join(sim.SchedulerNames(), "|"))
+}
+
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	var (
+		topo  = fs.String("topo", "randnet", "topology: line|chain|ring|karytree|randnet")
+		n     = fs.Int("n", 8, "size parameter")
+		netF  = fs.String("net", "", "load the network from this file (anonnet v1 text) instead of generating one")
+		proto = fs.String("proto", "generalcast", "protocol: "+strings.Join(replay.ProtocolNames(), "|"))
+		sched = fs.String("sched", "random", "adversarial scheduler: "+strings.Join(sim.SchedulerNames(), "|"))
+		seed  = fs.Int64("seed", 1, "generator / scheduler seed")
+		out   = fs.String("o", "", "output trace file (required)")
+	)
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("record: -o is required")
+	}
+	g, err := buildGraph(*topo, *n, *seed, *netF)
+	if err != nil {
+		return err
+	}
+	newProto, err := replay.ProtocolFactory(*proto)
+	if err != nil {
+		return err
+	}
+	adversary, err := sim.NewScheduler(*sched)
+	if err != nil {
+		return err
+	}
+	rec := replay.NewRecorder()
+	r, err := sim.Run(g, newProto(), sim.Options{Scheduler: adversary, Seed: *seed, Observer: rec})
+	if err != nil {
+		return err
+	}
+	tr := rec.Trace(g, *proto, *sched, *seed)
+	if err := os.WriteFile(*out, replay.Encode(tr), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s under %s/seed=%d: %s after %d deliveries\n",
+		*proto, g, *sched, *seed, r.Verdict, r.Steps)
+	fmt.Printf("wrote %s (%d events, %d bytes)\n", *out, len(tr.Events), len(replay.Encode(tr)))
+	return nil
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	var (
+		in       = fs.String("in", "", "input trace file (required)")
+		timeline = fs.Bool("timeline", false, "print the replayed per-event timeline")
+		summary  = fs.Bool("summary", false, "print the replayed per-vertex summary")
+	)
+	fs.Parse(args)
+	tr, g, newProto, err := loadTrace(*in)
+	if err != nil {
+		return err
+	}
+	rec := trace.New(g)
+	r, err := replay.Run(g, newProto(), tr, sim.Options{Observer: rec})
+	if err != nil {
+		return err
+	}
+	kind := "strict"
+	if tr.Truncated {
+		kind = "lenient (truncated trace)"
+	}
+	fmt.Printf("replayed %s on %s (%s): %s after %d deliveries\n",
+		tr.Protocol, g, kind, r.Verdict, r.Steps)
+	if *timeline {
+		fmt.Println("\ntimeline:")
+		if err := rec.WriteTimeline(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if *summary {
+		fmt.Println("\nper-vertex summary:")
+		if err := rec.WriteSummary(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdShrink(args []string) error {
+	fs := flag.NewFlagSet("shrink", flag.ExitOnError)
+	var (
+		in   = fs.String("in", "", "input trace file (required)")
+		pred = fs.String("pred", "", "failing predicate (required): quiescent|terminated|all-visited|not-all-visited|label-collision|visited:<v>")
+		out  = fs.String("o", "", "output trace file (required)")
+	)
+	fs.Parse(args)
+	if *out == "" || *pred == "" {
+		return fmt.Errorf("shrink: -pred and -o are required")
+	}
+	tr, g, newProto, err := loadTrace(*in)
+	if err != nil {
+		return err
+	}
+	p, err := buildPredicate(*pred, g)
+	if err != nil {
+		return err
+	}
+	res, err := replay.Shrink(g, newProto, tr, p)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, replay.Encode(res.Trace), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("shrunk %d -> %d deliveries in %d oracle runs\n", res.Before, res.After, res.Runs)
+	if res.After == 0 {
+		fmt.Fprintln(os.Stderr, "anonshrink: warning: the empty schedule already satisfies this predicate; the witness carries no information — tighten the predicate (e.g. add a visited:<v> floor)")
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+func loadTrace(path string) (*replay.Trace, *graph.G, func() protocol.Protocol, error) {
+	if path == "" {
+		return nil, nil, nil, fmt.Errorf("-in is required")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tr, err := replay.Decode(data)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	g, err := tr.Graph()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	newProto, err := replay.ProtocolFactory(tr.Protocol)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return tr, g, newProto, nil
+}
+
+func buildGraph(topo string, n int, seed int64, netFile string) (*graph.G, error) {
+	if netFile != "" {
+		f, err := os.Open(netFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ParseText(f)
+	}
+	switch topo {
+	case "line":
+		return graph.Line(n), nil
+	case "chain":
+		return graph.Chain(n), nil
+	case "ring":
+		return graph.Ring(n), nil
+	case "karytree":
+		return graph.KaryGroundedTree(n, 2), nil
+	case "randnet":
+		return graph.RandomDigraph(n, seed, graph.RandomDigraphOpts{ExtraEdges: n, TerminalFrac: 0.2}), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", topo)
+	}
+}
+
+// buildPredicate parses a predicate name, or a comma-separated conjunction
+// of them.
+func buildPredicate(name string, g *graph.G) (replay.Predicate, error) {
+	if parts := strings.Split(name, ","); len(parts) > 1 {
+		preds := make([]replay.Predicate, len(parts))
+		for i, part := range parts {
+			p, err := buildPredicate(strings.TrimSpace(part), g)
+			if err != nil {
+				return nil, err
+			}
+			preds[i] = p
+		}
+		return func(r *sim.Result, err error) bool {
+			for _, p := range preds {
+				if !p(r, err) {
+					return false
+				}
+			}
+			return true
+		}, nil
+	}
+	switch {
+	case name == "quiescent":
+		return func(r *sim.Result, err error) bool {
+			return err == nil && r.Verdict == sim.Quiescent
+		}, nil
+	case name == "terminated":
+		return func(r *sim.Result, err error) bool {
+			return err == nil && r.Verdict == sim.Terminated
+		}, nil
+	case name == "all-visited":
+		return func(r *sim.Result, err error) bool {
+			return err == nil && r.AllVisited()
+		}, nil
+	case name == "not-all-visited":
+		return func(r *sim.Result, err error) bool {
+			return err == nil && !r.AllVisited()
+		}, nil
+	case name == "label-collision":
+		return func(r *sim.Result, err error) bool {
+			if err != nil {
+				return false
+			}
+			seen := make(map[string]bool)
+			for _, node := range r.Nodes {
+				ln, ok := node.(core.Labeled)
+				if !ok {
+					continue
+				}
+				u, has := ln.Label()
+				if !has {
+					continue
+				}
+				if seen[u.Key()] {
+					return true
+				}
+				seen[u.Key()] = true
+			}
+			return false
+		}, nil
+	case strings.HasPrefix(name, "visited:"):
+		v, err := strconv.Atoi(strings.TrimPrefix(name, "visited:"))
+		if err != nil || v < 0 || v >= g.NumVertices() {
+			return nil, fmt.Errorf("visited:<v> needs a vertex in [0, %d), have %q", g.NumVertices(), name)
+		}
+		return func(r *sim.Result, err error) bool {
+			return err == nil && r.Visited[v]
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown predicate %q", name)
+	}
+}

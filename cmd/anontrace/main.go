@@ -6,6 +6,15 @@
 // Usage:
 //
 //	anontrace -topo ring -n 5 -proto general [-sched starve-oldest] [-summary-only]
+//	anontrace -topo ring -n 5 -record run.trace     # pin the schedule to a file
+//	anontrace -replay run.trace                     # re-render a recorded run
+//
+// A recorded trace is self-contained (network, protocol, scheduler, seed,
+// full event stream); -replay re-executes it byte-identically and errors
+// loudly if the engine's behavior has drifted from the recording. Broadcast
+// payloads are not recorded — a replay runs the canonical one-byte payload,
+// so bit counts may differ from the original run while the schedule (edges,
+// steps, verdict) is identical.
 package main
 
 import (
@@ -17,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/protocol"
+	"repro/internal/replay"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -29,29 +39,29 @@ func main() {
 		proto       = flag.String("proto", "auto", "protocol: auto|tree|dag|general|label|map")
 		sched       = flag.String("sched", "fifo", "adversarial scheduler: "+strings.Join(sim.SchedulerNames(), "|"))
 		summaryOnly = flag.Bool("summary-only", false, "omit the per-event timeline")
+		recordFile  = flag.String("record", "", "write the run's schedule to this trace file")
+		replayFile  = flag.String("replay", "", "replay a recorded trace file instead of generating a run (overrides -topo/-proto/-sched)")
 	)
 	flag.Parse()
-	if err := run(*topo, *n, *seed, *proto, *sched, *summaryOnly); err != nil {
+	if err := run(*topo, *n, *seed, *proto, *sched, *summaryOnly, *recordFile, *replayFile); err != nil {
 		fmt.Fprintln(os.Stderr, "anontrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topo string, n int, seed int64, proto, sched string, summaryOnly bool) error {
-	g, err := buildGraph(topo, n, seed)
-	if err != nil {
-		return err
+func run(topo string, n int, seed int64, proto, sched string, summaryOnly bool, recordFile, replayFile string) error {
+	var (
+		g   *graph.G
+		p   protocol.Protocol
+		r   *sim.Result
+		rec *trace.Recorder
+		err error
+	)
+	if replayFile != "" {
+		g, p, r, rec, err = replayRun(replayFile)
+	} else {
+		g, p, r, rec, err = liveRun(topo, n, seed, proto, sched, recordFile)
 	}
-	p, err := buildProtocol(proto, g)
-	if err != nil {
-		return err
-	}
-	adversary, err := sim.NewScheduler(sched)
-	if err != nil {
-		return err
-	}
-	rec := trace.New(g)
-	r, err := sim.Run(g, p, sim.Options{Observer: rec, Scheduler: adversary, Seed: seed})
 	if err != nil {
 		return err
 	}
@@ -66,6 +76,61 @@ func run(topo string, n int, seed int64, proto, sched string, summaryOnly bool) 
 	}
 	fmt.Println("per-vertex summary:")
 	return rec.WriteSummary(os.Stdout)
+}
+
+func liveRun(topo string, n int, seed int64, proto, sched, recordFile string) (*graph.G, protocol.Protocol, *sim.Result, *trace.Recorder, error) {
+	g, err := buildGraph(topo, n, seed)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	p, err := buildProtocol(proto, g)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	adversary, err := sim.NewScheduler(sched)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	rec := trace.New(g)
+	pin := replay.NewRecorder()
+	r, err := sim.Run(g, p, sim.Options{Observer: sim.TeeObserver(rec, pin), Scheduler: adversary, Seed: seed})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if recordFile != "" {
+		tr := pin.Trace(g, p.Name(), sched, seed)
+		if err := os.WriteFile(recordFile, replay.Encode(tr), 0o644); err != nil {
+			return nil, nil, nil, nil, err
+		}
+		fmt.Printf("recorded %d events to %s\n", len(tr.Events), recordFile)
+	}
+	return g, p, r, rec, nil
+}
+
+func replayRun(replayFile string) (*graph.G, protocol.Protocol, *sim.Result, *trace.Recorder, error) {
+	data, err := os.ReadFile(replayFile)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	tr, err := replay.Decode(data)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	g, err := tr.Graph()
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	newProto, err := replay.ProtocolFactory(tr.Protocol)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	p := newProto()
+	rec := trace.New(g)
+	r, err := replay.Run(g, p, tr, sim.Options{Observer: rec})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return g, p, r, rec, nil
 }
 
 func buildGraph(topo string, n int, seed int64) (*graph.G, error) {

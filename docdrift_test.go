@@ -1,0 +1,74 @@
+package anonnet
+
+import (
+	"bufio"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestSchedulerDocMatrixInSync is the drift guard for the hand-written
+// adversary table in the package documentation: the set of scheduler names
+// it lists must exactly match sim.SchedulerNames(). Registering a scheduler
+// without documenting it (or vice versa) fails here, not in a code review.
+func TestSchedulerDocMatrixInSync(t *testing.T) {
+	documented := docSchedulerTable(t)
+	registered := sim.SchedulerNames()
+	sort.Strings(documented)
+	if strings.Join(documented, " ") != strings.Join(registered, " ") {
+		t.Fatalf("anonnet package doc adversary table out of sync with the registry\n doc:      %v\n registry: %v",
+			documented, registered)
+	}
+}
+
+// docSchedulerTable extracts the scheduler names from the doc-comment table
+// in anonnet.go: the tab-indented lines following the "-sched CLI flags"
+// marker, whose first field is the scheduler name.
+func docSchedulerTable(t *testing.T) []string {
+	t.Helper()
+	f, err := os.Open("anonnet.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	var names []string
+	inTable := false
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "package ") {
+			break
+		}
+		if strings.Contains(line, "-sched CLI flags") {
+			inTable = true
+			continue
+		}
+		if !inTable {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "//\t"):
+			fields := strings.Fields(strings.TrimPrefix(line, "//\t"))
+			if len(fields) > 0 {
+				names = append(names, fields[0])
+			}
+		case line == "//" && len(names) == 0:
+			// blank comment line between the marker and the table
+		default:
+			if len(names) > 0 {
+				inTable = false
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatal("could not locate the adversary table in the anonnet package doc")
+	}
+	return names
+}

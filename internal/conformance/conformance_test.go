@@ -2,13 +2,17 @@ package conformance
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/netrun"
 	"repro/internal/protocol"
+	"repro/internal/replay"
 	"repro/internal/sim"
 )
 
@@ -69,9 +73,13 @@ type outcome struct {
 	topoOK     bool   // extracted topology isomorphic to ground truth
 }
 
-func outcomeOf(t *testing.T, g *graph.G, r *sim.Result) outcome {
-	t.Helper()
+// computeOutcome derives the schedule-independent footprint of a run plus a
+// list of invariant violations (non-single-interval labels, label
+// collisions, unreconstructable topologies). It has no testing dependency so
+// the shrinker can use it as its oracle predicate.
+func computeOutcome(g *graph.G, r *sim.Result) (outcome, []string) {
 	o := outcome{verdict: r.Verdict, allVisited: r.AllVisited()}
+	var problems []string
 	var labeled []int
 	seen := make(map[string]int)
 	for v, node := range r.Nodes {
@@ -86,10 +94,10 @@ func outcomeOf(t *testing.T, g *graph.G, r *sim.Result) outcome {
 		labeled = append(labeled, v)
 		if r.Verdict == sim.Terminated {
 			if u.NumIntervals() != 1 {
-				t.Errorf("vertex %d label %s is not a single interval", v, u)
+				problems = append(problems, fmt.Sprintf("vertex %d label %s is not a single interval", v, u))
 			}
 			if prev, dup := seen[u.Key()]; dup {
-				t.Errorf("label collision: vertices %d and %d both own %s", prev, v, u)
+				problems = append(problems, fmt.Sprintf("label collision: vertices %d and %d both own %s", prev, v, u))
 			}
 			seen[u.Key()] = v
 		}
@@ -99,11 +107,74 @@ func outcomeOf(t *testing.T, g *graph.G, r *sim.Result) outcome {
 	if topo, ok := r.Output.(*core.Topology); ok && r.Verdict == sim.Terminated {
 		gg, err := topo.ToGraph()
 		if err != nil {
-			t.Fatalf("extracted topology does not rebuild: %v", err)
+			problems = append(problems, fmt.Sprintf("extracted topology does not rebuild: %v", err))
+		} else {
+			o.topoOK = graph.Isomorphic(g, gg)
 		}
-		o.topoOK = graph.Isomorphic(g, gg)
+	}
+	return o, problems
+}
+
+func outcomeOf(t *testing.T, g *graph.G, r *sim.Result) outcome {
+	t.Helper()
+	o, problems := computeOutcome(g, r)
+	for _, p := range problems {
+		t.Error(p)
 	}
 	return o
+}
+
+// saveMinimalRepro is the on-divergence hook: when a sequential-engine cell
+// of the matrix diverges from the reference, delta-debug the recorded
+// schedule down to a minimal failing prefix and save it as a self-contained
+// trace, turning the flaky matrix failure into a committed regression case.
+// Enabled by setting ANON_REPRO_DIR (CI points it at an artifact directory);
+// replay a saved trace with: go run ./cmd/anonshrink replay -in <file>.
+//
+// The shrink oracle demands that a candidate reproduce the *observed*
+// diverging outcome, not merely differ from the reference — "differs from
+// the reference" is trivially true of truncated schedules (an empty replay
+// is quiescent with nothing visited), which would shrink every divergence
+// to a useless empty trace.
+func saveMinimalRepro(t *testing.T, g *graph.G, makeProto func() protocol.Protocol,
+	rec *replay.Recorder, schedName string, seed int64, divergent *sim.Result, runErr error) {
+	t.Helper()
+	dir := os.Getenv("ANON_REPRO_DIR")
+	if dir == "" {
+		return
+	}
+	tr := rec.Trace(g, makeProto().Name(), schedName, seed)
+	var pred replay.Predicate
+	if runErr != nil || divergent == nil {
+		// The diverging run errored; minimize toward any erroring schedule.
+		pred = func(r *sim.Result, err error) bool { return err != nil }
+	} else {
+		bad, badProblems := computeOutcome(g, divergent)
+		pred = func(r *sim.Result, err error) bool {
+			if err != nil || r == nil {
+				return false
+			}
+			got, problems := computeOutcome(g, r)
+			return got == bad && fmt.Sprint(problems) == fmt.Sprint(badProblems)
+		}
+	}
+	res, err := replay.Shrink(g, makeProto, tr, pred)
+	if err != nil {
+		t.Logf("repro hook: shrink failed (%v); saving the full trace instead", err)
+		res = &replay.ShrinkResult{Trace: tr, Before: len(tr.Deliveries()), After: len(tr.Deliveries())}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("repro hook: %v", err)
+		return
+	}
+	sanitize := func(s string) string { return strings.NewReplacer("/", "-", " ", "-").Replace(s) }
+	name := fmt.Sprintf("%s-%s-%s-seed%d.trace", sanitize(makeProto().Name()), sanitize(g.Name()), sanitize(schedName), seed)
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, replay.Encode(res.Trace), 0o644); err != nil {
+		t.Logf("repro hook: %v", err)
+		return
+	}
+	t.Logf("repro hook: saved minimized trace (%d -> %d deliveries) to %s", res.Before, res.After, path)
 }
 
 // seqVariants returns one sequential-engine run configuration per scheduler.
@@ -149,29 +220,44 @@ func TestCrossEngineConformance(t *testing.T) {
 					t.Fatalf("reference extracted topology not isomorphic on %s", g)
 				}
 
-				check := func(name string, r *sim.Result, err error) {
+				check := func(name string, r *sim.Result, err error) bool {
 					t.Helper()
 					if err != nil {
-						t.Fatalf("%s: %v", name, err)
+						t.Errorf("%s: %v", name, err)
+						return true
 					}
-					got := outcomeOf(t, g, r)
+					got, problems := computeOutcome(g, r)
+					for _, p := range problems {
+						t.Errorf("%s: %s", name, p)
+					}
+					diverged := len(problems) > 0
 					if got.verdict != want.verdict {
 						t.Errorf("%s: verdict %s, reference %s", name, got.verdict, want.verdict)
+						diverged = true
 					}
 					if got.allVisited != want.allVisited {
 						t.Errorf("%s: allVisited %v, reference %v", name, got.allVisited, want.allVisited)
+						diverged = true
 					}
 					if got.labeled != want.labeled {
 						t.Errorf("%s: labeled-vertex set diverges\n got: %s\nwant: %s", name, got.labeled, want.labeled)
+						diverged = true
 					}
 					if got.topoOK != want.topoOK {
 						t.Errorf("%s: topology isomorphism %v, reference %v", name, got.topoOK, want.topoOK)
+						diverged = true
 					}
+					return diverged
 				}
 
 				for _, v := range seqVariants(int64(gi)*37 + 1) {
-					r, err := sim.Sequential().Run(g, pc.make(), v.opts)
-					check(v.name, r, err)
+					rec := replay.NewRecorder()
+					opts := v.opts
+					opts.Observer = rec
+					r, err := sim.Sequential().Run(g, pc.make(), opts)
+					if check(v.name, r, err) {
+						saveMinimalRepro(t, g, pc.make, rec, opts.Scheduler.Name(), opts.Seed, r, err)
+					}
 				}
 				r, err := sim.Concurrent().Run(g, pc.make(), sim.Options{})
 				check("concurrent", r, err)
@@ -179,6 +265,67 @@ func TestCrossEngineConformance(t *testing.T) {
 				check("sync", r, err)
 			})
 		}
+	}
+}
+
+// TestReproHookSavesMinimalTrace drives the on-divergence hook directly,
+// treating a real run as if the matrix had flagged it: the hook must write a
+// decodable, truncated, minimized trace whose lenient replay reproduces the
+// observed outcome exactly — the witness pins the divergence, not just "some
+// schedule that differs from the reference".
+func TestReproHookSavesMinimalTrace(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("ANON_REPRO_DIR", dir)
+
+	g := graph.Ring(5)
+	makeProto := func() protocol.Protocol { return core.NewLabelAssign(nil) }
+	sched, err := sim.NewScheduler("random")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := replay.NewRecorder()
+	r, err := sim.Sequential().Run(g, makeProto(), sim.Options{Scheduler: sched, Seed: 3, Observer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, _ := computeOutcome(g, r)
+
+	saveMinimalRepro(t, g, makeProto, rec, "random", 3, r, nil)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("hook wrote %d files, want 1", len(entries))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := replay.Decode(data)
+	if err != nil {
+		t.Fatalf("saved repro does not decode: %v", err)
+	}
+	if !tr.Truncated {
+		t.Error("saved repro is not marked truncated")
+	}
+	g2, err := tr.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := replay.Run(g2, makeProto(), tr, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := computeOutcome(g2, r2)
+	if got != observed {
+		t.Errorf("replayed repro does not reproduce the observed outcome\n got: %+v\nwant: %+v", got, observed)
+	}
+	// Reproducing a terminated labeled run takes real deliveries: the
+	// witness must be non-empty and no longer than the original run.
+	if n := len(tr.Deliveries()); n == 0 || n > r.Steps {
+		t.Errorf("minimized trace has %d deliveries, original run had %d", n, r.Steps)
 	}
 }
 

@@ -63,3 +63,22 @@ func Isomorphic(g, h *G) bool {
 		g.NumEdges() == h.NumEdges() &&
 		g.CanonicalString() == h.CanonicalString()
 }
+
+// Fingerprint returns a 64-bit hash of the canonical form: isomorphic
+// anonymous networks share a fingerprint, and non-isomorphic ones collide
+// only with hash probability. Recorded traces carry it so a replayed
+// schedule can refuse to run against the wrong graph. The value is FNV-1a
+// over CanonicalString, stable across processes and releases (it is part of
+// the trace format).
+func (g *G) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range []byte(g.CanonicalString()) {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,50 @@
+package graph
+
+import "testing"
+
+// TestFingerprintIsomorphismInvariant: isomorphic graphs (same structure,
+// different vertex numbering) share a fingerprint; structurally different
+// graphs get different ones.
+func TestFingerprintIsomorphismInvariant(t *testing.T) {
+	g := Ring(5)
+
+	// Rebuild the same ring with permuted vertex IDs via the canonical text
+	// round trip of an explicitly renumbered builder.
+	b := NewBuilder(g.NumVertices())
+	perm := make([]VertexID, g.NumVertices())
+	for v := range perm {
+		perm[v] = VertexID((v + 3) % g.NumVertices())
+	}
+	for _, e := range g.Edges() {
+		b.AddEdge(perm[e.From], perm[e.To])
+	}
+	b.SetRoot(perm[g.Root()]).SetTerminal(perm[g.Terminal()])
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Isomorphic(g, h) {
+		t.Fatal("renumbered ring not isomorphic to the original")
+	}
+	if g.Fingerprint() != h.Fingerprint() {
+		t.Fatalf("isomorphic graphs have different fingerprints: %016x vs %016x",
+			g.Fingerprint(), h.Fingerprint())
+	}
+
+	for _, other := range []*G{Ring(6), Line(5), Chain(5), KaryGroundedTree(2, 2)} {
+		if other.Fingerprint() == g.Fingerprint() {
+			t.Fatalf("%s collides with %s", other, g)
+		}
+	}
+}
+
+// TestFingerprintStable pins a concrete value: the fingerprint is part of
+// the trace format, so it must not drift across releases.
+func TestFingerprintStable(t *testing.T) {
+	got := Line(3).Fingerprint()
+	const want = uint64(0x5c335d7ec660ba48)
+	if got != want {
+		t.Fatalf("Line(3) fingerprint %#016x, want %#016x — changing the canonical "+
+			"form or the hash breaks every recorded trace; bump replay.FormatVersion instead", got, want)
+	}
+}

@@ -1,0 +1,178 @@
+package replay
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/graph"
+)
+
+// FormatVersion is the current trace codec version. Decoders accept exactly
+// the versions they know; bumping this number is a compatibility event and
+// must come with a corpus update in testdata/.
+const FormatVersion = 1
+
+// traceMagic opens every encoded trace ("ANRT", anonymous-network replay
+// trace).
+const traceMagic = 0x414E5254
+
+// ErrBadTrace is wrapped by every Decode failure.
+var ErrBadTrace = errors.New("replay: malformed trace")
+
+// maxStringBytes bounds the header strings a decoder will allocate; real
+// protocol and scheduler names are tens of bytes.
+const maxStringBytes = 1 << 10
+
+// Encode renders tr in the versioned binary format:
+//
+//	magic     32 bits          "ANRT"
+//	version   gamma            FormatVersion
+//	truncated 1 bit
+//	graphFP   64 bits
+//	seed      64 bits          two's complement
+//	protocol  gamma0 len + bytes
+//	scheduler gamma0 len + bytes
+//	graph     gamma0 len + bytes (anonnet v1 text; len 0 = absent)
+//	nevents   gamma0
+//	events    nevents × (1-bit kind + gamma0 edge)
+//
+// The stream is bit-packed MSB-first and zero-padded to a byte boundary.
+func Encode(tr *Trace) []byte {
+	var w bitio.Writer
+	w.WriteBits(traceMagic, 32)
+	w.WriteGamma(FormatVersion)
+	if tr.Truncated {
+		w.WriteBit(1)
+	} else {
+		w.WriteBit(0)
+	}
+	w.WriteBits(tr.GraphFP, 64)
+	w.WriteBits(uint64(tr.Seed), 64)
+	writeString(&w, tr.Protocol)
+	writeString(&w, tr.Scheduler)
+	w.WriteGamma0(uint64(len(tr.GraphText)))
+	w.WriteBytes(tr.GraphText)
+	w.WriteGamma0(uint64(len(tr.Events)))
+	for _, ev := range tr.Events {
+		w.WriteBit(uint(ev.Kind))
+		w.WriteGamma0(uint64(ev.Edge))
+	}
+	return append([]byte(nil), w.Bytes()...)
+}
+
+func writeString(w *bitio.Writer, s string) {
+	w.WriteGamma0(uint64(len(s)))
+	w.WriteBytes([]byte(s))
+}
+
+// Decode parses an encoded trace. It validates the magic, version and all
+// length fields against the available bits, so truncated or corrupt input
+// returns an error wrapping ErrBadTrace — never a panic and never an
+// unbounded allocation.
+func Decode(data []byte) (*Trace, error) {
+	r := bitio.NewReader(data, -1)
+	magic, err := r.ReadBits(32)
+	if err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadTrace, err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic %08x", ErrBadTrace, magic)
+	}
+	version, err := r.ReadGamma()
+	if err != nil {
+		return nil, fmt.Errorf("%w: version: %v", ErrBadTrace, err)
+	}
+	if version != FormatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d (have %d)", ErrBadTrace, version, FormatVersion)
+	}
+	truncBit, err := r.ReadBit()
+	if err != nil {
+		return nil, fmt.Errorf("%w: flags: %v", ErrBadTrace, err)
+	}
+	fp, err := r.ReadBits(64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: fingerprint: %v", ErrBadTrace, err)
+	}
+	seed, err := r.ReadBits(64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: seed: %v", ErrBadTrace, err)
+	}
+	proto, err := readString(r, "protocol")
+	if err != nil {
+		return nil, err
+	}
+	sched, err := readString(r, "scheduler")
+	if err != nil {
+		return nil, err
+	}
+	graphLen, err := r.ReadGamma0()
+	if err != nil {
+		return nil, fmt.Errorf("%w: graph length: %v", ErrBadTrace, err)
+	}
+	// Divide rather than multiply: a crafted huge length must not overflow
+	// its way past the guard and into an unbounded allocation.
+	if graphLen > uint64(r.Remaining())/8 {
+		return nil, fmt.Errorf("%w: graph length %d exceeds remaining input", ErrBadTrace, graphLen)
+	}
+	var graphText []byte
+	if graphLen > 0 {
+		graphText, err = r.ReadBytes(int(graphLen))
+		if err != nil {
+			return nil, fmt.Errorf("%w: graph text: %v", ErrBadTrace, err)
+		}
+	}
+	nEvents, err := r.ReadGamma0()
+	if err != nil {
+		return nil, fmt.Errorf("%w: event count: %v", ErrBadTrace, err)
+	}
+	// Every event costs at least 2 bits (kind + gamma0(0)), which bounds the
+	// allocation by the input size; divide so a huge count cannot overflow
+	// past the guard.
+	if nEvents > uint64(r.Remaining())/2 {
+		return nil, fmt.Errorf("%w: event count %d exceeds remaining input", ErrBadTrace, nEvents)
+	}
+	events := make([]Event, 0, nEvents)
+	for i := uint64(0); i < nEvents; i++ {
+		kind, err := r.ReadBit()
+		if err != nil {
+			return nil, fmt.Errorf("%w: event %d kind: %v", ErrBadTrace, i, err)
+		}
+		edge, err := r.ReadGamma0()
+		if err != nil {
+			return nil, fmt.Errorf("%w: event %d edge: %v", ErrBadTrace, i, err)
+		}
+		if edge > 1<<40 {
+			return nil, fmt.Errorf("%w: event %d edge id %d out of range", ErrBadTrace, i, edge)
+		}
+		events = append(events, Event{Kind: EventKind(kind), Edge: graph.EdgeID(edge)})
+	}
+	return &Trace{
+		Version:   int(version),
+		GraphFP:   fp,
+		Protocol:  proto,
+		Scheduler: sched,
+		Seed:      int64(seed),
+		Truncated: truncBit == 1,
+		GraphText: graphText,
+		Events:    events,
+	}, nil
+}
+
+func readString(r *bitio.Reader, field string) (string, error) {
+	n, err := r.ReadGamma0()
+	if err != nil {
+		return "", fmt.Errorf("%w: %s length: %v", ErrBadTrace, field, err)
+	}
+	if n > maxStringBytes {
+		return "", fmt.Errorf("%w: %s length %d too large", ErrBadTrace, field, n)
+	}
+	if n*8 > uint64(r.Remaining()) {
+		return "", fmt.Errorf("%w: %s length %d exceeds remaining input", ErrBadTrace, field, n)
+	}
+	b, err := r.ReadBytes(int(n))
+	if err != nil {
+		return "", fmt.Errorf("%w: %s: %v", ErrBadTrace, field, err)
+	}
+	return string(b), nil
+}

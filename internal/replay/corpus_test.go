@@ -1,0 +1,99 @@
+package replay
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+var updateCorpus = flag.Bool("update-corpus", false,
+	"re-record the testdata/ trace corpus (run after an intentional format change)")
+
+// corpusCases spans the protocol classes and a spread of schedulers; the
+// recorded files pin the trace format AND the engines' event streams: a
+// change that breaks either makes TestCorpusReplays fail, which is the
+// signal to bump FormatVersion and regenerate with -update-corpus.
+var corpusCases = []struct {
+	file  string
+	graph func() *graph.G
+	proto string // replay.ProtocolFactory name
+	sched string
+	seed  int64
+}{
+	{"treecast-pow2-karytree.trace", func() *graph.G { return graph.KaryGroundedTree(2, 2) }, "treecast/pow2", "fifo", 1},
+	{"treecast-naive-randtree.trace", func() *graph.G { return graph.RandomGroundedTree(7, 0.3, 5) }, "treecast/naive", "lifo", 2},
+	{"dagcast-randdag.trace", func() *graph.G { return graph.RandomDAG(7, 4, 3) }, "dagcast", "random", 3},
+	{"generalcast-ring.trace", func() *graph.G { return graph.Ring(6) }, "generalcast", "starve-oldest", 4},
+	{"generalcast-layered.trace", func() *graph.G { return graph.LayeredDigraph(3, 3, 7) }, "generalcast", "latency-pareto", 5},
+	{"labelcast-randnet.trace", func() *graph.G {
+		return graph.RandomDigraph(8, 11, graph.RandomDigraphOpts{ExtraEdges: 8, TerminalFrac: 0.3})
+	}, "labelcast", "greedy", 6},
+	{"mapcast-ring.trace", func() *graph.G { return graph.Ring(4) }, "mapcast", "rr-vertex", 7},
+}
+
+// TestCorpusReplays decodes every committed trace, rebuilds the graph and
+// protocol from the file alone, replays it strictly, and demands the
+// re-recorded trace be byte-identical to the file. Any accidental
+// incompatible change to the codec, the fingerprint, the engine, a protocol
+// or a scheduler shows up here before it can orphan traces in the wild.
+func TestCorpusReplays(t *testing.T) {
+	if *updateCorpus {
+		writeCorpus(t)
+	}
+	for _, c := range corpusCases {
+		t.Run(c.file, func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join("testdata", c.file))
+			if err != nil {
+				t.Fatalf("%v (regenerate with go test ./internal/replay -run TestCorpusReplays -update-corpus)", err)
+			}
+			tr, err := Decode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Protocol != c.proto || tr.Scheduler != c.sched || tr.Seed != c.seed {
+				t.Fatalf("header drifted: %s/%s/%d, want %s/%s/%d",
+					tr.Protocol, tr.Scheduler, tr.Seed, c.proto, c.sched, c.seed)
+			}
+			g, err := tr.Graph()
+			if err != nil {
+				t.Fatal(err)
+			}
+			newProto, err := ProtocolFactory(tr.Protocol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := NewRecorder()
+			if _, err := Run(g, newProto(), tr, sim.Options{Observer: rec}); err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			tr2 := rec.Trace(g, tr.Protocol, tr.Scheduler, tr.Seed)
+			if !bytes.Equal(data, Encode(tr2)) {
+				t.Fatalf("replay of %s is not byte-identical to the committed trace", c.file)
+			}
+		})
+	}
+}
+
+func writeCorpus(t *testing.T) {
+	t.Helper()
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range corpusCases {
+		g := c.graph()
+		newProto, err := ProtocolFactory(c.proto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, _ := record(t, g, newProto(), c.sched, c.seed)
+		if err := os.WriteFile(filepath.Join("testdata", c.file), Encode(tr), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote testdata/%s (%d events)", c.file, len(tr.Events))
+	}
+}

@@ -1,0 +1,128 @@
+package replay
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bitio"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// FuzzDecode: the codec must never panic and never allocate unboundedly on
+// hostile input; whatever it does accept must re-encode and re-decode to the
+// same trace.
+func FuzzDecode(f *testing.F) {
+	g := graph.Ring(5)
+	sched, err := sim.NewScheduler("random")
+	if err != nil {
+		f.Fatal(err)
+	}
+	rec := NewRecorder()
+	if _, err := sim.Run(g, core.NewGeneralBroadcast([]byte("m")), sim.Options{
+		Scheduler: sched, Seed: 7, Observer: rec,
+	}); err != nil {
+		f.Fatal(err)
+	}
+	// Seed with a real encoded trace and a few degenerate inputs.
+	f.Add(Encode(rec.Trace(g, "generalcast", "random", 7)))
+	f.Add(Encode(&Trace{Protocol: "p", Scheduler: "s"}))
+	f.Add([]byte{})
+	f.Add([]byte{0x41, 0x4E, 0x52, 0x54})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := Encode(dec)
+		dec2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode of re-encode failed: %v", err)
+		}
+		if dec2.GraphFP != dec.GraphFP || dec2.Protocol != dec.Protocol ||
+			dec2.Scheduler != dec.Scheduler || dec2.Seed != dec.Seed ||
+			dec2.Truncated != dec.Truncated || len(dec2.Events) != len(dec.Events) {
+			t.Fatal("re-encode round trip not stable")
+		}
+	})
+}
+
+// TestDecodeCorruptInputs pins the loud-error guarantee on a table of
+// specifically malformed inputs: truncations at every prefix length of a
+// valid trace, a flipped magic, and byte-level corruption (which may decode
+// but must never panic).
+func TestDecodeCorruptInputs(t *testing.T) {
+	g := graph.Line(3)
+	sched, err := sim.NewScheduler("fifo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	if _, err := sim.Run(g, core.NewTreeBroadcast([]byte("m"), core.RulePow2), sim.Options{
+		Scheduler: sched, Observer: rec,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	valid := Encode(rec.Trace(g, "treecast/pow2", "fifo", 1))
+	if _, err := Decode(valid); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	// Every strict prefix must error, never panic.
+	for n := 0; n < len(valid); n++ {
+		if _, err := Decode(valid[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded without error", n)
+		}
+	}
+	// Flip the magic.
+	bad := append([]byte(nil), valid...)
+	bad[0] ^= 0xFF
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("bad magic decoded without error")
+	}
+	// Corrupt each byte in turn; decoding may succeed (the flip may land in
+	// the payload) but must never panic.
+	for i := range valid {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0x55
+		_, _ = Decode(mut)
+	}
+}
+
+// TestDecodeOverflowLengths pins the overflow hardening of the length
+// guards: a crafted header declaring a near-2^64 graph length or event
+// count must error, not wrap past the bounds check into a huge allocation
+// or a panic.
+func TestDecodeOverflowLengths(t *testing.T) {
+	header := func() *bitio.Writer {
+		var w bitio.Writer
+		w.WriteBits(traceMagic, 32)
+		w.WriteGamma(FormatVersion)
+		w.WriteBit(0)      // not truncated
+		w.WriteBits(0, 64) // fingerprint
+		w.WriteBits(0, 64) // seed
+		w.WriteGamma0(1)   // protocol name length
+		w.WriteBytes([]byte{'p'})
+		w.WriteGamma0(1) // scheduler name length
+		w.WriteBytes([]byte{'s'})
+		return &w
+	}
+
+	// graphLen = 2^61: graphLen*8 would wrap to 0 and slip past a
+	// multiplying guard.
+	w := header()
+	w.WriteGamma0(1 << 61)
+	if _, err := Decode(w.Bytes()); err == nil {
+		t.Fatal("2^61 graph length decoded without error")
+	}
+
+	// nEvents = 2^63: nEvents*2 would wrap to 0.
+	w = header()
+	w.WriteGamma0(0) // no graph text
+	w.WriteGamma0(1 << 63)
+	if _, err := Decode(w.Bytes()); err == nil {
+		t.Fatal("2^63 event count decoded without error")
+	}
+}

@@ -1,0 +1,43 @@
+package replay
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/protocol"
+)
+
+// protocolFactories maps protocol.Protocol.Name() strings, as stored in
+// trace headers, back to constructors. Traces do not record the broadcast
+// payload — message contents are payload-dependent but the event schedule is
+// not, so replays use a canonical one-byte payload.
+var protocolFactories = map[string]func() protocol.Protocol{
+	"treecast/pow2":  func() protocol.Protocol { return core.NewTreeBroadcast([]byte("m"), core.RulePow2) },
+	"treecast/naive": func() protocol.Protocol { return core.NewTreeBroadcast([]byte("m"), core.RuleNaive) },
+	"dagcast":        func() protocol.Protocol { return core.NewDAGBroadcast([]byte("m")) },
+	"generalcast":    func() protocol.Protocol { return core.NewGeneralBroadcast([]byte("m")) },
+	"labelcast":      func() protocol.Protocol { return core.NewLabelAssign(nil) },
+	"mapcast":        func() protocol.Protocol { return core.NewMapExtract(nil) },
+}
+
+// ProtocolFactory resolves the protocol name recorded in a trace header to a
+// constructor producing fresh instances, so a self-contained trace file can
+// be replayed without the caller knowing which protocol produced it.
+func ProtocolFactory(name string) (func() protocol.Protocol, error) {
+	f, ok := protocolFactories[name]
+	if !ok {
+		return nil, fmt.Errorf("replay: unknown protocol %q (have %v)", name, ProtocolNames())
+	}
+	return f, nil
+}
+
+// ProtocolNames lists the replayable protocols, sorted.
+func ProtocolNames() []string {
+	names := make([]string, 0, len(protocolFactories))
+	for n := range protocolFactories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,208 @@
+// Package replay pins adversarial schedules: it records the send/deliver
+// event stream of a deterministic run into a compact, versioned binary trace
+// (via internal/bitio), re-executes a recorded schedule exactly through a
+// sim.Scheduler, and delta-debugs a failing trace down to a minimal
+// adversarial prefix.
+//
+// The paper's guarantees are schedule-independent, so any schedule that ever
+// makes an engine diverge from the sequential reference is a bug witness —
+// and a recorded trace is exactly the advice string that turns that
+// randomized adversarial run into a deterministic regression test. The
+// workflow is:
+//
+//	rec := replay.NewRecorder()
+//	r, _ := sim.Run(g, p, sim.Options{Scheduler: adv, Seed: s, Observer: rec})
+//	tr := rec.Trace(g, p.Name(), adv.Name(), s)   // pin the schedule
+//	data := replay.Encode(tr)                     // ship it / commit it
+//
+//	tr, _ = replay.Decode(data)
+//	r2, _ := replay.Run(g, p, tr, sim.Options{})  // byte-identical re-run
+//
+//	min, _ := replay.Shrink(g, newP, tr, pred)    // 1-minimal failing prefix
+//
+// A trace is self-contained: besides the delivery schedule it embeds the
+// graph (anonnet v1 text) and carries the graph's canonical fingerprint, the
+// protocol name, the scheduler name and the seed, so replaying against the
+// wrong graph or protocol fails loudly instead of producing garbage.
+package replay
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// EventKind distinguishes sends from deliveries.
+type EventKind uint8
+
+// Event kinds. The numeric values are part of the trace format.
+const (
+	// Send is a message entering an edge.
+	Send EventKind = 0
+	// Deliver is a message leaving an edge into its target vertex.
+	Deliver EventKind = 1
+)
+
+// String returns the kind name.
+func (k EventKind) String() string {
+	switch k {
+	case Send:
+		return "send"
+	case Deliver:
+		return "deliver"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one recorded engine event: a message entering or leaving an edge.
+// Message contents are not recorded — given the graph, the protocol and the
+// delivery order, the engine reproduces them deterministically.
+type Event struct {
+	Kind EventKind
+	Edge graph.EdgeID
+}
+
+// Trace is a recorded schedule with its provenance header.
+type Trace struct {
+	// Version is the codec version the trace was decoded from (or
+	// FormatVersion for freshly recorded traces).
+	Version int
+	// GraphFP is graph.Fingerprint() of the graph the trace was recorded
+	// on; Verify refuses a mismatching graph.
+	GraphFP uint64
+	// Protocol is the protocol.Protocol.Name() of the recorded run.
+	Protocol string
+	// Scheduler is the adversary that produced the schedule (a
+	// sim.SchedulerNames() entry, "sync", or "replay-shrunk").
+	Scheduler string
+	// Seed is the scheduler seed of the recorded run.
+	Seed int64
+	// Truncated marks a shrunk or otherwise partial trace: replay stops
+	// cleanly when the schedule is exhausted and skips undeliverable
+	// entries instead of declaring divergence.
+	Truncated bool
+	// GraphText is the recorded graph in the anonnet v1 text format, so a
+	// trace file is self-contained. May be empty for in-memory traces.
+	GraphText []byte
+	// Events is the full send/deliver stream in engine order.
+	Events []Event
+}
+
+// Deliveries returns the delivery schedule: the edge of every Deliver event,
+// in order. This is the part of the trace the replay scheduler enforces;
+// sends are derived.
+func (t *Trace) Deliveries() []graph.EdgeID {
+	var ds []graph.EdgeID
+	for _, ev := range t.Events {
+		if ev.Kind == Deliver {
+			ds = append(ds, ev.Edge)
+		}
+	}
+	return ds
+}
+
+// Graph reconstructs the embedded graph, or errors if the trace carries none.
+func (t *Trace) Graph() (*graph.G, error) {
+	if len(t.GraphText) == 0 {
+		return nil, fmt.Errorf("replay: trace embeds no graph")
+	}
+	g, err := graph.ParseText(bytes.NewReader(t.GraphText))
+	if err != nil {
+		return nil, fmt.Errorf("replay: embedded graph: %w", err)
+	}
+	if fp := g.Fingerprint(); fp != t.GraphFP {
+		return nil, fmt.Errorf("replay: embedded graph fingerprint %016x does not match header %016x", fp, t.GraphFP)
+	}
+	return g, nil
+}
+
+// Verify checks that tr was recorded on (an isomorphic copy of) g running
+// the named protocol, without running anything.
+func Verify(tr *Trace, g *graph.G, protoName string) error {
+	if fp := g.Fingerprint(); fp != tr.GraphFP {
+		return fmt.Errorf("replay: graph fingerprint mismatch: trace %016x, graph %s is %016x", tr.GraphFP, g, fp)
+	}
+	if protoName != tr.Protocol {
+		return fmt.Errorf("replay: protocol mismatch: trace recorded %q, replaying %q", tr.Protocol, protoName)
+	}
+	nE := graph.EdgeID(g.NumEdges())
+	for i, ev := range tr.Events {
+		if ev.Edge < 0 || ev.Edge >= nE {
+			return fmt.Errorf("replay: event %d references edge %d, graph has %d edges", i, ev.Edge, nE)
+		}
+	}
+	return nil
+}
+
+// Recorder implements sim.Observer and accumulates the event stream in the
+// trace's compact form. Attach it via sim.Options.Observer (the deterministic
+// engines honor it); combine with other observers via sim.TeeObserver.
+type Recorder struct {
+	events []Event
+}
+
+var _ sim.Observer = (*Recorder)(nil)
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// OnSend implements sim.Observer.
+func (r *Recorder) OnSend(e graph.EdgeID, msg protocol.Message) {
+	r.events = append(r.events, Event{Kind: Send, Edge: e})
+}
+
+// OnDeliver implements sim.Observer.
+func (r *Recorder) OnDeliver(step int, e graph.EdgeID, msg protocol.Message) {
+	r.events = append(r.events, Event{Kind: Deliver, Edge: e})
+}
+
+// Events returns the recorded events in order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Reset discards all recorded events so the Recorder can observe a new run.
+func (r *Recorder) Reset() { r.events = r.events[:0] }
+
+// Trace packages the recorded events with a provenance header for the run
+// they came from: the graph (fingerprint + embedded text), protocol name,
+// scheduler name and seed.
+func (r *Recorder) Trace(g *graph.G, protoName, schedName string, seed int64) *Trace {
+	return &Trace{
+		Version:   FormatVersion,
+		GraphFP:   g.Fingerprint(),
+		Protocol:  protoName,
+		Scheduler: schedName,
+		Seed:      seed,
+		GraphText: g.MarshalText(),
+		Events:    append([]Event(nil), r.events...),
+	}
+}
+
+// Run re-executes tr on g with protocol p under the sequential engine. The
+// trace must match g and p (Verify); the schedule is enforced exactly, and —
+// unless the trace is marked Truncated — any divergence between the recorded
+// schedule and what the run actually makes deliverable is an error. Any
+// Scheduler already in opts is replaced; opts.Observer is honored, so a
+// caller can re-record the replayed run and assert byte identity.
+func Run(g *graph.G, p protocol.Protocol, tr *Trace, opts sim.Options) (*sim.Result, error) {
+	if err := Verify(tr, g, p.Name()); err != nil {
+		return nil, err
+	}
+	rep := NewReplayer(tr)
+	opts.Scheduler = rep
+	opts.Seed = tr.Seed
+	r, err := sim.Run(g, p, opts)
+	if err != nil {
+		return r, err
+	}
+	if rerr := rep.Err(); rerr != nil {
+		return r, rerr
+	}
+	if !tr.Truncated && rep.Remaining() > 0 {
+		return r, fmt.Errorf("replay: run ended with %d scheduled deliveries left (protocol terminated earlier than the recording)", rep.Remaining())
+	}
+	return r, nil
+}

@@ -1,0 +1,196 @@
+package replay
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// protoCase mirrors the conformance suite: one protocol under test with a
+// fresh-state factory and the graph families it applies to.
+type protoCase struct {
+	name   string
+	make   func() protocol.Protocol
+	graphs []*graph.G
+}
+
+func protoCases() []protoCase {
+	trees := []*graph.G{
+		graph.Line(4),
+		graph.KaryGroundedTree(2, 2),
+		graph.RandomGroundedTree(8, 0.3, 5),
+	}
+	dags := append([]*graph.G{graph.RandomDAG(8, 5, 3)}, trees...)
+	general := append([]*graph.G{
+		graph.Ring(5),
+		graph.RandomDigraph(8, 11, graph.RandomDigraphOpts{ExtraEdges: 8, TerminalFrac: 0.3}),
+	}, dags...)
+	return []protoCase{
+		{"treecast", func() protocol.Protocol { return core.NewTreeBroadcast([]byte("m"), core.RulePow2) }, trees},
+		{"dagcast", func() protocol.Protocol { return core.NewDAGBroadcast([]byte("m")) }, dags},
+		{"generalcast", func() protocol.Protocol { return core.NewGeneralBroadcast([]byte("m")) }, general},
+		{"labelcast", func() protocol.Protocol { return core.NewLabelAssign(nil) }, general},
+		{"mapcast", func() protocol.Protocol { return core.NewMapExtract(nil) }, general},
+	}
+}
+
+// record runs p on g under the named scheduler and returns the pinned trace
+// plus the run's result.
+func record(t *testing.T, g *graph.G, p protocol.Protocol, schedName string, seed int64) (*Trace, *sim.Result) {
+	t.Helper()
+	sched, err := sim.NewScheduler(schedName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	r, err := sim.Run(g, p, sim.Options{Scheduler: sched, Seed: seed, Observer: rec})
+	if err != nil {
+		t.Fatalf("record %s on %s: %v", schedName, g, err)
+	}
+	return rec.Trace(g, p.Name(), schedName, seed), r
+}
+
+// TestReplayByteIdentical is the acceptance property: a trace recorded under
+// every seeded scheduler, on every protocol × graph-family cell, replays
+// through the Replayer into a byte-identical event trace (and the same
+// verdict and step count).
+func TestReplayByteIdentical(t *testing.T) {
+	for _, pc := range protoCases() {
+		for gi, g := range pc.graphs {
+			for _, schedName := range sim.SchedulerNames() {
+				name := fmt.Sprintf("%s/%s-%d/%s", pc.name, g.Name(), gi, schedName)
+				t.Run(name, func(t *testing.T) {
+					seed := int64(gi)*101 + 7
+					tr, r1 := record(t, g, pc.make(), schedName, seed)
+					enc := Encode(tr)
+
+					// Replay through the decoded trace, re-recording.
+					dec, err := Decode(enc)
+					if err != nil {
+						t.Fatalf("decode: %v", err)
+					}
+					rec2 := NewRecorder()
+					r2, err := Run(g, pc.make(), dec, sim.Options{Observer: rec2})
+					if err != nil {
+						t.Fatalf("replay: %v", err)
+					}
+					tr2 := rec2.Trace(g, tr.Protocol, tr.Scheduler, tr.Seed)
+					if !bytes.Equal(enc, Encode(tr2)) {
+						t.Fatalf("replayed trace is not byte-identical (%d vs %d events)", len(tr.Events), len(tr2.Events))
+					}
+					if r1.Verdict != r2.Verdict || r1.Steps != r2.Steps {
+						t.Fatalf("replay result diverges: %s/%d vs %s/%d", r1.Verdict, r1.Steps, r2.Verdict, r2.Steps)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCodecRoundTrip checks Encode→Decode is the identity on every header
+// field, including the embedded graph.
+func TestCodecRoundTrip(t *testing.T) {
+	g := graph.Ring(5)
+	tr, _ := record(t, g, core.NewGeneralBroadcast([]byte("m")), "random", 42)
+	tr.Truncated = true // exercise the flag bit too
+	dec, err := Decode(Encode(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.GraphFP != tr.GraphFP || dec.Protocol != tr.Protocol ||
+		dec.Scheduler != tr.Scheduler || dec.Seed != tr.Seed ||
+		dec.Truncated != tr.Truncated || !bytes.Equal(dec.GraphText, tr.GraphText) {
+		t.Fatalf("header round trip mismatch:\n got %+v\nwant %+v", dec, tr)
+	}
+	if len(dec.Events) != len(tr.Events) {
+		t.Fatalf("event count %d, want %d", len(dec.Events), len(tr.Events))
+	}
+	for i := range dec.Events {
+		if dec.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d: %+v, want %+v", i, dec.Events[i], tr.Events[i])
+		}
+	}
+	g2, err := dec.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.Isomorphic(g, g2) {
+		t.Fatal("embedded graph does not reconstruct isomorphically")
+	}
+	if dec.Seed != 42 {
+		t.Fatalf("seed %d, want 42", dec.Seed)
+	}
+}
+
+// TestNegativeSeedRoundTrip pins the two's-complement seed encoding.
+func TestNegativeSeedRoundTrip(t *testing.T) {
+	g := graph.Line(3)
+	tr, _ := record(t, g, core.NewTreeBroadcast(nil, core.RulePow2), "fifo", -12345)
+	dec, err := Decode(Encode(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Seed != -12345 {
+		t.Fatalf("seed %d, want -12345", dec.Seed)
+	}
+}
+
+// TestVerifyMismatch: replaying against the wrong graph or protocol must
+// error loudly before anything runs.
+func TestVerifyMismatch(t *testing.T) {
+	g := graph.Ring(5)
+	tr, _ := record(t, g, core.NewGeneralBroadcast([]byte("m")), "fifo", 1)
+
+	if _, err := Run(graph.Ring(6), core.NewGeneralBroadcast([]byte("m")), tr, sim.Options{}); err == nil {
+		t.Fatal("replay against a different graph did not error")
+	}
+	if _, err := Run(g, core.NewLabelAssign(nil), tr, sim.Options{}); err == nil {
+		t.Fatal("replay with a different protocol did not error")
+	}
+}
+
+// TestStrictDivergence: tampering with the recorded schedule must surface a
+// divergence error from a strict replay, not silent garbage.
+func TestStrictDivergence(t *testing.T) {
+	g := graph.Ring(6)
+	tr, _ := record(t, g, core.NewGeneralBroadcast([]byte("m")), "fifo", 1)
+
+	// Truncate the schedule: strict replay must report leftover traffic.
+	cut := &Trace{
+		GraphFP: tr.GraphFP, Protocol: tr.Protocol, Scheduler: tr.Scheduler,
+		Seed: tr.Seed, Events: tr.Events[:len(tr.Events)/2],
+	}
+	if _, err := Run(g, core.NewGeneralBroadcast([]byte("m")), cut, sim.Options{}); err == nil {
+		t.Fatal("strict replay of a truncated schedule did not error")
+	}
+
+	// The same trace marked Truncated replays cleanly (lenient mode).
+	cut.Truncated = true
+	if _, err := Run(g, core.NewGeneralBroadcast([]byte("m")), cut, sim.Options{}); err != nil {
+		t.Fatalf("lenient replay of a truncated schedule errored: %v", err)
+	}
+
+	// Prepend a delivery on an edge that cannot have a message yet (only the
+	// root's out-edge is live at step one): strict replay must flag the
+	// divergence immediately.
+	rootEdge := g.OutEdge(g.Root(), 0).ID
+	var other graph.EdgeID = -1
+	for _, e := range g.Edges() {
+		if e.ID != rootEdge {
+			other = e.ID
+			break
+		}
+	}
+	bad := &Trace{
+		GraphFP: tr.GraphFP, Protocol: tr.Protocol, Scheduler: tr.Scheduler,
+		Seed: tr.Seed, Events: append([]Event{{Kind: Deliver, Edge: other}}, tr.Events...),
+	}
+	if _, err := Run(g, core.NewGeneralBroadcast([]byte("m")), bad, sim.Options{}); err == nil {
+		t.Fatal("strict replay of an impossible schedule did not error")
+	}
+}

@@ -1,0 +1,122 @@
+package replay
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Replayer is a sim.Scheduler that re-executes a recorded delivery schedule
+// verbatim: Pop returns the recorded edges in order, so a replayed run is
+// byte-identical to the recording (same sends, same deliveries, same steps).
+//
+// Two modes exist:
+//
+//   - strict (the default for full recordings): the next scheduled edge must
+//     be deliverable exactly when its turn comes, and the run must consume
+//     the whole schedule. Any mismatch records a divergence error — the run
+//     stops cleanly and Err reports what went wrong, loudly naming the
+//     position. A strict divergence means graph, protocol or engine changed
+//     behavior since the trace was recorded.
+//   - lenient (Trace.Truncated, used by the shrinker): scheduled entries
+//     that are not currently deliverable are skipped, and the run simply
+//     ends when the schedule is exhausted, leaving undelivered messages in
+//     flight. This is what makes a delivery subsequence a runnable
+//     hypothesis during delta debugging.
+//
+// The scheduler contract's Len is interpreted as "can the replay deliver
+// another scheduled event": the engine only ever compares it with zero.
+type Replayer struct {
+	script  []graph.EdgeID
+	lenient bool
+
+	cursor  int
+	pending []bool
+	npend   int
+	err     error
+}
+
+var _ sim.Scheduler = (*Replayer)(nil)
+
+// NewReplayer returns a Replayer for the trace's delivery schedule, lenient
+// exactly when the trace is marked Truncated.
+func NewReplayer(tr *Trace) *Replayer {
+	return &Replayer{script: tr.Deliveries(), lenient: tr.Truncated}
+}
+
+// NewLenientReplayer returns a lenient Replayer over a bare delivery
+// sequence; the shrinker uses it to test candidate subsequences.
+func NewLenientReplayer(deliveries []graph.EdgeID) *Replayer {
+	return &Replayer{script: deliveries, lenient: true}
+}
+
+// Name implements sim.Scheduler.
+func (r *Replayer) Name() string { return "replay" }
+
+// Err returns the divergence recorded during the run, if any. Check it after
+// every strict replay.
+func (r *Replayer) Err() error { return r.err }
+
+// Remaining returns the number of scheduled deliveries not yet executed.
+func (r *Replayer) Remaining() int { return len(r.script) - r.cursor }
+
+// Reset implements sim.Scheduler.
+func (r *Replayer) Reset(ctx sim.SchedContext) {
+	nE := ctx.Graph.NumEdges()
+	if cap(r.pending) < nE {
+		r.pending = make([]bool, nE)
+	} else {
+		r.pending = r.pending[:nE]
+		for e := range r.pending {
+			r.pending[e] = false
+		}
+	}
+	r.npend = 0
+	r.cursor = 0
+	r.err = nil
+}
+
+// Push implements sim.Scheduler.
+func (r *Replayer) Push(pe sim.PendingEdge) {
+	r.pending[pe.Edge] = true
+	r.npend++
+}
+
+// Len implements sim.Scheduler. It returns a positive count exactly when the
+// next scheduled delivery can execute, advancing past skippable entries in
+// lenient mode and recording a divergence in strict mode.
+func (r *Replayer) Len() int {
+	if r.err != nil {
+		return 0
+	}
+	for r.cursor < len(r.script) {
+		e := r.script[r.cursor]
+		if int(e) < 0 || int(e) >= len(r.pending) {
+			r.err = fmt.Errorf("replay: delivery %d references edge %d, graph has %d edges", r.cursor, e, len(r.pending))
+			return 0
+		}
+		if r.pending[e] {
+			return len(r.script) - r.cursor
+		}
+		if !r.lenient {
+			r.err = fmt.Errorf("replay: divergence at delivery %d: edge %d has no deliverable message (%d edges pending)", r.cursor, e, r.npend)
+			return 0
+		}
+		r.cursor++ // lenient: the prerequisite was removed, skip the entry
+	}
+	if !r.lenient && r.npend > 0 {
+		r.err = fmt.Errorf("replay: schedule exhausted after %d deliveries with %d edges still pending", len(r.script), r.npend)
+	}
+	return 0
+}
+
+// Pop implements sim.Scheduler. The engine calls it only after Len() > 0, so
+// the cursor is positioned on a deliverable entry.
+func (r *Replayer) Pop() graph.EdgeID {
+	e := r.script[r.cursor]
+	r.cursor++
+	r.pending[e] = false
+	r.npend--
+	return e
+}

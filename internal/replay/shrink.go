@@ -1,0 +1,139 @@
+package replay
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// Predicate decides whether one replayed run still exhibits the failure
+// being minimized (verdict divergence, label collision, topology mismatch,
+// ...). It receives the run's result and error; returning true means "still
+// failing, keep shrinking toward this".
+type Predicate func(r *sim.Result, err error) bool
+
+// ShrinkResult reports a minimization.
+type ShrinkResult struct {
+	// Trace is the minimized trace: a lenient (Truncated) re-recording of
+	// the minimal failing delivery sequence, with the original header.
+	Trace *Trace
+	// Before and After are the delivery counts of the input and output.
+	Before, After int
+	// Runs is the number of oracle executions the search spent.
+	Runs int
+}
+
+// Shrink minimizes tr to a 1-minimal failing delivery sequence: the
+// predicate still fails on the result, and removing any single delivery
+// makes it pass. The oracle re-runs the sequential engine on g with a fresh
+// protocol from newProto under a lenient Replayer per candidate. The search
+// is suffix truncation (binary search to a failing prefix) followed by ddmin
+// over the remaining delivery choices; it is deterministic, so the same
+// input always shrinks to the same witness.
+func Shrink(g *graph.G, newProto func() protocol.Protocol, tr *Trace, pred Predicate) (*ShrinkResult, error) {
+	if err := Verify(tr, g, newProto().Name()); err != nil {
+		return nil, err
+	}
+	full := tr.Deliveries()
+	res := &ShrinkResult{Before: len(full)}
+	failing := func(seq []graph.EdgeID) bool {
+		res.Runs++
+		rep := NewLenientReplayer(seq)
+		r, err := sim.Run(g, newProto(), sim.Options{Scheduler: rep, Seed: tr.Seed})
+		return pred(r, err)
+	}
+	if !failing(full) {
+		return nil, fmt.Errorf("replay: predicate passes on the full trace; nothing to shrink")
+	}
+	seq := minFailingPrefix(full, failing)
+	seq = ddmin(seq, failing)
+	res.After = len(seq)
+
+	// Re-record the minimal run so the output trace carries the actual
+	// event stream (sends included) of its own replay.
+	rec := NewRecorder()
+	rep := NewLenientReplayer(seq)
+	r, err := sim.Run(g, newProto(), sim.Options{Scheduler: rep, Seed: tr.Seed, Observer: rec})
+	if err != nil {
+		return nil, fmt.Errorf("replay: re-recording minimal run: %w", err)
+	}
+	if !pred(r, err) {
+		return nil, fmt.Errorf("replay: minimal run no longer fails the predicate (non-deterministic predicate?)")
+	}
+	out := rec.Trace(g, tr.Protocol, "replay-shrunk", tr.Seed)
+	out.Truncated = true
+	res.Trace = out
+	return res, nil
+}
+
+// minFailingPrefix binary-searches the shortest failing prefix. The
+// invariant "seq[:hi] fails" is maintained throughout, so the result always
+// fails even when the predicate is not monotone in the prefix length (ddmin
+// afterwards guarantees 1-minimality regardless).
+func minFailingPrefix(seq []graph.EdgeID, failing func([]graph.EdgeID) bool) []graph.EdgeID {
+	lo, hi := 0, len(seq)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if failing(seq[:mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return seq[:hi:hi]
+}
+
+// ddmin is Zeller's delta-debugging minimization over the delivery sequence:
+// repeatedly try chunks and chunk complements at increasing granularity. On
+// return the sequence is 1-minimal — the final granularity has one element
+// per chunk, so every single-element removal was tried and passed.
+func ddmin(seq []graph.EdgeID, failing func([]graph.EdgeID) bool) []graph.EdgeID {
+	n := 2
+	for len(seq) >= 2 {
+		chunkSize := (len(seq) + n - 1) / n
+		reduced := false
+
+		// Try each chunk alone (reduce to subset).
+		for lo := 0; lo < len(seq); lo += chunkSize {
+			hi := min(lo+chunkSize, len(seq))
+			if failing(seq[lo:hi]) {
+				seq = append([]graph.EdgeID(nil), seq[lo:hi]...)
+				n = 2
+				reduced = true
+				break
+			}
+		}
+		if reduced {
+			continue
+		}
+
+		// Try each complement (reduce by removing one chunk). At n == 2 the
+		// complements are the chunks themselves, already tried.
+		if n > 2 {
+			for lo := 0; lo < len(seq); lo += chunkSize {
+				hi := min(lo+chunkSize, len(seq))
+				comp := make([]graph.EdgeID, 0, len(seq)-(hi-lo))
+				comp = append(comp, seq[:lo]...)
+				comp = append(comp, seq[hi:]...)
+				if failing(comp) {
+					seq = comp
+					n = max(n-1, 2)
+					reduced = true
+					break
+				}
+			}
+		}
+		if reduced {
+			continue
+		}
+
+		if n < len(seq) {
+			n = min(2*n, len(seq))
+			continue
+		}
+		break
+	}
+	return seq
+}

@@ -1,0 +1,160 @@
+package replay
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// TestShrinkMinimalPrefix is the shrinker acceptance test: a synthetic
+// "divergence" (a predicate on a far vertex being reached) injected on a
+// ≥1k-delivery random-scheduler trace must shrink deterministically to a
+// 1-minimal failing sequence — removing any single delivery makes the
+// predicate pass — well inside the 10 s budget.
+func TestShrinkMinimalPrefix(t *testing.T) {
+	g := graph.RandomDigraph(60, 11, graph.RandomDigraphOpts{ExtraEdges: 120, TerminalFrac: 0.2})
+	newProto := func() protocol.Protocol { return core.NewGeneralBroadcast([]byte("m")) }
+
+	tr, r := record(t, g, newProto(), "random", 3)
+	if r.Steps < 1000 {
+		t.Fatalf("trace too small for the acceptance bound: %d deliveries", r.Steps)
+	}
+
+	// The injected failure: some vertex far from the root got the broadcast.
+	// Finding the minimal delivery sequence that still reaches it is the
+	// same search as minimizing a real conformance divergence.
+	target := farthestVertex(g)
+	pred := func(r *sim.Result, err error) bool {
+		return err == nil && r != nil && r.Visited[target]
+	}
+
+	start := time.Now()
+	res, err := Shrink(g, newProto, tr, pred)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("shrink took %v, budget 10s", elapsed)
+	}
+	t.Logf("shrunk %d -> %d deliveries in %v (%d oracle runs)", res.Before, res.After, elapsed, res.Runs)
+	if res.After >= res.Before {
+		t.Fatalf("no reduction: %d -> %d", res.Before, res.After)
+	}
+
+	// The minimized trace must itself fail the predicate when replayed.
+	min := res.Trace.Deliveries()
+	runWith := func(seq []graph.EdgeID) bool {
+		rr, rerr := sim.Run(g, newProto(), sim.Options{Scheduler: NewLenientReplayer(seq), Seed: tr.Seed})
+		return pred(rr, rerr)
+	}
+	if !runWith(min) {
+		t.Fatal("minimized trace does not fail the predicate")
+	}
+
+	// 1-minimality: removing any single delivery makes the predicate pass.
+	for i := range min {
+		cand := make([]graph.EdgeID, 0, len(min)-1)
+		cand = append(cand, min[:i]...)
+		cand = append(cand, min[i+1:]...)
+		if runWith(cand) {
+			t.Fatalf("not 1-minimal: removing delivery %d (edge %d) still fails", i, min[i])
+		}
+	}
+
+	// Determinism: shrinking again yields the identical witness.
+	res2, err := Shrink(g, newProto, tr, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min2 := res2.Trace.Deliveries()
+	if len(min2) != len(min) {
+		t.Fatalf("non-deterministic shrink: %d vs %d deliveries", len(min), len(min2))
+	}
+	for i := range min {
+		if min[i] != min2[i] {
+			t.Fatalf("non-deterministic shrink at delivery %d: edge %d vs %d", i, min[i], min2[i])
+		}
+	}
+}
+
+// farthestVertex returns a vertex at maximal BFS depth from the root, the
+// most shrink-resistant target.
+func farthestVertex(g *graph.G) graph.VertexID {
+	depth := make([]int, g.NumVertices())
+	for v := range depth {
+		depth[v] = -1
+	}
+	depth[g.Root()] = 0
+	queue := []graph.VertexID{g.Root()}
+	far := g.Root()
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for j := 0; j < g.OutDegree(v); j++ {
+			w := g.OutEdge(v, j).To
+			if depth[w] == -1 {
+				depth[w] = depth[v] + 1
+				if depth[w] > depth[far] {
+					far = w
+				}
+				queue = append(queue, w)
+			}
+		}
+	}
+	return far
+}
+
+// TestShrinkRejectsPassingTrace: shrinking a trace whose run does not fail
+// the predicate is an explicit error, not an empty result.
+func TestShrinkRejectsPassingTrace(t *testing.T) {
+	g := graph.Ring(5)
+	newProto := func() protocol.Protocol { return core.NewGeneralBroadcast([]byte("m")) }
+	tr, _ := record(t, g, newProto(), "fifo", 1)
+	_, err := Shrink(g, newProto, tr, func(r *sim.Result, err error) bool { return false })
+	if err == nil {
+		t.Fatal("shrink of a passing trace did not error")
+	}
+}
+
+// TestShrinkQuiescencePredicate shrinks a real schedule-independent
+// predicate — the run going quiescent on a graph with a dead-end cycle — to
+// a handful of deliveries.
+func TestShrinkQuiescencePredicate(t *testing.T) {
+	b := graph.NewBuilder(0)
+	s := b.AddVertex()
+	a := b.AddVertex()
+	x := b.AddVertex()
+	y := b.AddVertex()
+	tt := b.AddVertex()
+	b.AddEdge(s, a)
+	b.AddEdge(a, x).AddEdge(a, tt)
+	b.AddEdge(x, y)
+	b.AddEdge(y, x)
+	b.SetRoot(s).SetTerminal(tt).SetName("dead-end")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	newProto := func() protocol.Protocol { return core.NewGeneralBroadcast([]byte("m")) }
+	tr, r := record(t, g, newProto(), "random", 9)
+	if r.Verdict != sim.Quiescent {
+		t.Fatalf("verdict %s, want quiescent", r.Verdict)
+	}
+	res, err := Shrink(g, newProto, tr, func(r *sim.Result, err error) bool {
+		return err == nil && r.Verdict == sim.Quiescent
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quiescence holds even for the empty schedule's prefix... no: an empty
+	// delivery schedule quiesces trivially, so the minimum is zero
+	// deliveries — the shrinker must find exactly that.
+	if res.After != 0 {
+		t.Fatalf("quiescence witness should shrink to 0 deliveries, got %d", res.After)
+	}
+}

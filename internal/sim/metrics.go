@@ -243,6 +243,36 @@ type Observer interface {
 	OnDeliver(step int, e graph.EdgeID, msg protocol.Message)
 }
 
+// TeeObserver fans every event out to all given observers in order, so a run
+// can feed e.g. a human-readable trace recorder and a binary replay recorder
+// at once. Nil entries are skipped.
+func TeeObserver(obs ...Observer) Observer {
+	var live []Observer
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	if len(live) == 1 {
+		return live[0]
+	}
+	return teeObserver(live)
+}
+
+type teeObserver []Observer
+
+func (t teeObserver) OnSend(e graph.EdgeID, msg protocol.Message) {
+	for _, o := range t {
+		o.OnSend(e, msg)
+	}
+}
+
+func (t teeObserver) OnDeliver(step int, e graph.EdgeID, msg protocol.Message) {
+	for _, o := range t {
+		o.OnDeliver(step, e, msg)
+	}
+}
+
 const defaultMaxSteps = 50_000_000
 
 // ErrStepLimit is returned when a run exceeds its step budget, which for the

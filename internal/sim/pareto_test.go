@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/protocol"
+)
+
+// TestParetoDelaysHeavyTailed samples the per-edge delays the scheduler
+// assigns on a large graph: a Pareto draw must produce mostly-small delays
+// with a genuine straggler tail (something the three fixed latency classes
+// cannot), all within the overflow cap.
+func TestParetoDelaysHeavyTailed(t *testing.T) {
+	g := graph.RandomDigraph(300, 5, graph.RandomDigraphOpts{ExtraEdges: 600, TerminalFrac: 0.2})
+	s := NewParetoScheduler().(*paretoScheduler)
+	s.Reset(SchedContext{Graph: g, Seed: 17})
+
+	small, large := 0, 0
+	for _, d := range s.delays {
+		if d < 1 || d > paretoMaxDelay {
+			t.Fatalf("delay %d outside [1, %d]", d, paretoMaxDelay)
+		}
+		if d <= 4 {
+			small++
+		}
+		if d >= 64 {
+			large++
+		}
+	}
+	n := len(s.delays)
+	if small < n/2 {
+		t.Fatalf("only %d/%d delays are small; Pareto body missing", small, n)
+	}
+	if large == 0 {
+		t.Fatalf("no delay reached 64 across %d edges; Pareto tail missing", n)
+	}
+}
+
+// TestParetoSeedSensitivity: different seeds must reshuffle the straggler
+// assignment and with it the delivery schedule.
+func TestParetoSeedSensitivity(t *testing.T) {
+	g := graph.RandomDigraph(12, 3, graph.RandomDigraphOpts{ExtraEdges: 14, TerminalFrac: 0.3})
+	t1, _ := traceOf(t, g, "latency-pareto", 1)
+	t2, _ := traceOf(t, g, "latency-pareto", 2)
+	if t1 == t2 {
+		t.Fatal("seeds 1 and 2 produced identical latency-pareto schedules")
+	}
+}
+
+// countingObserver counts events for the TeeObserver test.
+type countingObserver struct{ sends, delivers int }
+
+func (o *countingObserver) OnSend(graph.EdgeID, protocol.Message)         { o.sends++ }
+func (o *countingObserver) OnDeliver(int, graph.EdgeID, protocol.Message) { o.delivers++ }
+
+// TestTeeObserver: every fan-out target sees the full stream, and nil
+// entries are tolerated.
+func TestTeeObserver(t *testing.T) {
+	g := graph.Ring(5)
+	a, b := &countingObserver{}, &countingObserver{}
+	r, err := Run(g, floodProto{need: g.InDegree(g.Terminal())}, Options{
+		Observer: TeeObserver(a, nil, b),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.sends != b.sends || a.delivers != b.delivers {
+		t.Fatalf("tee targets diverge: %+v vs %+v", a, b)
+	}
+	if a.sends != r.Metrics.Messages || a.delivers != r.Steps {
+		t.Fatalf("tee target missed events: %+v, want %d sends / %d delivers",
+			a, r.Metrics.Messages, r.Steps)
+	}
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -81,13 +82,14 @@ func SchedulerNames() []string {
 }
 
 var schedulerFactories = map[string]func() Scheduler{
-	"fifo":          func() Scheduler { return NewFIFOScheduler() },
-	"lifo":          func() Scheduler { return NewLIFOScheduler() },
-	"random":        func() Scheduler { return NewRandomScheduler() },
-	"rr-vertex":     func() Scheduler { return NewRoundRobinScheduler() },
-	"latency":       func() Scheduler { return NewLatencyScheduler() },
-	"starve-oldest": func() Scheduler { return NewStarvationScheduler() },
-	"greedy":        func() Scheduler { return NewGreedyScheduler() },
+	"fifo":           func() Scheduler { return NewFIFOScheduler() },
+	"lifo":           func() Scheduler { return NewLIFOScheduler() },
+	"random":         func() Scheduler { return NewRandomScheduler() },
+	"rr-vertex":      func() Scheduler { return NewRoundRobinScheduler() },
+	"latency":        func() Scheduler { return NewLatencyScheduler() },
+	"latency-pareto": func() Scheduler { return NewParetoScheduler() },
+	"starve-oldest":  func() Scheduler { return NewStarvationScheduler() },
+	"greedy":         func() Scheduler { return NewGreedyScheduler() },
 }
 
 // schedulerForOrder maps the legacy Order enum onto the scheduler of the
@@ -324,6 +326,56 @@ func (s *latencyScheduler) Push(pe PendingEdge) {
 }
 func (s *latencyScheduler) Pop() graph.EdgeID { return s.h.popMin().edge }
 func (s *latencyScheduler) Len() int          { return s.h.Len() }
+
+// --- latency-pareto ---------------------------------------------------------
+
+// paretoScheduler is the heavy-tailed cousin of latencyScheduler: each edge
+// draws its delay from a Pareto(alpha) distribution instead of three fixed
+// classes, so a few edges are extreme stragglers while most are fast — the
+// empirical shape of wide-area links. Same arrival-order semantics: a message
+// sent at time HeadSeq arrives at HeadSeq + delay(edge). O(log n) per
+// operation.
+type paretoScheduler struct {
+	delays []uint64
+	h      edgeHeap
+}
+
+// paretoAlpha is the tail index: small enough that the tail is genuinely
+// heavy (infinite variance for alpha < 2), large enough that the mean exists.
+const paretoAlpha = 1.2
+
+// paretoMaxDelay caps a draw so HeadSeq + delay can never overflow and a
+// single edge cannot stall a run beyond any bound the step limit would catch.
+const paretoMaxDelay = 1 << 20
+
+// NewParetoScheduler returns the heavy-tailed per-edge-latency adversary.
+func NewParetoScheduler() Scheduler { return &paretoScheduler{} }
+
+func (s *paretoScheduler) Name() string { return "latency-pareto" }
+func (s *paretoScheduler) Reset(ctx SchedContext) {
+	rng := rand.New(rand.NewSource(ctx.Seed))
+	nE := ctx.Graph.NumEdges()
+	if cap(s.delays) < nE {
+		s.delays = make([]uint64, nE)
+	} else {
+		s.delays = s.delays[:nE]
+	}
+	for e := range s.delays {
+		// Inverse-CDF sampling: U uniform in [0,1) gives 1/(1-U)^(1/alpha)
+		// in [1, inf), truncated to the cap.
+		d := math.Pow(1/(1-rng.Float64()), 1/paretoAlpha)
+		if d > paretoMaxDelay {
+			d = paretoMaxDelay
+		}
+		s.delays[e] = uint64(d)
+	}
+	s.h.reset()
+}
+func (s *paretoScheduler) Push(pe PendingEdge) {
+	s.h.pushItem(edgeItem{edge: pe.Edge, prio: pe.HeadSeq + s.delays[pe.Edge], prio2: pe.HeadSeq})
+}
+func (s *paretoScheduler) Pop() graph.EdgeID { return s.h.popMin().edge }
+func (s *paretoScheduler) Len() int          { return s.h.Len() }
 
 // --- starve-oldest ----------------------------------------------------------
 

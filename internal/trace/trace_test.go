@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/replay"
 	"repro/internal/sim"
 )
 
@@ -104,6 +105,57 @@ func TestSynchronousObserver(t *testing.T) {
 	}
 	if rec.NumSends() != r.Metrics.Messages {
 		t.Fatalf("sync recorder saw %d sends, metrics %d", rec.NumSends(), r.Metrics.Messages)
+	}
+}
+
+// TestRecordEncodeDecodeReRenderRoundTrip pins the full pipeline the replay
+// subsystem promises: record a run (human recorder and binary recorder side
+// by side), encode the schedule, decode it from bytes alone, replay it on
+// the graph reconstructed from the trace, and re-render — the timeline and
+// summary must come back byte-identical.
+func TestRecordEncodeDecodeReRenderRoundTrip(t *testing.T) {
+	g := graph.RandomDigraph(8, 11, graph.RandomDigraphOpts{ExtraEdges: 8, TerminalFrac: 0.3})
+	sched, err := sim.NewScheduler("random")
+	if err != nil {
+		t.Fatal(err)
+	}
+	human := New(g)
+	pin := replay.NewRecorder()
+	if _, err := sim.Run(g, core.NewGeneralBroadcast([]byte("m")), sim.Options{
+		Scheduler: sched, Seed: 5, Observer: sim.TeeObserver(human, pin),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	render := func(r *Recorder) (string, string) {
+		var tl, sum strings.Builder
+		if err := r.WriteTimeline(&tl); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.WriteSummary(&sum); err != nil {
+			t.Fatal(err)
+		}
+		return tl.String(), sum.String()
+	}
+	wantTL, wantSum := render(human)
+
+	dec, err := replay.Decode(replay.Encode(pin.Trace(g, "generalcast", "random", 5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := dec.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	human2 := New(g2)
+	if _, err := replay.Run(g2, core.NewGeneralBroadcast([]byte("m")), dec, sim.Options{Observer: human2}); err != nil {
+		t.Fatal(err)
+	}
+	gotTL, gotSum := render(human2)
+	if gotTL != wantTL {
+		t.Fatalf("replayed timeline differs\n--- recorded\n%s\n--- replayed\n%s", wantTL, gotTL)
+	}
+	if gotSum != wantSum {
+		t.Fatalf("replayed summary differs\n--- recorded\n%s\n--- replayed\n%s", wantSum, gotSum)
 	}
 }
 

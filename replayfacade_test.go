@@ -1,0 +1,109 @@
+package anonnet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRecordReplayFacade drives the public record/replay options end to end:
+// record under a seeded adversary, encode, decode, rebuild the network from
+// the trace alone, replay, and compare the reports.
+func TestRecordReplayFacade(t *testing.T) {
+	net := RandomNetwork(10, 12, 5)
+	var td *TraceData
+	rep, err := Broadcast(net, []byte("m"),
+		WithScheduler("random"), WithSeed(9), WithRecordTrace(&td))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td == nil {
+		t.Fatal("WithRecordTrace left dst nil after a successful run")
+	}
+	if td.Protocol() != rep.Protocol || td.Scheduler() != "random" || td.Seed() != 9 {
+		t.Fatalf("trace header %s does not match the run (protocol %s)", td, rep.Protocol)
+	}
+
+	data := td.Encode()
+	dec, err := DecodeTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec.Encode(), data) {
+		t.Fatal("encode/decode round trip not byte-identical")
+	}
+	net2, err := dec.Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Broadcast(net2, []byte("m"), WithReplayTrace(dec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Steps != rep.Steps || rep2.Messages != rep.Messages || rep2.Terminated != rep.Terminated {
+		t.Fatalf("replayed report diverges: %+v vs %+v", rep2, rep)
+	}
+
+	// Re-recording the replayed run must reproduce the trace byte for byte.
+	var td2 *TraceData
+	if _, err := Broadcast(net2, []byte("m"), WithReplayTrace(dec), WithRecordTrace(&td2)); err != nil {
+		t.Fatal(err)
+	}
+	if td2 == nil {
+		t.Fatal("recording during replay left dst nil")
+	}
+	if !bytes.Equal(td2.Encode(), data) {
+		t.Fatalf("re-recorded replay is not byte-identical: %s vs %s", td2, td)
+	}
+}
+
+// TestReplayWrongNetworkErrors: the fingerprint check must reject a replay
+// against a structurally different network.
+func TestReplayWrongNetworkErrors(t *testing.T) {
+	var td *TraceData
+	if _, err := Broadcast(Ring(5), []byte("m"), WithRecordTrace(&td)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Broadcast(Ring(6), []byte("m"), WithReplayTrace(td)); err == nil {
+		t.Fatal("replay against a different network did not error")
+	}
+}
+
+// TestRecordRequiresDeterministicEngine: the concurrent engine cannot pin a
+// schedule, and asking for one must be an explicit error.
+func TestRecordRequiresDeterministicEngine(t *testing.T) {
+	var td *TraceData
+	if _, err := Broadcast(Ring(4), []byte("m"),
+		WithEngine(EngineConcurrent), WithRecordTrace(&td)); err == nil {
+		t.Fatal("recording on the concurrent engine did not error")
+	}
+	if _, err := Broadcast(Ring(4), []byte("m"),
+		WithEngine(EngineConcurrent), WithReplayTrace(&TraceData{})); err == nil {
+		t.Fatal("replaying on the concurrent engine did not error")
+	}
+}
+
+// TestRecordOnSynchronousEngine: the sync engine is deterministic and
+// records like any other; its trace replays on the sequential engine (same
+// verdict — the schedules differ, which is exactly what the trace captures).
+func TestRecordOnSynchronousEngine(t *testing.T) {
+	var td *TraceData
+	rep, err := Broadcast(Chain(4), []byte("m"),
+		WithEngine(EngineSynchronous), WithRecordTrace(&td))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td == nil || td.Scheduler() != "sync" {
+		t.Fatalf("sync recording header wrong: %v", td)
+	}
+	net, err := td.Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Broadcast(net, []byte("m"), WithReplayTrace(td))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Terminated != rep.Terminated || rep2.Steps != rep.Steps {
+		t.Fatalf("sync trace replay diverges: %+v vs %+v", rep2, rep)
+	}
+}

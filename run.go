@@ -8,6 +8,7 @@ import (
 	"repro/internal/interval"
 	"repro/internal/netrun"
 	"repro/internal/protocol"
+	"repro/internal/replay"
 	"repro/internal/sim"
 )
 
@@ -119,6 +120,8 @@ type runConfig struct {
 	maxSteps int
 	kind     ProtocolKind
 	alphabet bool
+	record   **TraceData
+	replayTr *TraceData
 }
 
 // WithEngine selects the execution engine.
@@ -143,6 +146,65 @@ func WithProtocol(k ProtocolKind) Option { return func(c *runConfig) { c.kind = 
 
 // WithAlphabetTracking enables Report.AlphabetSize.
 func WithAlphabetTracking() Option { return func(c *runConfig) { c.alphabet = true } }
+
+// WithRecordTrace pins the run's schedule: after a successful run under a
+// deterministic engine (sequential or synchronous), *dst holds a
+// self-contained trace — graph, protocol, scheduler, seed and the full
+// send/deliver stream — that WithReplayTrace re-executes byte-identically.
+func WithRecordTrace(dst **TraceData) Option { return func(c *runConfig) { c.record = dst } }
+
+// WithReplayTrace re-executes a recorded schedule exactly on the sequential
+// engine, replacing any scheduler selection. The run errors loudly if the
+// network, the protocol, or the engine's behavior no longer matches the
+// recording.
+func WithReplayTrace(t *TraceData) Option { return func(c *runConfig) { c.replayTr = t } }
+
+// TraceData is a recorded delivery schedule with its provenance header (see
+// internal/replay for the format). It is self-contained: the network it was
+// recorded on travels inside it.
+type TraceData struct {
+	tr *replay.Trace
+}
+
+// Encode renders the trace in the versioned binary format.
+func (t *TraceData) Encode() []byte { return replay.Encode(t.tr) }
+
+// DecodeTrace parses a trace previously rendered by Encode. Corrupt or
+// truncated input errors, never panics.
+func DecodeTrace(data []byte) (*TraceData, error) {
+	tr, err := replay.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return &TraceData{tr: tr}, nil
+}
+
+// Network reconstructs the network the trace was recorded on.
+func (t *TraceData) Network() (*Network, error) {
+	g, err := t.tr.Graph()
+	if err != nil {
+		return nil, err
+	}
+	return wrap(g), nil
+}
+
+// Protocol returns the recorded protocol's name.
+func (t *TraceData) Protocol() string { return t.tr.Protocol }
+
+// Scheduler returns the name of the adversary that produced the schedule.
+func (t *TraceData) Scheduler() string { return t.tr.Scheduler }
+
+// Seed returns the recorded scheduler seed.
+func (t *TraceData) Seed() int64 { return t.tr.Seed }
+
+// Events returns the number of recorded send/deliver events.
+func (t *TraceData) Events() int { return len(t.tr.Events) }
+
+// String summarizes the trace.
+func (t *TraceData) String() string {
+	return fmt.Sprintf("trace{proto=%s sched=%s seed=%d events=%d}",
+		t.tr.Protocol, t.tr.Scheduler, t.tr.Seed, len(t.tr.Events))
+}
 
 // Report summarizes a protocol run with the paper's quality measures.
 type Report struct {
@@ -223,7 +285,45 @@ func (c runConfig) execute(g *graph.G, p protocol.Protocol) (*sim.Result, error)
 	if err != nil {
 		return nil, err
 	}
-	return eng.Run(g, p, opts)
+	if c.replayTr != nil {
+		if c.engine != EngineSequential {
+			return nil, fmt.Errorf("anonnet: WithReplayTrace requires the sequential engine, have %s", c.engine)
+		}
+		src := c.replayTr.tr
+		var rec *replay.Recorder
+		if c.record != nil {
+			rec = replay.NewRecorder()
+			opts.Observer = rec
+		}
+		r, err := replay.Run(g, p, src, opts)
+		if rec != nil && err == nil {
+			tr := rec.Trace(g, src.Protocol, src.Scheduler, src.Seed)
+			tr.Truncated = src.Truncated
+			*c.record = &TraceData{tr: tr}
+		}
+		return r, err
+	}
+	var rec *replay.Recorder
+	if c.record != nil {
+		if c.engine != EngineSequential && c.engine != EngineSynchronous {
+			return nil, fmt.Errorf("anonnet: WithRecordTrace requires a deterministic engine (seq or sync), have %s", c.engine)
+		}
+		rec = replay.NewRecorder()
+		opts.Observer = rec
+	}
+	r, err := eng.Run(g, p, opts)
+	if rec != nil && err == nil {
+		schedName := "sync"
+		if c.engine == EngineSequential {
+			if opts.Scheduler != nil {
+				schedName = opts.Scheduler.Name()
+			} else {
+				schedName = sim.Order(c.order).String()
+			}
+		}
+		*c.record = &TraceData{tr: rec.Trace(g, p.Name(), schedName, c.seed)}
+	}
+	return r, err
 }
 
 func report(p protocol.Protocol, r *sim.Result) *Report {
