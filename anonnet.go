@@ -27,7 +27,8 @@
 // which in-flight message is delivered next. The paper's guarantees are
 // schedule-independent, so verdicts, label uniqueness, and extracted
 // topologies must agree across this whole matrix — the cross-engine
-// conformance suite asserts exactly that:
+// conformance suite asserts exactly that. (docs/ARCHITECTURE.md carries the
+// full engine × scheduler × recordability matrix and a decision table.)
 //
 //	engine       schedule source              scheduler support
 //	------       ---------------              -----------------
@@ -50,16 +51,26 @@
 //	starve-oldest   always deliver the newest message, starving the oldest
 //	greedy          maximize in-flight messages (worst-case adversary)
 //
-// # Trace record, replay, and shrink
+// # Trace record, replay, shrink, and schedule fuzzing
 //
-// Any sequential (or synchronous) run can pin its schedule to a
-// self-contained binary trace via WithRecordTrace; WithReplayTrace
-// re-executes a recorded schedule byte-identically on the sequential engine,
-// erroring loudly on a graph, protocol, or behavior mismatch. The trace
-// embeds the network, so TraceData.Network rebuilds it from the file alone.
-// cmd/anonshrink additionally delta-debugs a failing trace to a 1-minimal
-// adversarial prefix, and the conformance suite auto-shrinks and saves a
-// repro trace whenever a matrix cell diverges (see internal/replay).
+// Any run — on any engine — can pin its schedule to a self-contained binary
+// trace via WithRecordTrace. The deterministic engines record their event
+// stream directly; the wild engines (concurrent, TCP) capture their
+// nondeterministic schedule through a serializing observer and canonicalize
+// it with one sequential replay, so even a one-off Go-runtime or
+// kernel-socket schedule becomes reproducible. WithReplayTrace re-executes
+// a recorded schedule byte-identically on the sequential engine, erroring
+// loudly on a graph, protocol, or behavior mismatch. The trace embeds the
+// network, so TraceData.Network rebuilds it from the file alone; the
+// complete binary format specification is docs/TRACE_FORMAT.md.
+//
+// WithScheduleFuzz goes one step further: it mutates the recorded schedule
+// into nearby valid schedules and re-runs each one, demanding the paper's
+// schedule-independent outcome stays invariant — any violation is
+// delta-debugged to a 1-minimal repro trace (see internal/replay/fuzz).
+// cmd/anonshrink exposes the same machinery on the command line (record /
+// replay / shrink / fuzz), and the conformance suite auto-shrinks and saves
+// a repro trace whenever a matrix cell diverges (see internal/replay).
 package anonnet
 
 import (

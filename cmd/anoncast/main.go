@@ -14,8 +14,12 @@
 // random, rr-vertex, latency, latency-pareto, starve-oldest, greedy.
 //
 // -record FILE pins the run's delivery schedule to a self-contained trace
-// file; -replay FILE re-executes one byte-identically (network and protocol
-// come from the file). Minimize failing traces with cmd/anonshrink.
+// file — on every engine: the deterministic engines record directly, the
+// wild engines (concurrent, tcp) capture their schedule through a
+// serializing observer and canonicalize it (scheduler header reads
+// wild-concurrent/wild-tcp). -replay FILE re-executes a trace
+// byte-identically (network and protocol come from the file). Minimize or
+// differential-fuzz traces with cmd/anonshrink.
 package main
 
 import (
@@ -44,7 +48,7 @@ func main() {
 		dot    = flag.String("dot", "", "write the network in DOT format to this file")
 		file   = flag.String("file", "", "load the network from this file (anonnet v1 text format) instead of generating one")
 		save   = flag.String("save", "", "write the generated network to this file in the text format")
-		record = flag.String("record", "", "write the run's delivery schedule to this trace file (seq/sync engines)")
+		record = flag.String("record", "", "write the run's delivery schedule to this trace file (any engine; wild schedules are canonicalized)")
 		replay = flag.String("replay", "", "replay a recorded trace file (seq engine; overrides -topo/-file/-sched/-proto)")
 	)
 	flag.Parse()

@@ -19,6 +19,15 @@
 //	anonshrink shrink -in run.trace -pred terminated -o min.trace
 //	anonshrink shrink -in run.trace -pred visited:7 -o min.trace
 //
+// Differential-fuzz the neighborhood of recorded schedules (mutate each
+// seed into nearby valid schedules — swapping causally independent adjacent
+// deliveries, promoting pending deliveries, splicing prefixes, truncating
+// tails — and demand the schedule-independent outcome never changes; any
+// violation is delta-debugged to a 1-minimal repro):
+//
+//	anonshrink fuzz -in run.trace -n 64
+//	anonshrink fuzz -corpus internal/replay/testdata -o repro-dir
+//
 // Predicates: quiescent, terminated, not-all-visited, all-visited,
 // label-collision, and visited:<vertex>; a comma-separated list is their
 // conjunction. The output trace is marked truncated and replays leniently
@@ -32,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -39,6 +49,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/protocol"
 	"repro/internal/replay"
+	"repro/internal/replay/fuzz"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -56,6 +67,8 @@ func main() {
 		err = cmdReplay(os.Args[2:])
 	case "shrink":
 		err = cmdShrink(os.Args[2:])
+	case "fuzz":
+		err = cmdFuzz(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -72,8 +85,9 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   anonshrink record -topo T -n N -proto P -sched S [-seed K] [-net FILE] -o OUT
-  anonshrink replay -in FILE [-timeline] [-summary]
+  anonshrink replay -in FILE [-timeline] [-summary] [-v]
   anonshrink shrink -in FILE -pred PRED -o OUT
+  anonshrink fuzz   (-in FILE | -corpus DIR) [-n MUTANTS] [-seed K] [-fallback S] [-o DIR]
 
 topologies: line|chain|ring|karytree|randnet   protocols: %s
 schedulers: %s
@@ -130,11 +144,17 @@ func cmdReplay(args []string) error {
 		in       = fs.String("in", "", "input trace file (required)")
 		timeline = fs.Bool("timeline", false, "print the replayed per-event timeline")
 		summary  = fs.Bool("summary", false, "print the replayed per-vertex summary")
+		verbose  = fs.Bool("v", false, "print the trace header and the embedded network text")
 	)
 	fs.Parse(args)
 	tr, g, newProto, err := loadTrace(*in)
 	if err != nil {
 		return err
+	}
+	if *verbose {
+		fmt.Printf("header: version=%d fingerprint=%016x proto=%s sched=%s seed=%d truncated=%v events=%d\n",
+			tr.Version, tr.GraphFP, tr.Protocol, tr.Scheduler, tr.Seed, tr.Truncated, len(tr.Events))
+		fmt.Printf("embedded network:\n%s\n", tr.GraphText)
 	}
 	rec := trace.New(g)
 	r, err := replay.Run(g, newProto(), tr, sim.Options{Observer: rec})
@@ -193,6 +213,73 @@ func cmdShrink(args []string) error {
 		fmt.Fprintln(os.Stderr, "anonshrink: warning: the empty schedule already satisfies this predicate; the witness carries no information — tighten the predicate (e.g. add a visited:<v> floor)")
 	}
 	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+func cmdFuzz(args []string) error {
+	fs := flag.NewFlagSet("fuzz", flag.ExitOnError)
+	var (
+		in       = fs.String("in", "", "seed trace file")
+		corpus   = fs.String("corpus", "", "directory of seed .trace files (alternative to -in)")
+		n        = fs.Int("n", fuzz.DefaultMutations, "mutants per seed trace")
+		seed     = fs.Int64("seed", 1, "mutation RNG seed (campaigns are deterministic in it)")
+		fallback = fs.String("fallback", "fifo", "scheduler completing mutant runs: "+strings.Join(sim.SchedulerNames(), "|"))
+		out      = fs.String("o", "", "directory to write violation repro traces (optional)")
+	)
+	fs.Parse(args)
+	var (
+		seeds []*replay.Trace
+		err   error
+	)
+	switch {
+	case *in != "" && *corpus != "":
+		return fmt.Errorf("fuzz: -in and -corpus are mutually exclusive")
+	case *in != "":
+		data, rerr := os.ReadFile(*in)
+		if rerr != nil {
+			return rerr
+		}
+		tr, derr := replay.Decode(data)
+		if derr != nil {
+			return derr
+		}
+		seeds = []*replay.Trace{tr}
+	case *corpus != "":
+		seeds, err = fuzz.Corpus(*corpus)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("fuzz: one of -in or -corpus is required")
+	}
+	rep, err := fuzz.Campaign(seeds, fuzz.Options{Mutations: *n, Seed: *seed, Fallback: *fallback})
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	for i, v := range rep.Violations {
+		fmt.Printf("violation %d under %s:\n  got:  %s\n  want: %s\n", i, v.Mutation, v.Got, v.Want)
+		if v.Shrunk != nil {
+			fmt.Printf("  shrunk %d -> %d deliveries in %d oracle runs\n", v.Shrunk.Before, v.Shrunk.After, v.Shrunk.Runs)
+		}
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				return err
+			}
+			tr := v.Trace
+			if v.Shrunk != nil {
+				tr = v.Shrunk.Trace
+			}
+			path := filepath.Join(*out, fmt.Sprintf("fuzz-violation-%d-%s.trace", i, v.Mutation))
+			if err := os.WriteFile(path, replay.Encode(tr), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("  wrote %s\n", path)
+		}
+	}
+	if len(rep.Violations) > 0 {
+		return fmt.Errorf("%d invariance violations", len(rep.Violations))
+	}
 	return nil
 }
 

@@ -2,11 +2,13 @@ package anonnet
 
 import (
 	"bufio"
+	"fmt"
 	"os"
 	"sort"
 	"strings"
 	"testing"
 
+	"repro/internal/replay"
 	"repro/internal/sim"
 )
 
@@ -71,4 +73,75 @@ func docSchedulerTable(t *testing.T) []string {
 		t.Fatal("could not locate the adversary table in the anonnet package doc")
 	}
 	return names
+}
+
+// markedTableNames extracts the first backtick-quoted cell of every table
+// row between the given begin/end HTML-comment markers of a markdown file.
+func markedTableNames(t *testing.T, path, begin, end string) []string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	in := false
+	for _, line := range strings.Split(string(data), "\n") {
+		switch {
+		case strings.Contains(line, begin):
+			in = true
+		case strings.Contains(line, end):
+			in = false
+		case in && strings.HasPrefix(line, "| `"):
+			rest := strings.TrimPrefix(line, "| `")
+			if i := strings.IndexByte(rest, '`'); i > 0 {
+				names = append(names, rest[:i])
+			}
+		}
+	}
+	if len(names) == 0 {
+		t.Fatalf("no %s...%s table rows found in %s", begin, end, path)
+	}
+	return names
+}
+
+// TestArchitectureDocSchedulerMatrixInSync drift-guards the scheduler table
+// of docs/ARCHITECTURE.md against the sim registry: every registered
+// adversary must be documented there, and nothing else.
+func TestArchitectureDocSchedulerMatrixInSync(t *testing.T) {
+	documented := markedTableNames(t, "docs/ARCHITECTURE.md",
+		"matrix:schedulers:begin", "matrix:schedulers:end")
+	sort.Strings(documented)
+	registered := sim.SchedulerNames()
+	if strings.Join(documented, " ") != strings.Join(registered, " ") {
+		t.Fatalf("docs/ARCHITECTURE.md scheduler table out of sync with the registry\n doc:      %v\n registry: %v",
+			documented, registered)
+	}
+}
+
+// TestArchitectureDocEngineMatrixInSync drift-guards the engine table of
+// docs/ARCHITECTURE.md against the facade's engine list.
+func TestArchitectureDocEngineMatrixInSync(t *testing.T) {
+	documented := markedTableNames(t, "docs/ARCHITECTURE.md",
+		"matrix:engines:begin", "matrix:engines:end")
+	registered := append([]string(nil), EngineNames()...)
+	sort.Strings(documented)
+	sort.Strings(registered)
+	if strings.Join(documented, " ") != strings.Join(registered, " ") {
+		t.Fatalf("docs/ARCHITECTURE.md engine table out of sync with EngineNames\n doc:      %v\n engines:  %v",
+			documented, registered)
+	}
+}
+
+// TestTraceFormatDocVersionInSync drift-guards docs/TRACE_FORMAT.md against
+// replay.FormatVersion: the spec must state the exact current version, so a
+// codec bump cannot ship with a stale spec.
+func TestTraceFormatDocVersionInSync(t *testing.T) {
+	data, err := os.ReadFile("docs/TRACE_FORMAT.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("The current `FormatVersion` is **%d**.", replay.FormatVersion)
+	if !strings.Contains(string(data), want) {
+		t.Fatalf("docs/TRACE_FORMAT.md does not state the current format version; expected the sentence %q", want)
+	}
 }

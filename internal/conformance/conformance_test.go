@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 	"testing"
 
@@ -13,6 +12,7 @@ import (
 	"repro/internal/netrun"
 	"repro/internal/protocol"
 	"repro/internal/replay"
+	"repro/internal/replay/fuzz"
 	"repro/internal/sim"
 )
 
@@ -59,65 +59,12 @@ func graphsFor(proto string) []*graph.G {
 	}
 }
 
-// outcome is the schedule-independent footprint of one run: everything the
-// paper proves invariant across asynchronous schedules. Metrics (bits,
-// messages) are deliberately absent, and so are the concrete label values:
-// *which* sub-interval of [0,1) a vertex ends up owning depends on the
-// delivery order (the suite itself demonstrates this — labels differ between
-// fifo and lifo), while the labeled-vertex set, label uniqueness, and the
-// single-interval shape of Theorem 5.1 hold under every schedule.
-type outcome struct {
-	verdict    sim.Verdict
-	allVisited bool
-	labeled    string // sorted set of vertices that received a label
-	topoOK     bool   // extracted topology isomorphic to ground truth
-}
-
-// computeOutcome derives the schedule-independent footprint of a run plus a
-// list of invariant violations (non-single-interval labels, label
-// collisions, unreconstructable topologies). It has no testing dependency so
-// the shrinker can use it as its oracle predicate.
-func computeOutcome(g *graph.G, r *sim.Result) (outcome, []string) {
-	o := outcome{verdict: r.Verdict, allVisited: r.AllVisited()}
-	var problems []string
-	var labeled []int
-	seen := make(map[string]int)
-	for v, node := range r.Nodes {
-		ln, ok := node.(core.Labeled)
-		if !ok {
-			continue
-		}
-		u, has := ln.Label()
-		if !has {
-			continue
-		}
-		labeled = append(labeled, v)
-		if r.Verdict == sim.Terminated {
-			if u.NumIntervals() != 1 {
-				problems = append(problems, fmt.Sprintf("vertex %d label %s is not a single interval", v, u))
-			}
-			if prev, dup := seen[u.Key()]; dup {
-				problems = append(problems, fmt.Sprintf("label collision: vertices %d and %d both own %s", prev, v, u))
-			}
-			seen[u.Key()] = v
-		}
-	}
-	sort.Ints(labeled)
-	o.labeled = fmt.Sprint(labeled)
-	if topo, ok := r.Output.(*core.Topology); ok && r.Verdict == sim.Terminated {
-		gg, err := topo.ToGraph()
-		if err != nil {
-			problems = append(problems, fmt.Sprintf("extracted topology does not rebuild: %v", err))
-		} else {
-			o.topoOK = graph.Isomorphic(g, gg)
-		}
-	}
-	return o, problems
-}
-
-func outcomeOf(t *testing.T, g *graph.G, r *sim.Result) outcome {
+// outcomeOf computes the schedule-independent footprint (fuzz.Outcome —
+// the oracle this suite shares with the schedule fuzzer) and reports every
+// invariant violation as a test error.
+func outcomeOf(t *testing.T, g *graph.G, r *sim.Result) fuzz.Outcome {
 	t.Helper()
-	o, problems := computeOutcome(g, r)
+	o, problems := fuzz.Compute(g, r)
 	for _, p := range problems {
 		t.Error(p)
 	}
@@ -149,12 +96,12 @@ func saveMinimalRepro(t *testing.T, g *graph.G, makeProto func() protocol.Protoc
 		// The diverging run errored; minimize toward any erroring schedule.
 		pred = func(r *sim.Result, err error) bool { return err != nil }
 	} else {
-		bad, badProblems := computeOutcome(g, divergent)
+		bad, badProblems := fuzz.Compute(g, divergent)
 		pred = func(r *sim.Result, err error) bool {
 			if err != nil || r == nil {
 				return false
 			}
-			got, problems := computeOutcome(g, r)
+			got, problems := fuzz.Compute(g, r)
 			return got == bad && fmt.Sprint(problems) == fmt.Sprint(badProblems)
 		}
 	}
@@ -213,10 +160,10 @@ func TestCrossEngineConformance(t *testing.T) {
 					t.Fatalf("reference run: %v", err)
 				}
 				want := outcomeOf(t, g, ref)
-				if want.verdict == sim.Terminated && !want.allVisited {
+				if want.Verdict == sim.Terminated && !want.AllVisited {
 					t.Fatalf("reference terminated without full broadcast on %s", g)
 				}
-				if _, isMap := ref.Output.(*core.Topology); isMap && !want.topoOK {
+				if _, isMap := ref.Output.(*core.Topology); isMap && !want.TopoOK {
 					t.Fatalf("reference extracted topology not isomorphic on %s", g)
 				}
 
@@ -226,25 +173,25 @@ func TestCrossEngineConformance(t *testing.T) {
 						t.Errorf("%s: %v", name, err)
 						return true
 					}
-					got, problems := computeOutcome(g, r)
+					got, problems := fuzz.Compute(g, r)
 					for _, p := range problems {
 						t.Errorf("%s: %s", name, p)
 					}
 					diverged := len(problems) > 0
-					if got.verdict != want.verdict {
-						t.Errorf("%s: verdict %s, reference %s", name, got.verdict, want.verdict)
+					if got.Verdict != want.Verdict {
+						t.Errorf("%s: verdict %s, reference %s", name, got.Verdict, want.Verdict)
 						diverged = true
 					}
-					if got.allVisited != want.allVisited {
-						t.Errorf("%s: allVisited %v, reference %v", name, got.allVisited, want.allVisited)
+					if got.AllVisited != want.AllVisited {
+						t.Errorf("%s: allVisited %v, reference %v", name, got.AllVisited, want.AllVisited)
 						diverged = true
 					}
-					if got.labeled != want.labeled {
-						t.Errorf("%s: labeled-vertex set diverges\n got: %s\nwant: %s", name, got.labeled, want.labeled)
+					if got.Labeled != want.Labeled {
+						t.Errorf("%s: labeled-vertex set diverges\n got: %s\nwant: %s", name, got.Labeled, want.Labeled)
 						diverged = true
 					}
-					if got.topoOK != want.topoOK {
-						t.Errorf("%s: topology isomorphism %v, reference %v", name, got.topoOK, want.topoOK)
+					if got.TopoOK != want.TopoOK {
+						t.Errorf("%s: topology isomorphism %v, reference %v", name, got.TopoOK, want.TopoOK)
 						diverged = true
 					}
 					return diverged
@@ -288,7 +235,7 @@ func TestReproHookSavesMinimalTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	observed, _ := computeOutcome(g, r)
+	observed, _ := fuzz.Compute(g, r)
 
 	saveMinimalRepro(t, g, makeProto, rec, "random", 3, r, nil)
 
@@ -318,7 +265,7 @@ func TestReproHookSavesMinimalTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _ := computeOutcome(g2, r2)
+	got, _ := fuzz.Compute(g2, r2)
 	if got != observed {
 		t.Errorf("replayed repro does not reproduce the observed outcome\n got: %+v\nwant: %+v", got, observed)
 	}
@@ -422,14 +369,14 @@ func TestTCPConformance(t *testing.T) {
 				t.Fatalf("tcp: %v", err)
 			}
 			got := outcomeOf(t, c.g, r)
-			if got.verdict != want.verdict {
-				t.Errorf("tcp: verdict %s, reference %s", got.verdict, want.verdict)
+			if got.Verdict != want.Verdict {
+				t.Errorf("tcp: verdict %s, reference %s", got.Verdict, want.Verdict)
 			}
-			if got.labeled != want.labeled {
-				t.Errorf("tcp: labeled-vertex set diverges\n got: %s\nwant: %s", got.labeled, want.labeled)
+			if got.Labeled != want.Labeled {
+				t.Errorf("tcp: labeled-vertex set diverges\n got: %s\nwant: %s", got.Labeled, want.Labeled)
 			}
-			if got.topoOK != want.topoOK {
-				t.Errorf("tcp: topology isomorphism %v, reference %v", got.topoOK, want.topoOK)
+			if got.TopoOK != want.TopoOK {
+				t.Errorf("tcp: topology isomorphism %v, reference %v", got.TopoOK, want.TopoOK)
 			}
 		})
 	}

@@ -1,0 +1,98 @@
+package conformance
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/protocol"
+	"repro/internal/replay"
+	"repro/internal/replay/fuzz"
+	"repro/internal/sim"
+)
+
+// TestFuzzTierMatrix is the differential-fuzz tier of the conformance
+// matrix: for every protocol, schedules are recorded from a spread of
+// sources — seeded sequential adversaries AND a wild capture from the
+// concurrent engine — and each recording's mutation neighborhood is
+// explored by the schedule fuzzer. Outcome invariance must survive every
+// mutant; any violation arrives pre-shrunk and, when ANON_REPRO_DIR is set,
+// is saved as a self-contained repro trace exactly like a matrix
+// divergence.
+func TestFuzzTierMatrix(t *testing.T) {
+	graphFor := map[string]*graph.G{
+		"treecast":    graph.KaryGroundedTree(2, 2),
+		"dagcast":     graph.RandomDAG(7, 4, 3),
+		"generalcast": graph.Ring(5),
+		"labelcast":   graph.RandomDigraph(8, 11, graph.RandomDigraphOpts{ExtraEdges: 8, TerminalFrac: 0.3}),
+		"mapcast":     graph.Ring(4),
+	}
+	for _, pc := range protoCases {
+		g := graphFor[pc.name]
+		t.Run(pc.name+"/"+g.Name(), func(t *testing.T) {
+			seeds := fuzzSeeds(t, g, pc.make)
+			rep, err := fuzz.CampaignOn(g, pc.make, seeds, fuzz.Options{Mutations: 12, Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Log(rep)
+			for i, v := range rep.Violations {
+				t.Errorf("invariance violation under %s:\n got: %s\nwant: %s", v.Mutation, v.Got, v.Want)
+				saveFuzzRepro(t, pc.name, g, i, v)
+			}
+		})
+	}
+}
+
+// fuzzSeeds records one trace per seed source: two seeded sequential
+// adversaries and one wild concurrent capture, so the fuzzer's
+// neighborhoods are anchored at schedules from different engines.
+func fuzzSeeds(t *testing.T, g *graph.G, makeProto func() protocol.Protocol) []*replay.Trace {
+	t.Helper()
+	var seeds []*replay.Trace
+	for _, schedName := range []string{"random", "greedy"} {
+		sched, err := sim.NewScheduler(schedName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := replay.NewRecorder()
+		if _, err := sim.Run(g, makeProto(), sim.Options{Scheduler: sched, Seed: 23, Observer: rec}); err != nil {
+			t.Fatalf("seed run %s: %v", schedName, err)
+		}
+		seeds = append(seeds, rec.Trace(g, makeProto().Name(), schedName, 23))
+	}
+	_, wild, err := replay.RecordWild(sim.Concurrent(), g, makeProto, sim.Options{Seed: 23})
+	if err != nil {
+		t.Fatalf("wild seed: %v", err)
+	}
+	return append(seeds, wild)
+}
+
+// saveFuzzRepro writes a violation's shrunk repro trace (or the full mutant
+// trace if shrinking failed) into ANON_REPRO_DIR, mirroring the matrix's
+// on-divergence hook so CI uploads fuzz findings the same way.
+func saveFuzzRepro(t *testing.T, protoName string, g *graph.G, i int, v *fuzz.Violation) {
+	t.Helper()
+	dir := os.Getenv("ANON_REPRO_DIR")
+	if dir == "" {
+		return
+	}
+	tr := v.Trace
+	if v.Shrunk != nil {
+		tr = v.Shrunk.Trace
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("fuzz repro hook: %v", err)
+		return
+	}
+	sanitize := func(s string) string { return strings.NewReplacer("/", "-", " ", "-").Replace(s) }
+	name := fmt.Sprintf("fuzz-%s-%s-%s-%d.trace", sanitize(protoName), sanitize(g.Name()), sanitize(v.Mutation), i)
+	if err := os.WriteFile(filepath.Join(dir, name), replay.Encode(tr), 0o644); err != nil {
+		t.Logf("fuzz repro hook: %v", err)
+		return
+	}
+	t.Logf("fuzz repro hook: saved %s", name)
+}

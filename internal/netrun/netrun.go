@@ -35,7 +35,9 @@ import (
 // turns protocol messages into wire bytes; opts carries the TCP-specific
 // budgets (sim.Options' scheduler and step limit do not apply — the schedule
 // here comes from the kernel's loopback stack, and the backstop is
-// Options.MaxMessages/Timeout).
+// Options.MaxMessages/Timeout). sim.Options.Observer IS honored: events are
+// serialized through a sim.SerializedObserver, so a kernel-born schedule can
+// be recorded and replayed on the sequential engine (see internal/replay).
 func Engine(codec protocol.Codec, opts Options) sim.Engine {
 	return tcpEngine{codec: codec, opts: opts}
 }
@@ -47,8 +49,14 @@ type tcpEngine struct {
 
 func (e tcpEngine) Name() string { return "tcp" }
 
-func (e tcpEngine) Run(g *graph.G, p protocol.Protocol, _ sim.Options) (*sim.Result, error) {
-	return Run(g, p, e.codec, e.opts)
+func (e tcpEngine) Run(g *graph.G, p protocol.Protocol, simOpts sim.Options) (*sim.Result, error) {
+	opts := e.opts
+	if simOpts.Observer != nil {
+		// Tee rather than overwrite: an observer configured on the engine's
+		// own Options keeps receiving events.
+		opts.Observer = sim.TeeObserver(opts.Observer, simOpts.Observer)
+	}
+	return Run(g, p, e.codec, opts)
 }
 
 // Options configures a TCP run.
@@ -58,6 +66,11 @@ type Options struct {
 	Timeout time.Duration
 	// MaxMessages bounds total traffic as a runaway backstop; 0 = default.
 	MaxMessages int64
+	// Observer, when non-nil, receives one causally consistent linearization
+	// of the run's send/deliver events (serialized through a lock and sealed
+	// when the verdict is decided), exactly like the concurrent engine's
+	// observer stream.
+	Observer sim.Observer
 }
 
 const (
@@ -116,6 +129,7 @@ func Run(g *graph.G, p protocol.Protocol, codec protocol.Codec, opts Options) (*
 		},
 		stopCh:  make(chan struct{}),
 		maxMsgs: opts.MaxMessages,
+		obs:     sim.NewSerializedObserver(opts.Observer),
 	}
 	r.res.Visited[g.Root()] = true
 
@@ -182,6 +196,7 @@ type runner struct {
 	inFlight Counter
 	steps    atomic.Int64
 	maxMsgs  int64
+	obs      *sim.SerializedObserver
 
 	metricsMu sync.Mutex
 	visitedMu sync.Mutex
@@ -200,6 +215,9 @@ type inFrame struct {
 
 func (r *runner) finish(v sim.Verdict, err error) {
 	r.stopOnce.Do(func() {
+		// Seal before publishing the verdict so a recorded schedule never
+		// includes the post-termination drain (see sim.SerializedObserver).
+		r.obs.Seal()
 		r.verdict = v
 		r.err = err
 		close(r.stopCh)
@@ -384,6 +402,11 @@ func (r *runner) send(v graph.VertexID, j int, msg protocol.Message) error {
 	if total > r.maxMsgs {
 		return fmt.Errorf("netrun: message budget exceeded (%d)", r.maxMsgs)
 	}
+	if r.obs != nil {
+		// Observe the send before the frame hits the wire: the peer cannot
+		// deliver a message whose send was not yet linearized.
+		r.obs.OnSend(e.ID, msg)
+	}
 
 	frame := make([]byte, 4+len(data))
 	binary.BigEndian.PutUint32(frame[:4], uint32(bits))
@@ -406,6 +429,12 @@ func (r *runner) vertexLoop(v graph.VertexID) {
 			return
 		}
 		r.steps.Add(1)
+		if r.obs != nil {
+			// Observe the delivery before processing it, so the sends it
+			// triggers are linearized after it. The observer renumbers steps
+			// in linearization order; our racy counter value is ignored.
+			r.obs.OnDeliver(0, r.g.InEdge(v, f.port).ID, f.msg)
+		}
 		r.visitedMu.Lock()
 		r.res.Visited[v] = true
 		r.visitedMu.Unlock()

@@ -1,0 +1,120 @@
+package replay
+
+import (
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// CompletingReplayer is a sim.Scheduler that executes a scripted delivery
+// prefix leniently and then hands control to a fallback adversary, so the
+// run always reaches a real verdict instead of stranding in-flight messages
+// when the script runs out.
+//
+// This is the execution substrate of the schedule fuzzer: a mutated
+// delivery sequence is only a *hypothesis* about a nearby schedule — once
+// the perturbation changes what a vertex sends, the recorded suffix may
+// reference messages that no longer exist. The completing replayer skips
+// unexecutable entries (counting them), and when the script is exhausted it
+// seeds the fallback scheduler with the currently pending edges and lets it
+// drive the run to termination or quiescence. Every run it schedules is
+// therefore a valid schedule of the protocol by construction.
+type CompletingReplayer struct {
+	script   []graph.EdgeID
+	fallback sim.Scheduler
+
+	ctx      sim.SchedContext
+	cursor   int
+	pending  []bool
+	headSeq  []uint64
+	switched bool
+
+	skipped   int
+	completed int
+}
+
+var _ sim.Scheduler = (*CompletingReplayer)(nil)
+
+// NewCompletingReplayer returns a CompletingReplayer over the scripted
+// deliveries with the given fallback adversary (which must be fresh or
+// resettable; it is Reset when the hand-over happens).
+func NewCompletingReplayer(deliveries []graph.EdgeID, fallback sim.Scheduler) *CompletingReplayer {
+	return &CompletingReplayer{script: deliveries, fallback: fallback}
+}
+
+// Name implements sim.Scheduler.
+func (r *CompletingReplayer) Name() string { return "replay-complete" }
+
+// Skipped returns how many scripted entries were not executable when their
+// turn came (a measure of how far the mutation drifted from validity).
+func (r *CompletingReplayer) Skipped() int { return r.skipped }
+
+// Completed returns how many deliveries the fallback adversary appended
+// after the script was exhausted.
+func (r *CompletingReplayer) Completed() int { return r.completed }
+
+// Reset implements sim.Scheduler.
+func (r *CompletingReplayer) Reset(ctx sim.SchedContext) {
+	nE := ctx.Graph.NumEdges()
+	if cap(r.pending) < nE {
+		r.pending = make([]bool, nE)
+		r.headSeq = make([]uint64, nE)
+	} else {
+		r.pending = r.pending[:nE]
+		r.headSeq = r.headSeq[:nE]
+		for e := range r.pending {
+			r.pending[e] = false
+		}
+	}
+	r.ctx = ctx
+	r.cursor = 0
+	r.switched = false
+	r.skipped = 0
+	r.completed = 0
+}
+
+// Push implements sim.Scheduler.
+func (r *CompletingReplayer) Push(pe sim.PendingEdge) {
+	r.pending[pe.Edge] = true
+	r.headSeq[pe.Edge] = pe.HeadSeq
+	if r.switched {
+		r.fallback.Push(pe)
+	}
+}
+
+// Len implements sim.Scheduler. It advances the cursor past unexecutable
+// script entries; when the script is exhausted it performs the one-time
+// hand-over, seeding the fallback with every currently pending edge.
+func (r *CompletingReplayer) Len() int {
+	if !r.switched {
+		for r.cursor < len(r.script) {
+			e := r.script[r.cursor]
+			if int(e) >= 0 && int(e) < len(r.pending) && r.pending[e] {
+				return len(r.script) - r.cursor
+			}
+			r.cursor++
+			r.skipped++
+		}
+		r.switched = true
+		r.fallback.Reset(r.ctx)
+		for e, p := range r.pending {
+			if p {
+				r.fallback.Push(sim.PendingEdge{Edge: graph.EdgeID(e), HeadSeq: r.headSeq[e]})
+			}
+		}
+	}
+	return r.fallback.Len()
+}
+
+// Pop implements sim.Scheduler.
+func (r *CompletingReplayer) Pop() graph.EdgeID {
+	var e graph.EdgeID
+	if !r.switched {
+		e = r.script[r.cursor]
+		r.cursor++
+	} else {
+		e = r.fallback.Pop()
+		r.completed++
+	}
+	r.pending[e] = false
+	return e
+}

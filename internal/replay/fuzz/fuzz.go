@@ -1,0 +1,321 @@
+// Package fuzz is the corpus-driven differential schedule fuzzer: it
+// mutates recorded delivery schedules into nearby valid schedules and
+// asserts that every schedule-independent outcome of the paper — verdict,
+// broadcast completeness, the labeled-vertex set, label uniqueness,
+// topology isomorphism — is invariant under the perturbation.
+//
+// Recorded traces (from any engine, including the wild concurrent and TCP
+// captures of internal/replay) are the seed pool. Each mutation operator
+// perturbs the schedule while the happens-before index keeps the proposal
+// causally possible; the completing replayer executes the scripted prefix
+// leniently and hands the run to a deterministic fallback adversary, so
+// every mutant yields a real verdict. Any outcome that differs from the
+// seed's is a violation: the fuzzer re-records the offending schedule and
+// delta-debugs it to a 1-minimal repro trace via replay.Shrink.
+//
+// The paper's theorems quantify over all asynchronous schedules, but the
+// test matrix can only ever sample named adversaries. Fuzzing the
+// neighborhood of observed schedules — in the spirit of self-stabilization,
+// where correctness must survive perturbed communication — explores
+// schedules no registered adversary generates.
+package fuzz
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/protocol"
+	"repro/internal/replay"
+	"repro/internal/sim"
+)
+
+// Options configures a fuzzing campaign. The zero value is usable:
+// DefaultMutations mutants per seed, fifo fallback, shrinking on.
+type Options struct {
+	// Mutations is the number of mutants to draw per seed trace
+	// (default DefaultMutations).
+	Mutations int
+	// Seed drives the mutation RNG; campaigns are deterministic in it.
+	Seed int64
+	// Fallback names the sequential adversary that completes a mutant run
+	// once the mutated script is exhausted (default "fifo").
+	Fallback string
+	// NoShrink skips delta-debugging violations (useful when the caller
+	// only wants detection, e.g. inside another shrink loop).
+	NoShrink bool
+	// Reference, when non-nil, is the result of a run that already executed
+	// the (single) seed schedule; the campaign scores mutants against its
+	// outcome instead of re-replaying the seed. Only valid for single-seed
+	// CampaignOn calls — with several seeds the reference is per-seed and
+	// must be recomputed.
+	Reference *sim.Result
+}
+
+// DefaultMutations is the per-seed mutant budget when Options.Mutations is 0.
+const DefaultMutations = 32
+
+// Violation is one observed invariance break: a nearby valid schedule on
+// which the run's schedule-independent outcome differs from the seed
+// trace's.
+type Violation struct {
+	// Mutation names the operator that produced the schedule.
+	Mutation string
+	// Want and Got render the seed's and the mutant's outcome footprints
+	// (Outcome), or the run error.
+	Want, Got string
+	// Trace is the full executed mutant schedule, re-recorded and
+	// self-contained — strict-replayable evidence.
+	Trace *replay.Trace
+	// Shrunk is the 1-minimal delta-debugged repro (nil if shrinking was
+	// disabled or failed; Trace is always present).
+	Shrunk *replay.ShrinkResult
+}
+
+// Report summarizes a campaign.
+type Report struct {
+	// Seeds and Mutants count the seed traces and the mutants executed.
+	Seeds, Mutants int
+	// SkippedDeliveries counts scripted entries that were not executable
+	// when their turn came, summed over all mutant runs; a measure of how
+	// far mutation drifted from the recorded behavior.
+	SkippedDeliveries int
+	// CompletedDeliveries counts deliveries appended by the fallback
+	// adversary, summed over all mutant runs.
+	CompletedDeliveries int
+	// Violations holds every invariance break found.
+	Violations []*Violation
+}
+
+// String summarizes the report in one line.
+func (r *Report) String() string {
+	return fmt.Sprintf("fuzz: %d seeds, %d mutants (%d deliveries skipped, %d completed), %d violations",
+		r.Seeds, r.Mutants, r.SkippedDeliveries, r.CompletedDeliveries, len(r.Violations))
+}
+
+// CampaignOn fuzzes the given seed traces against the protocol factory on
+// g. Every seed must verify against g and the factory's protocol name.
+// Traces in seeds that share the graph fingerprint serve as splice mates
+// for each other. The error return covers setup problems (bad seed, bad
+// fallback name); violations are data, reported in Report.Violations.
+func CampaignOn(g *graph.G, newProto func() protocol.Protocol, seeds []*replay.Trace, opts Options) (*Report, error) {
+	if opts.Mutations <= 0 {
+		opts.Mutations = DefaultMutations
+	}
+	if opts.Fallback == "" {
+		opts.Fallback = "fifo"
+	}
+	if _, err := sim.NewScheduler(opts.Fallback); err != nil {
+		return nil, err
+	}
+	if opts.Reference != nil && len(seeds) != 1 {
+		return nil, fmt.Errorf("fuzz: Options.Reference requires exactly one seed, have %d", len(seeds))
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	rep := &Report{}
+	for si, tr := range seeds {
+		if err := replay.Verify(tr, g, newProto().Name()); err != nil {
+			return nil, fmt.Errorf("fuzz: seed %d: %w", si, err)
+		}
+		refR := opts.Reference
+		if refR == nil {
+			var err error
+			refR, err = replay.Run(g, newProto(), tr, sim.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("fuzz: seed %d reference replay: %w", si, err)
+			}
+		}
+		refO, refProblems := Compute(g, refR)
+		want := outcomeString(refO, refProblems)
+
+		ix := indexTrace(tr)
+		var mates [][]graph.EdgeID
+		for mi, m := range seeds {
+			if mi != si && sameNumbering(m, tr) {
+				mates = append(mates, m.Deliveries())
+			}
+		}
+		if len(mates) == 0 {
+			mates = [][]graph.EdgeID{ix.deliveries} // self-splice
+		}
+		rep.Seeds++
+
+		for mi := 0; mi < opts.Mutations; mi++ {
+			mut, ok := nextMutant(rng, ix, mates)
+			if !ok {
+				break // seed too small to mutate at all
+			}
+			rep.Mutants++
+			v, skipped, completed, err := runMutant(g, newProto, tr, mut, opts, refO, refProblems, want)
+			if err != nil {
+				return nil, err
+			}
+			rep.SkippedDeliveries += skipped
+			rep.CompletedDeliveries += completed
+			if v != nil {
+				rep.Violations = append(rep.Violations, v)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// runMutant executes one mutant schedule to a verdict and compares its
+// outcome footprint against the seed's.
+func runMutant(g *graph.G, newProto func() protocol.Protocol, seed *replay.Trace, mut Mutant,
+	opts Options, refO Outcome, refProblems []string, want string) (*Violation, int, int, error) {
+	fb, err := sim.NewScheduler(opts.Fallback)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	comp := replay.NewCompletingReplayer(mut.Deliveries, fb)
+	rec := replay.NewRecorder()
+	r, runErr := sim.Run(g, newProto(), sim.Options{Scheduler: comp, Seed: seed.Seed, Observer: rec})
+	skipped, completed := comp.Skipped(), comp.Completed()
+	var (
+		got      string
+		diverged bool
+	)
+	if runErr != nil {
+		got = fmt.Sprintf("error: %v", runErr)
+		diverged = true
+	} else {
+		o, problems := Compute(g, r)
+		got = outcomeString(o, problems)
+		diverged = o != refO || fmt.Sprint(problems) != fmt.Sprint(refProblems)
+	}
+	if !diverged {
+		return nil, skipped, completed, nil
+	}
+	v := &Violation{Mutation: mut.Name, Want: want, Got: got}
+	v.Trace = rec.Trace(g, seed.Protocol, "fuzz-"+mut.Name, seed.Seed)
+	// Only an errored run's recording may be partial; a run that reached a
+	// verdict recorded its complete schedule, which stays strict-replayable.
+	v.Trace.Truncated = runErr != nil
+	if !opts.NoShrink {
+		v.Shrunk = shrinkViolation(g, newProto, v.Trace, refO, refProblems, runErr, r)
+	}
+	return v, skipped, completed, nil
+}
+
+// shrinkViolation delta-debugs a violating schedule to a 1-minimal repro.
+// The predicate demands the candidate reproduce the *observed* violating
+// outcome — not merely differ from the reference, which truncated schedules
+// satisfy trivially. Shrink failure is tolerated (the full trace remains as
+// evidence).
+func shrinkViolation(g *graph.G, newProto func() protocol.Protocol, tr *replay.Trace,
+	refO Outcome, refProblems []string, runErr error, bad *sim.Result) *replay.ShrinkResult {
+	var pred replay.Predicate
+	if runErr != nil || bad == nil {
+		pred = func(r *sim.Result, err error) bool { return err != nil }
+	} else {
+		badO, badProblems := Compute(g, bad)
+		pred = func(r *sim.Result, err error) bool {
+			if err != nil || r == nil {
+				return false
+			}
+			o, problems := Compute(g, r)
+			return o == badO && fmt.Sprint(problems) == fmt.Sprint(badProblems)
+		}
+	}
+	res, err := replay.Shrink(g, newProto, tr, pred)
+	if err != nil {
+		return nil
+	}
+	return res
+}
+
+// sameNumbering reports whether two traces were recorded on the same
+// concrete graph with the same vertex/edge numbering, so their edge-ID
+// schedules are interchangeable. The fingerprint alone is not enough: it is
+// isomorphism-invariant, while edge IDs are numbering-specific — two traces
+// of the same ring listed in different edge order share a fingerprint but
+// not a numbering. The embedded network text pins the exact numbering.
+func sameNumbering(a, b *replay.Trace) bool {
+	if len(a.GraphText) > 0 || len(b.GraphText) > 0 {
+		return bytes.Equal(a.GraphText, b.GraphText)
+	}
+	return a.GraphFP == b.GraphFP // in-memory traces without embedded text
+}
+
+// Campaign fuzzes a heterogeneous seed pool: traces are grouped by
+// (embedded network text, protocol) — i.e. by concrete edge numbering, not
+// just isomorphism class — each group is fuzzed on its embedded graph with
+// the protocol its headers name, and the group members serve as splice
+// mates for each other. This is the entry point for corpus directories
+// (Corpus) and the anonshrink CLI.
+func Campaign(seeds []*replay.Trace, opts Options) (*Report, error) {
+	type groupKey struct {
+		graphText string
+		proto     string
+	}
+	groups := make(map[groupKey][]*replay.Trace)
+	var order []groupKey // deterministic iteration, first-seen order
+	for _, tr := range seeds {
+		k := groupKey{string(tr.GraphText), tr.Protocol}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], tr)
+	}
+	total := &Report{}
+	for _, k := range order {
+		pool := groups[k]
+		g, err := pool[0].Graph()
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: %w", err)
+		}
+		newProto, err := replay.ProtocolFactory(k.proto)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := CampaignOn(g, newProto, pool, opts)
+		if err != nil {
+			return nil, err
+		}
+		total.Seeds += rep.Seeds
+		total.Mutants += rep.Mutants
+		total.SkippedDeliveries += rep.SkippedDeliveries
+		total.CompletedDeliveries += rep.CompletedDeliveries
+		total.Violations = append(total.Violations, rep.Violations...)
+	}
+	return total, nil
+}
+
+// Corpus loads every *.trace file in dir as a seed pool.
+func Corpus(dir string) ([]*replay.Trace, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seeds []*replay.Trace
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".trace") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		tr, err := replay.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: %s: %w", e.Name(), err)
+		}
+		seeds = append(seeds, tr)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("fuzz: no .trace files in %s", dir)
+	}
+	return seeds, nil
+}
+
+func outcomeString(o Outcome, problems []string) string {
+	if len(problems) == 0 {
+		return o.String()
+	}
+	return fmt.Sprintf("%s problems=%v", o, problems)
+}

@@ -1,0 +1,333 @@
+package fuzz
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/protocol"
+	"repro/internal/replay"
+	"repro/internal/sim"
+)
+
+// TestFuzzCorpusSmoke is the CI fuzz tier: it loads the committed trace
+// corpus (the same files that pin the codec) as the seed pool and runs a
+// bounded differential campaign over it — N mutants per seed, outcome
+// invariance demanded for every one. ANON_FUZZ_MUTATIONS overrides the
+// budget so CI can scale it without a code change.
+func TestFuzzCorpusSmoke(t *testing.T) {
+	seeds, err := Corpus("../testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := 16
+	if s := os.Getenv("ANON_FUZZ_MUTATIONS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad ANON_FUZZ_MUTATIONS=%q", s)
+		}
+		mutations = n
+	}
+	rep, err := Campaign(seeds, Options{Mutations: mutations, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep)
+	if rep.Seeds != len(seeds) {
+		t.Errorf("fuzzed %d seeds, corpus has %d", rep.Seeds, len(seeds))
+	}
+	if rep.Mutants < rep.Seeds { // every corpus trace is long enough to mutate
+		t.Errorf("only %d mutants ran over %d seeds", rep.Mutants, rep.Seeds)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("invariance violation under %s:\n got: %s\nwant: %s", v.Mutation, v.Got, v.Want)
+	}
+}
+
+// TestCampaignDeterministic: same seed pool, same options — byte-identical
+// campaign (mutant counts and skipped/completed tallies included), so a CI
+// failure is reproducible locally from the logged options alone.
+func TestCampaignDeterministic(t *testing.T) {
+	seeds, err := Corpus("../testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Campaign(seeds[:3], Options{Mutations: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Campaign(seeds[:3], Options{Mutations: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() || len(a.Violations) != len(b.Violations) {
+		t.Fatalf("campaign not deterministic:\n a: %s\n b: %s", a, b)
+	}
+}
+
+// TestCampaignGroupsByNumbering: two traces recorded on isomorphic networks
+// with different edge numbering share a graph fingerprint but not an
+// edge-ID space. Campaign must fuzz each on its own embedded graph instead
+// of lumping them into one group and replaying one schedule against the
+// other's numbering.
+func TestCampaignGroupsByNumbering(t *testing.T) {
+	a := graph.Line(3)
+	// The same path, edges inserted in reverse order: isomorphic (same
+	// fingerprint) but edge IDs are numbered back to front.
+	bb := graph.NewBuilder(5)
+	bb.AddEdge(3, 4).AddEdge(2, 3).AddEdge(1, 2).AddEdge(0, 1)
+	bb.SetRoot(0).SetTerminal(4).SetName("line-renumbered")
+	b, err := bb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("test premise broken: fingerprints differ (%016x vs %016x)", a.Fingerprint(), b.Fingerprint())
+	}
+	if string(a.MarshalText()) == string(b.MarshalText()) {
+		t.Fatal("test premise broken: graphs share a numbering")
+	}
+	var seeds []*replay.Trace
+	for _, g := range []*graph.G{a, b} {
+		sched, err := sim.NewScheduler("fifo")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := replay.NewRecorder()
+		if _, err := sim.Run(g, core.NewGeneralBroadcast([]byte("m")), sim.Options{Scheduler: sched, Observer: rec}); err != nil {
+			t.Fatal(err)
+		}
+		seeds = append(seeds, rec.Trace(g, "generalcast", "fifo", 0))
+	}
+	rep, err := Campaign(seeds, Options{Mutations: 4, Seed: 1})
+	if err != nil {
+		t.Fatalf("campaign over renumbered isomorphic seeds: %v", err)
+	}
+	if rep.Seeds != 2 {
+		t.Fatalf("fuzzed %d seeds, want 2", rep.Seeds)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("spurious violation under %s:\n got: %s\nwant: %s", v.Mutation, v.Got, v.Want)
+	}
+}
+
+// --- injected invariance violation ------------------------------------------
+
+// orderMsg is a minimal one-bit message for the race protocol.
+type orderMsg struct{}
+
+func (orderMsg) Bits() int   { return 1 }
+func (orderMsg) Key() string { return "o" }
+
+// raceProto is a deliberately schedule-DEPENDENT protocol — the negative
+// control for the fuzzer. Internal vertices flood the first message they
+// see; the terminal declares termination only if its first message arrived
+// on in-port 0 and it has since received a second message. On a diamond
+// graph the verdict therefore depends on which in-edge of the terminal
+// delivers first: a genuine invariance violation for the oracle to find.
+type raceProto struct{}
+
+func (raceProto) Name() string                     { return "racecast" }
+func (raceProto) InitialMessage() protocol.Message { return orderMsg{} }
+func (raceProto) NewNode(inDeg, outDeg int, role protocol.Role) protocol.Node {
+	if role == protocol.RoleTerminal {
+		return &raceTerm{}
+	}
+	return &raceNode{outDeg: outDeg}
+}
+
+type raceNode struct {
+	outDeg int
+	seen   bool
+}
+
+func (n *raceNode) Receive(protocol.Message, int) ([]protocol.Message, error) {
+	if n.seen {
+		return nil, nil
+	}
+	n.seen = true
+	outs := make([]protocol.Message, n.outDeg)
+	for i := range outs {
+		outs[i] = orderMsg{}
+	}
+	return outs, nil
+}
+
+type raceTerm struct {
+	got       int
+	firstPort int
+}
+
+func (t *raceTerm) Receive(_ protocol.Message, port int) ([]protocol.Message, error) {
+	if t.got == 0 {
+		t.firstPort = port
+	}
+	t.got++
+	return nil, nil
+}
+
+func (t *raceTerm) Done() bool  { return t.got >= 2 && t.firstPort == 0 }
+func (t *raceTerm) Output() any { return "port0-first" }
+
+// diamond builds s -> a; a -> b, a -> c; b -> t (in-port 0), c -> t
+// (in-port 1).
+func diamond(t *testing.T) *graph.G {
+	t.Helper()
+	b := graph.NewBuilder(0)
+	s := b.AddVertex()
+	a := b.AddVertex()
+	v1 := b.AddVertex()
+	v2 := b.AddVertex()
+	tt := b.AddVertex()
+	b.AddEdge(s, a)
+	b.AddEdge(a, v1).AddEdge(a, v2)
+	b.AddEdge(v1, tt)
+	b.AddEdge(v2, tt)
+	b.SetRoot(s).SetTerminal(tt).SetName("diamond")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestInjectedViolationShrinksToMinimal is the end-to-end negative control:
+// on a schedule-dependent protocol the fuzzer must (1) find the invariance
+// violation, (2) auto-shrink it, and (3) deliver a 1-minimal repro — one
+// whose every single-delivery-removed subsequence no longer reproduces the
+// violating outcome.
+func TestInjectedViolationShrinksToMinimal(t *testing.T) {
+	g := diamond(t)
+	newProto := func() protocol.Protocol { return raceProto{} }
+
+	// Record the seed under fifo: b->t delivers before c->t, so the run
+	// terminates.
+	sched, err := sim.NewScheduler("fifo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := replay.NewRecorder()
+	r, err := sim.Run(g, newProto(), sim.Options{Scheduler: sched, Observer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != sim.Terminated {
+		t.Fatalf("seed run verdict %s, want terminated", r.Verdict)
+	}
+	seed := rec.Trace(g, "racecast", "fifo", 0)
+
+	rep, err := CampaignOn(g, newProto, []*replay.Trace{seed}, Options{Mutations: 64, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatalf("fuzzer found no violation on a schedule-dependent protocol (%s)", rep)
+	}
+	v := rep.Violations[0]
+	t.Logf("violation under %s:\n got: %s\nwant: %s", v.Mutation, v.Got, v.Want)
+	if v.Shrunk == nil {
+		t.Fatal("violation was not shrunk")
+	}
+	min := v.Shrunk.Trace
+	minDs := min.Deliveries()
+	t.Logf("shrunk %d -> %d deliveries", v.Shrunk.Before, v.Shrunk.After)
+	if len(minDs) == 0 || len(minDs) > v.Shrunk.Before {
+		t.Fatalf("shrunk trace has %d deliveries (before: %d)", len(minDs), v.Shrunk.Before)
+	}
+
+	// The repro must reproduce the violating outcome...
+	failing := func(ds []graph.EdgeID) bool {
+		rp := replay.NewLenientReplayer(ds)
+		rr, err := sim.Run(g, newProto(), sim.Options{Scheduler: rp})
+		return err == nil && rr.Verdict == sim.Quiescent && rr.AllVisited()
+	}
+	if !failing(minDs) {
+		t.Fatal("shrunk repro does not reproduce the violating outcome")
+	}
+	// ...and be 1-minimal: removing any single delivery makes it pass.
+	for i := range minDs {
+		cand := make([]graph.EdgeID, 0, len(minDs)-1)
+		cand = append(cand, minDs[:i]...)
+		cand = append(cand, minDs[i+1:]...)
+		if failing(cand) {
+			t.Fatalf("repro is not 1-minimal: removing delivery %d still fails", i)
+		}
+	}
+}
+
+// TestWildSeedsFuzzable closes the loop of this PR: schedules captured from
+// the concurrent engine feed straight into the differential fuzzer as
+// seeds, and the paper's protocols survive their whole mutation
+// neighborhood.
+func TestWildSeedsFuzzable(t *testing.T) {
+	g := graph.Ring(5)
+	newProto := func() protocol.Protocol { return core.NewGeneralBroadcast([]byte("m")) }
+	var seeds []*replay.Trace
+	for i := 0; i < 3; i++ {
+		_, tr, err := replay.RecordWild(sim.Concurrent(), g, newProto, sim.Options{Seed: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds = append(seeds, tr)
+	}
+	rep, err := CampaignOn(g, newProto, seeds, Options{Mutations: 16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep)
+	for _, v := range rep.Violations {
+		t.Errorf("invariance violation under %s on a wild seed:\n got: %s\nwant: %s", v.Mutation, v.Got, v.Want)
+	}
+	if rep.Mutants == 0 {
+		t.Error("no mutants ran")
+	}
+}
+
+// TestSwapAdjacentRespectsHappensBefore pins the mutator's validity
+// guarantee directly: every swap it proposes exchanges deliveries on
+// different edges, and the later delivery's message was already in flight
+// before the earlier delivery happened.
+func TestSwapAdjacentRespectsHappensBefore(t *testing.T) {
+	g := graph.RandomDigraph(8, 11, graph.RandomDigraphOpts{ExtraEdges: 8, TerminalFrac: 0.3})
+	sched, err := sim.NewScheduler("random")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := replay.NewRecorder()
+	if _, err := sim.Run(g, core.NewLabelAssign(nil), sim.Options{Scheduler: sched, Seed: 9, Observer: rec}); err != nil {
+		t.Fatal(err)
+	}
+	tr := rec.Trace(g, "labelcast", "random", 9)
+	ix := indexTrace(tr)
+	for i := 0; i+1 < len(ix.deliveries); i++ {
+		if !ix.swappable(i) {
+			continue
+		}
+		if ix.deliveries[i] == ix.deliveries[i+1] {
+			t.Fatalf("swappable pair %d shares an edge", i)
+		}
+		if ix.sendPos[i+1] >= ix.evPos[i] {
+			t.Fatalf("swappable pair %d: delivery %d's send (event %d) does not precede delivery %d (event %d)",
+				i, i+1, ix.sendPos[i+1], i, ix.evPos[i])
+		}
+	}
+	// A swapped pair of independent deliveries must itself be executable:
+	// run every swap mutant and demand the swapped prefix never skips.
+	for i := 0; i+1 < len(ix.deliveries); i++ {
+		if !ix.swappable(i) {
+			continue
+		}
+		out := append([]graph.EdgeID(nil), ix.deliveries...)
+		out[i], out[i+1] = out[i+1], out[i]
+		fb, _ := sim.NewScheduler("fifo")
+		comp := replay.NewCompletingReplayer(out[:i+2], fb)
+		if _, err := sim.Run(g, core.NewLabelAssign(nil), sim.Options{Scheduler: comp, Seed: 9}); err != nil {
+			t.Fatalf("swap at %d: %v", i, err)
+		}
+		if comp.Skipped() != 0 {
+			t.Fatalf("swap at %d skipped %d deliveries in the swapped prefix", i, comp.Skipped())
+		}
+	}
+}

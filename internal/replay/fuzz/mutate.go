@@ -1,0 +1,188 @@
+package fuzz
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/replay"
+)
+
+// A mutant is one candidate nearby schedule derived from a recorded trace.
+type Mutant struct {
+	// Name identifies the mutator that produced the candidate.
+	Name string
+	// Deliveries is the candidate delivery schedule. It is a *hypothesis*:
+	// entries the perturbed run cannot execute are skipped by the completing
+	// replayer, and a fallback adversary finishes the run.
+	Deliveries []graph.EdgeID
+}
+
+// MutatorNames lists the implemented mutation operators in application
+// order: swap two adjacent deliveries whose order the happens-before
+// relation does not fix, promote a later pending delivery to an earlier
+// slot, splice the prefix of one schedule onto the suffix of another, and
+// truncate the tail (letting the fallback regenerate it).
+func MutatorNames() []string {
+	return []string{"swap-adjacent", "promote-pending", "splice-prefix", "truncate-tail"}
+}
+
+// traceIndex is the happens-before view of a recorded event stream: for
+// every delivery it knows the event position of the delivery itself and of
+// the send that produced the delivered message. Per-edge FIFO makes the
+// matching exact — the k-th delivery on an edge consumes the k-th send on
+// it. A mutation that moves a delivery before its own send can never
+// execute; the index lets mutators propose only causally possible
+// reorderings.
+type traceIndex struct {
+	deliveries []graph.EdgeID
+	evPos      []int // event-stream position of the k-th delivery
+	sendPos    []int // event-stream position of the send it consumes (-1 if the stream lacks it)
+}
+
+func indexTrace(tr *replay.Trace) *traceIndex {
+	ix := &traceIndex{}
+	sends := make(map[graph.EdgeID][]int)
+	delivered := make(map[graph.EdgeID]int)
+	for pos, ev := range tr.Events {
+		switch ev.Kind {
+		case replay.Send:
+			sends[ev.Edge] = append(sends[ev.Edge], pos)
+		case replay.Deliver:
+			k := delivered[ev.Edge]
+			delivered[ev.Edge]++
+			sp := -1
+			if k < len(sends[ev.Edge]) {
+				sp = sends[ev.Edge][k]
+			}
+			ix.deliveries = append(ix.deliveries, ev.Edge)
+			ix.evPos = append(ix.evPos, pos)
+			ix.sendPos = append(ix.sendPos, sp)
+		}
+	}
+	return ix
+}
+
+// swappable reports whether deliveries i and i+1 commute causally: they are
+// on different edges and the later delivery's message was already in flight
+// before the earlier delivery happened, so executing them in either order
+// is a valid schedule. (When both target the same vertex the receive order
+// still changes — that is the perturbation the invariance oracle is for.)
+func (ix *traceIndex) swappable(i int) bool {
+	if ix.deliveries[i] == ix.deliveries[i+1] {
+		return false // same edge: FIFO fixes the order
+	}
+	return ix.sendPos[i+1] >= 0 && ix.sendPos[i+1] < ix.evPos[i]
+}
+
+// mutateSwapAdjacent exchanges one random causally independent adjacent
+// delivery pair.
+func mutateSwapAdjacent(rng *rand.Rand, ix *traceIndex) ([]graph.EdgeID, bool) {
+	n := len(ix.deliveries)
+	if n < 2 {
+		return nil, false
+	}
+	// Random probe position, scanning forward (with wraparound) for a
+	// swappable pair so sparse opportunities are still found.
+	start := rng.Intn(n - 1)
+	for off := 0; off < n-1; off++ {
+		i := (start + off) % (n - 1)
+		if ix.swappable(i) {
+			out := append([]graph.EdgeID(nil), ix.deliveries...)
+			out[i], out[i+1] = out[i+1], out[i]
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// mutatePromotePending picks a later delivery whose message was already
+// pending at an earlier slot and delivers it there instead, shifting the
+// displaced deliveries one slot later. This retargets the adversary's
+// choice at that step to a different pending edge.
+func mutatePromotePending(rng *rand.Rand, ix *traceIndex) ([]graph.EdgeID, bool) {
+	n := len(ix.deliveries)
+	if n < 2 {
+		return nil, false
+	}
+	for attempt := 0; attempt < 16; attempt++ {
+		i := rng.Intn(n - 1)
+		j := i + 1 + rng.Intn(n-1-i)
+		// The promoted message must have been in flight before slot i.
+		if ix.sendPos[j] < 0 || ix.sendPos[j] >= ix.evPos[i] {
+			continue
+		}
+		out := make([]graph.EdgeID, 0, n)
+		out = append(out, ix.deliveries[:i]...)
+		out = append(out, ix.deliveries[j])
+		out = append(out, ix.deliveries[i:j]...)
+		out = append(out, ix.deliveries[j+1:]...)
+		return out, true
+	}
+	return nil, false
+}
+
+// mutateSplicePrefix glues a random prefix of the seed schedule onto a
+// random suffix of a mate schedule recorded on the same graph and protocol
+// (possibly the seed itself at a different cut), crossing two observed
+// adversaries mid-run.
+func mutateSplicePrefix(rng *rand.Rand, ix *traceIndex, mates [][]graph.EdgeID) ([]graph.EdgeID, bool) {
+	if len(ix.deliveries) == 0 || len(mates) == 0 {
+		return nil, false
+	}
+	mate := mates[rng.Intn(len(mates))]
+	if len(mate) == 0 {
+		return nil, false
+	}
+	i := rng.Intn(len(ix.deliveries) + 1)
+	j := rng.Intn(len(mate) + 1)
+	out := make([]graph.EdgeID, 0, i+len(mate)-j)
+	out = append(out, ix.deliveries[:i]...)
+	out = append(out, mate[j:]...)
+	if len(out) == 0 {
+		return nil, false
+	}
+	return out, true
+}
+
+// mutateTruncateTail keeps a random proper prefix; the completing
+// replayer's fallback adversary regenerates the rest of the run, yielding a
+// schedule that follows the recording up to the cut and a deterministic
+// adversary afterwards.
+func mutateTruncateTail(rng *rand.Rand, ix *traceIndex) ([]graph.EdgeID, bool) {
+	n := len(ix.deliveries)
+	if n < 1 {
+		return nil, false
+	}
+	cut := rng.Intn(n)
+	return append([]graph.EdgeID(nil), ix.deliveries[:cut]...), true
+}
+
+// nextMutant draws one mutant from the seed trace. mates are delivery
+// schedules of other traces on the same graph and protocol, used by the
+// splice operator. The rng fully determines the choice, so a campaign is
+// reproducible from its seed.
+func nextMutant(rng *rand.Rand, ix *traceIndex, mates [][]graph.EdgeID) (Mutant, bool) {
+	names := MutatorNames()
+	pick := rng.Intn(len(names))
+	for off := 0; off < len(names); off++ {
+		name := names[(pick+off)%len(names)]
+		var (
+			ds []graph.EdgeID
+			ok bool
+		)
+		switch name {
+		case "swap-adjacent":
+			ds, ok = mutateSwapAdjacent(rng, ix)
+		case "promote-pending":
+			ds, ok = mutatePromotePending(rng, ix)
+		case "splice-prefix":
+			ds, ok = mutateSplicePrefix(rng, ix, mates)
+		case "truncate-tail":
+			ds, ok = mutateTruncateTail(rng, ix)
+		}
+		if ok {
+			return Mutant{Name: name, Deliveries: ds}, true
+		}
+	}
+	return Mutant{}, false
+}

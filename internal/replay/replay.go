@@ -120,19 +120,53 @@ func (t *Trace) Graph() (*graph.G, error) {
 	return g, nil
 }
 
+// MismatchError reports which trace header field disagrees with the network
+// or protocol a replay was asked to run against, with both values spelled
+// out. Callers that want to react per field (a CLI suggesting the right
+// protocol, a test asserting the failure mode) can errors.As for it instead
+// of string-matching.
+type MismatchError struct {
+	// Field names the offending header field: "graph fingerprint",
+	// "protocol", or "event edge".
+	Field string
+	// TraceValue is the value recorded in the trace header.
+	TraceValue string
+	// HaveValue is the conflicting value supplied by the caller.
+	HaveValue string
+}
+
+// Error implements error.
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("replay: %s mismatch: trace has %s, supplied network/protocol has %s",
+		e.Field, e.TraceValue, e.HaveValue)
+}
+
 // Verify checks that tr was recorded on (an isomorphic copy of) g running
-// the named protocol, without running anything.
+// the named protocol, without running anything. Failures are *MismatchError
+// values naming the offending field.
 func Verify(tr *Trace, g *graph.G, protoName string) error {
 	if fp := g.Fingerprint(); fp != tr.GraphFP {
-		return fmt.Errorf("replay: graph fingerprint mismatch: trace %016x, graph %s is %016x", tr.GraphFP, g, fp)
+		return &MismatchError{
+			Field:      "graph fingerprint",
+			TraceValue: fmt.Sprintf("%016x", tr.GraphFP),
+			HaveValue:  fmt.Sprintf("%016x (graph %s)", fp, g),
+		}
 	}
 	if protoName != tr.Protocol {
-		return fmt.Errorf("replay: protocol mismatch: trace recorded %q, replaying %q", tr.Protocol, protoName)
+		return &MismatchError{
+			Field:      "protocol",
+			TraceValue: fmt.Sprintf("%q", tr.Protocol),
+			HaveValue:  fmt.Sprintf("%q", protoName),
+		}
 	}
 	nE := graph.EdgeID(g.NumEdges())
 	for i, ev := range tr.Events {
 		if ev.Edge < 0 || ev.Edge >= nE {
-			return fmt.Errorf("replay: event %d references edge %d, graph has %d edges", i, ev.Edge, nE)
+			return &MismatchError{
+				Field:      "event edge",
+				TraceValue: fmt.Sprintf("event %d references edge %d", i, ev.Edge),
+				HaveValue:  fmt.Sprintf("graph with %d edges", nE),
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,98 @@
+package replay
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// This file is the wild-engine capture tier: schedules born outside the
+// sequential engine — from the Go runtime (sim.Concurrent) or the kernel's
+// loopback stack (netrun) — recorded through the engines' serialized
+// observer stream and converted into traces the sequential engine replays
+// byte-identically.
+//
+// Why a captured wild schedule is sequentially replayable at all: the
+// serialized observer stream is a linearization that respects causality
+// (send before its delivery, delivery before the sends it triggers), both
+// tiers preserve per-edge FIFO, and the protocols are deterministic
+// functions of each vertex's delivery order. Executing the captured
+// delivery sequence on the sequential engine therefore reproduces the same
+// per-vertex histories — and with them the same sends, the same verdict,
+// and the same final states.
+//
+// One wrinkle remains: when a wild run terminates, worker goroutines may
+// have linearized a few more deliveries between the terminating delivery
+// and the instant the observer was sealed. A sequential replay stops at the
+// terminating delivery, so those trailing entries make the raw capture a
+// valid but slightly over-long schedule. Canonicalize resolves this with a
+// single lenient replay that re-records exactly what the sequential engine
+// executes, yielding a strict-mode trace.
+
+// WildScheduler returns the provenance scheduler name recorded for captures
+// from the named engine ("wild-concurrent", "wild-tcp", ...). Wild traces
+// carry it in place of a sim.SchedulerNames() entry.
+func WildScheduler(engineName string) string { return "wild-" + engineName }
+
+// RecordWild runs a fresh protocol from newProto on g under eng — any engine
+// that honors Options.Observer, which since the wild-capture tier is all of
+// them — captures the schedule, and canonicalizes it into a strict-mode
+// trace. It returns the wild run's result and the canonical trace: replaying
+// the trace on the sequential engine reproduces the wild run's
+// schedule-independent outcome, and re-recording that replay is
+// byte-identical to the trace.
+//
+// opts.Observer is honored (teed with the capture recorder); opts.Scheduler
+// is ignored by the wild engines themselves but opts.Seed is stamped into
+// the trace header for provenance.
+func RecordWild(eng sim.Engine, g *graph.G, newProto func() protocol.Protocol, opts sim.Options) (*sim.Result, *Trace, error) {
+	rec := NewRecorder()
+	opts.Observer = sim.TeeObserver(rec, opts.Observer)
+	r, err := eng.Run(g, newProto(), opts)
+	if err != nil {
+		return r, nil, fmt.Errorf("replay: wild run on %s: %w", eng.Name(), err)
+	}
+	wild := rec.Trace(g, newProto().Name(), WildScheduler(eng.Name()), opts.Seed)
+	// The raw capture may carry trailing deliveries linearized after the
+	// terminating one (see the file comment); mark it truncated so the
+	// canonicalizing replay skips them instead of declaring divergence.
+	wild.Truncated = true
+	tr, r2, err := Canonicalize(g, newProto, wild)
+	if err != nil {
+		return r, nil, err
+	}
+	if r2.Verdict != r.Verdict {
+		// The engines must agree on verdicts under every schedule — and the
+		// replayed schedule IS the wild schedule. A mismatch here is an
+		// engine bug, not a capture artifact; surface it loudly.
+		return r, tr, fmt.Errorf("replay: wild %s run was %s but its sequential replay is %s (engine divergence)",
+			eng.Name(), r.Verdict, r2.Verdict)
+	}
+	return r, tr, nil
+}
+
+// Canonicalize re-executes tr on the sequential engine (leniently, if the
+// trace is marked Truncated) while re-recording, and returns the strict-mode
+// trace of what actually ran plus the replay's result. The output trace
+// keeps tr's provenance header (protocol, scheduler name, seed) and replays
+// byte-identically in strict mode; use it to turn a wild capture or a
+// hand-edited schedule into a committable regression trace.
+func Canonicalize(g *graph.G, newProto func() protocol.Protocol, tr *Trace) (*Trace, *sim.Result, error) {
+	p := newProto()
+	if err := Verify(tr, g, p.Name()); err != nil {
+		return nil, nil, err
+	}
+	rec := NewRecorder()
+	rep := NewReplayer(tr)
+	r, err := sim.Run(g, p, sim.Options{Scheduler: rep, Seed: tr.Seed, Observer: rec})
+	if err != nil {
+		return nil, nil, fmt.Errorf("replay: canonicalizing replay: %w", err)
+	}
+	if rerr := rep.Err(); rerr != nil {
+		return nil, nil, fmt.Errorf("replay: canonicalizing replay: %w", rerr)
+	}
+	out := rec.Trace(g, tr.Protocol, tr.Scheduler, tr.Seed)
+	return out, r, nil
+}

@@ -1,0 +1,218 @@
+package replay
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/netrun"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// requireStrictByteIdentical replays tr strictly on the sequential engine
+// twice, re-recording each time, and demands both re-recordings be
+// byte-identical to tr's encoding — the acceptance property for wild
+// captures.
+func requireStrictByteIdentical(t *testing.T, g *graph.G, newProto func() protocol.Protocol, tr *Trace) *sim.Result {
+	t.Helper()
+	if tr.Truncated {
+		t.Fatalf("canonical trace is marked truncated; strict mode impossible")
+	}
+	enc := Encode(tr)
+	var last *sim.Result
+	for i := 0; i < 2; i++ {
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		rec := NewRecorder()
+		r, err := Run(g, newProto(), dec, sim.Options{Observer: rec})
+		if err != nil {
+			t.Fatalf("strict replay %d: %v", i, err)
+		}
+		re := Encode(rec.Trace(g, tr.Protocol, tr.Scheduler, tr.Seed))
+		if !bytes.Equal(enc, re) {
+			t.Fatalf("strict replay %d is not byte-identical (%d vs %d bytes)", i, len(enc), len(re))
+		}
+		last = r
+	}
+	return last
+}
+
+// wildCases spans protocol classes, verdicts (terminating and quiescent),
+// and graph shapes for the wild-capture tests.
+func wildCases() []struct {
+	name     string
+	graph    *graph.G
+	newProto func() protocol.Protocol
+} {
+	deadEnd := func() *graph.G {
+		b := graph.NewBuilder(0)
+		s := b.AddVertex()
+		a := b.AddVertex()
+		x := b.AddVertex()
+		y := b.AddVertex()
+		tt := b.AddVertex()
+		b.AddEdge(s, a)
+		b.AddEdge(a, x).AddEdge(a, tt)
+		b.AddEdge(x, y)
+		b.AddEdge(y, x)
+		b.SetRoot(s).SetTerminal(tt).SetName("dead-end")
+		return b.MustBuild()
+	}
+	return []struct {
+		name     string
+		graph    *graph.G
+		newProto func() protocol.Protocol
+	}{
+		{"generalcast-ring", graph.Ring(5), func() protocol.Protocol { return core.NewGeneralBroadcast([]byte("m")) }},
+		{"labelcast-randnet", graph.RandomDigraph(8, 11, graph.RandomDigraphOpts{ExtraEdges: 8, TerminalFrac: 0.3}),
+			func() protocol.Protocol { return core.NewLabelAssign(nil) }},
+		{"mapcast-ring", graph.Ring(4), func() protocol.Protocol { return core.NewMapExtract(nil) }},
+		{"treecast-karytree", graph.KaryGroundedTree(2, 2),
+			func() protocol.Protocol { return core.NewTreeBroadcast([]byte("m"), core.RulePow2) }},
+		{"generalcast-deadend-quiescent", deadEnd(), func() protocol.Protocol { return core.NewGeneralBroadcast([]byte("m")) }},
+	}
+}
+
+// TestRecordWildConcurrent is the concurrent half of the acceptance
+// criterion: a schedule captured from the goroutine-per-vertex engine
+// canonicalizes into a trace that replays byte-identically on the
+// sequential engine in strict mode, with the wild run's verdict.
+func TestRecordWildConcurrent(t *testing.T) {
+	for _, c := range wildCases() {
+		// The Go scheduler genuinely varies between runs; a few repetitions
+		// capture different wild schedules through the same pipeline.
+		for rep := 0; rep < 3; rep++ {
+			t.Run(fmt.Sprintf("%s/%d", c.name, rep), func(t *testing.T) {
+				r, tr, err := RecordWild(sim.Concurrent(), c.graph, c.newProto, sim.Options{Seed: int64(rep)})
+				if err != nil {
+					t.Fatalf("RecordWild: %v", err)
+				}
+				if tr.Scheduler != "wild-concurrent" {
+					t.Fatalf("scheduler header %q, want wild-concurrent", tr.Scheduler)
+				}
+				r2 := requireStrictByteIdentical(t, c.graph, c.newProto, tr)
+				if r2.Verdict != r.Verdict {
+					t.Fatalf("replay verdict %s, wild run %s", r2.Verdict, r.Verdict)
+				}
+			})
+		}
+	}
+}
+
+// TestRecordWildTCP is the TCP half of the acceptance criterion: a schedule
+// born in the kernel's loopback stack replays byte-identically on the
+// sequential engine in strict mode.
+func TestRecordWildTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping socket tier")
+	}
+	eng := netrun.Engine(core.Codec{}, netrun.Options{})
+	for _, c := range wildCases() {
+		t.Run(c.name, func(t *testing.T) {
+			r, tr, err := RecordWild(eng, c.graph, c.newProto, sim.Options{})
+			if err != nil {
+				t.Fatalf("RecordWild: %v", err)
+			}
+			if tr.Scheduler != "wild-tcp" {
+				t.Fatalf("scheduler header %q, want wild-tcp", tr.Scheduler)
+			}
+			r2 := requireStrictByteIdentical(t, c.graph, c.newProto, tr)
+			if r2.Verdict != r.Verdict {
+				t.Fatalf("replay verdict %s, wild run %s", r2.Verdict, r.Verdict)
+			}
+		})
+	}
+}
+
+// TestCanonicalizeIdempotent: canonicalizing a canonical (sequentially
+// recorded) trace must be the identity.
+func TestCanonicalizeIdempotent(t *testing.T) {
+	g := graph.Ring(5)
+	newProto := func() protocol.Protocol { return core.NewGeneralBroadcast([]byte("m")) }
+	tr, _ := record(t, g, newProto(), "random", 11)
+	out, _, err := Canonicalize(g, newProto, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(Encode(tr), Encode(out)) {
+		t.Fatal("canonicalizing a sequential recording changed it")
+	}
+}
+
+// TestVerifyMismatchError pins the typed mismatch errors: wrong graph and
+// wrong protocol must both surface as *MismatchError naming the field.
+func TestVerifyMismatchError(t *testing.T) {
+	g := graph.Ring(5)
+	tr, _ := record(t, g, core.NewGeneralBroadcast([]byte("m")), "fifo", 1)
+
+	err := Verify(tr, graph.Ring(6), "generalcast")
+	var me *MismatchError
+	if !errors.As(err, &me) || me.Field != "graph fingerprint" {
+		t.Fatalf("wrong-graph error = %v, want MismatchError{Field: graph fingerprint}", err)
+	}
+	err = Verify(tr, g, "labelcast")
+	if !errors.As(err, &me) || me.Field != "protocol" {
+		t.Fatalf("wrong-protocol error = %v, want MismatchError{Field: protocol}", err)
+	}
+	if err := Verify(tr, g, "generalcast"); err != nil {
+		t.Fatalf("matching Verify errored: %v", err)
+	}
+}
+
+// TestCompletingReplayerFullScript: with the full recorded script, the
+// completing replayer executes it verbatim — nothing skipped, nothing
+// completed, identical outcome.
+func TestCompletingReplayerFullScript(t *testing.T) {
+	g := graph.Ring(6)
+	newProto := func() protocol.Protocol { return core.NewGeneralBroadcast([]byte("m")) }
+	tr, r1 := record(t, g, newProto(), "random", 5)
+
+	fb, err := sim.NewScheduler("fifo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := NewCompletingReplayer(tr.Deliveries(), fb)
+	r2, err := sim.Run(g, newProto(), sim.Options{Scheduler: comp, Seed: tr.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Skipped() != 0 || comp.Completed() != 0 {
+		t.Fatalf("full script: skipped %d, completed %d; want 0, 0", comp.Skipped(), comp.Completed())
+	}
+	if r1.Verdict != r2.Verdict || r1.Steps != r2.Steps {
+		t.Fatalf("outcome diverges: %s/%d vs %s/%d", r1.Verdict, r1.Steps, r2.Verdict, r2.Steps)
+	}
+}
+
+// TestCompletingReplayerCompletes: a truncated script must be driven to a
+// real verdict by the fallback, never stranded mid-run.
+func TestCompletingReplayerCompletes(t *testing.T) {
+	g := graph.Ring(6)
+	newProto := func() protocol.Protocol { return core.NewGeneralBroadcast([]byte("m")) }
+	tr, r1 := record(t, g, newProto(), "random", 5)
+	full := tr.Deliveries()
+
+	for _, cut := range []int{0, 1, len(full) / 2, len(full) - 1} {
+		fb, err := sim.NewScheduler("fifo")
+		if err != nil {
+			t.Fatal(err)
+		}
+		comp := NewCompletingReplayer(full[:cut], fb)
+		r2, err := sim.Run(g, newProto(), sim.Options{Scheduler: comp, Seed: tr.Seed})
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if r2.Verdict != r1.Verdict {
+			t.Fatalf("cut %d: verdict %s, full run %s", cut, r2.Verdict, r1.Verdict)
+		}
+		if cut < len(full) && comp.Completed() == 0 && r2.Steps <= cut {
+			t.Fatalf("cut %d: fallback never ran (%d steps)", cut, r2.Steps)
+		}
+	}
+}

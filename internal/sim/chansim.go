@@ -15,6 +15,12 @@ import (
 // schedules. Per-edge FIFO holds because each edge has a single sending
 // goroutine and mailboxes preserve insertion order.
 //
+// Options.Observer, when set, receives the wild schedule through a
+// SerializedObserver: one causally consistent linearization of the run's
+// events, sealed the instant the verdict is decided. Recording that stream
+// (replay.Recorder) is what makes a one-off Go-runtime schedule replayable
+// on the sequential engine.
+//
 // Termination is detected exactly as in the paper: the terminal's stopping
 // predicate S. Non-termination is detected by distributed quiescence: a
 // global in-flight counter that every send increments and every completed
@@ -70,6 +76,7 @@ func RunConcurrent(g *graph.G, p protocol.Protocol, opts Options) (*Result, erro
 		term:      term,
 		res:       res,
 		opts:      &opts,
+		obs:       NewSerializedObserver(opts.Observer),
 		maxSteps:  int64(maxSteps),
 		boxes:     make([]*mailbox, nV),
 		stopCh:    make(chan struct{}),
@@ -145,6 +152,7 @@ type concurrentRun struct {
 	term  protocol.Terminal
 	res   *Result
 	opts  *Options
+	obs   *SerializedObserver
 
 	maxSteps int64
 	steps    atomic.Int64
@@ -165,16 +173,25 @@ type concurrentRun struct {
 
 func (r *concurrentRun) finish(v Verdict, err error) {
 	r.stopOnce.Do(func() {
+		// Seal before publishing the verdict: the post-termination drain of
+		// still-queued messages must not leak into a recorded schedule.
+		r.obs.Seal()
 		r.verdict = v
 		r.err = err
 		close(r.stopCh)
 	})
 }
 
+// recordSend meters the message and observes the send. It runs strictly
+// before the message is pushed into its destination mailbox, so the
+// serialized event order sees every send before its delivery.
 func (r *concurrentRun) recordSend(e graph.EdgeID, msg protocol.Message) {
 	r.metricsMu.Lock()
-	defer r.metricsMu.Unlock()
 	r.res.Metrics.record(e, msg, r.opts)
+	r.metricsMu.Unlock()
+	if r.obs != nil {
+		r.obs.OnSend(e, msg)
+	}
 }
 
 func (r *concurrentRun) worker(v graph.VertexID) {
@@ -185,10 +202,17 @@ func (r *concurrentRun) worker(v graph.VertexID) {
 		if !ok {
 			return
 		}
-		if r.steps.Add(1) > r.maxSteps {
+		step := r.steps.Add(1)
+		if step > r.maxSteps {
 			r.finish(0, fmt.Errorf("%w (graph %s)", ErrStepLimit, r.g))
 			r.inFlight.dec()
 			return
+		}
+		if r.obs != nil {
+			// Observe the delivery before processing it, so the sends it
+			// triggers are linearized after it. The observer renumbers steps
+			// in linearization order; our racy counter value is ignored.
+			r.obs.OnDeliver(0, r.g.InEdge(v, d.port).ID, d.msg)
 		}
 		r.visitedMu[v].Lock()
 		r.res.Visited[v] = true

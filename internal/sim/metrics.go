@@ -18,6 +18,7 @@ package sim
 
 import (
 	"errors"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/protocol"
@@ -219,9 +220,14 @@ type Options struct {
 	TrackAlphabet bool
 	// TrackFirstSymbol enables Metrics.FirstSymbol collection.
 	TrackFirstSymbol bool
-	// Observer, when non-nil, receives every send and delivery event. Only
-	// the deterministic engines (Run, RunSynchronous) invoke it; the
-	// concurrent engine ignores it rather than impose a locking contract.
+	// Observer, when non-nil, receives every send and delivery event. The
+	// deterministic engines (Run, RunSynchronous) invoke it inline; the
+	// nondeterministic engines (RunConcurrent and the TCP tier in netrun)
+	// serialize their events through an internal lock (SerializedObserver),
+	// so the observer sees one linearization of the wild schedule that
+	// respects causality — every message's send is observed before its
+	// delivery, and a delivery is observed before the sends it triggers.
+	// Observer implementations therefore never need their own locking.
 	Observer Observer
 	// DropFirst is a fault-injection plan for the deterministic engine Run:
 	// DropFirst[e] = k silently discards the first k messages sent on edge
@@ -271,6 +277,74 @@ func (t teeObserver) OnDeliver(step int, e graph.EdgeID, msg protocol.Message) {
 	for _, o := range t {
 		o.OnDeliver(step, e, msg)
 	}
+}
+
+// SerializedObserver adapts an Observer for engines whose events originate on
+// many goroutines (the concurrent and TCP engines): every OnSend/OnDeliver
+// passes through one mutex, so the wrapped observer sees a single total order
+// — a linearization of the wild schedule. Because engines invoke OnSend
+// before a message becomes receivable and OnDeliver before processing its
+// effects, the linearization respects causality: a send precedes its
+// delivery, and a delivery precedes the sends it triggers. That property is
+// exactly what makes a captured wild schedule replayable on the sequential
+// engine (see internal/replay).
+//
+// Seal stops the stream: events arriving after Seal are dropped. Engines seal
+// at the moment the run's verdict is decided, so a trace never records the
+// post-termination drain of still-queued messages.
+//
+// Delivery step numbers are assigned here, under the lock, in linearization
+// order — the step passed by the engine is ignored. An engine-side counter
+// is read before the lock is taken, so two workers could otherwise present
+// steps N and N+1 in the wrong order; renumbering inside the critical
+// section keeps the wrapped observer's view monotone, matching the contract
+// of the deterministic engines.
+type SerializedObserver struct {
+	mu     sync.Mutex
+	obs    Observer
+	step   int
+	sealed bool
+}
+
+// NewSerializedObserver wraps obs; a nil obs yields a nil wrapper (callers
+// check for nil exactly like a plain Options.Observer).
+func NewSerializedObserver(obs Observer) *SerializedObserver {
+	if obs == nil {
+		return nil
+	}
+	return &SerializedObserver{obs: obs}
+}
+
+// OnSend implements Observer.
+func (s *SerializedObserver) OnSend(e graph.EdgeID, msg protocol.Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sealed {
+		return
+	}
+	s.obs.OnSend(e, msg)
+}
+
+// OnDeliver implements Observer. The step argument is ignored; the wrapper
+// numbers deliveries 1,2,... in linearization order (see the type comment).
+func (s *SerializedObserver) OnDeliver(_ int, e graph.EdgeID, msg protocol.Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sealed {
+		return
+	}
+	s.step++
+	s.obs.OnDeliver(s.step, e, msg)
+}
+
+// Seal drops all subsequent events.
+func (s *SerializedObserver) Seal() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.sealed = true
+	s.mu.Unlock()
 }
 
 const defaultMaxSteps = 50_000_000

@@ -68,17 +68,73 @@ func TestReplayWrongNetworkErrors(t *testing.T) {
 	}
 }
 
-// TestRecordRequiresDeterministicEngine: the concurrent engine cannot pin a
-// schedule, and asking for one must be an explicit error.
-func TestRecordRequiresDeterministicEngine(t *testing.T) {
+// TestRecordOnConcurrentEngine: the wild-capture tier makes the concurrent
+// engine recordable — the captured schedule canonicalizes into a trace the
+// sequential engine replays byte-identically. Replay itself remains a
+// sequential-engine operation.
+func TestRecordOnConcurrentEngine(t *testing.T) {
+	net := Ring(4)
 	var td *TraceData
-	if _, err := Broadcast(Ring(4), []byte("m"),
-		WithEngine(EngineConcurrent), WithRecordTrace(&td)); err == nil {
-		t.Fatal("recording on the concurrent engine did not error")
+	rep, err := Broadcast(net, []byte("m"),
+		WithEngine(EngineConcurrent), WithRecordTrace(&td))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := Broadcast(Ring(4), []byte("m"),
-		WithEngine(EngineConcurrent), WithReplayTrace(&TraceData{})); err == nil {
+	if td == nil {
+		t.Fatal("WithRecordTrace left dst nil after a successful wild run")
+	}
+	if td.Scheduler() != "wild-concurrent" {
+		t.Fatalf("wild trace scheduler %q, want wild-concurrent", td.Scheduler())
+	}
+	rep2, err := Broadcast(net, []byte("m"), WithReplayTrace(td))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Terminated != rep.Terminated {
+		t.Fatalf("replayed verdict diverges: %+v vs %+v", rep2, rep)
+	}
+	// Re-recording the replay must reproduce the canonical trace exactly.
+	var td2 *TraceData
+	if _, err := Broadcast(net, []byte("m"), WithReplayTrace(td), WithRecordTrace(&td2)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(td2.Encode(), td.Encode()) {
+		t.Fatalf("re-recorded wild replay is not byte-identical: %s vs %s", td2, td)
+	}
+
+	// Replaying ON the concurrent engine is still meaningless and errors.
+	if _, err := Broadcast(net, []byte("m"),
+		WithEngine(EngineConcurrent), WithReplayTrace(td)); err == nil {
 		t.Fatal("replaying on the concurrent engine did not error")
+	}
+}
+
+// TestScheduleFuzzFacade: WithScheduleFuzz runs a bounded differential
+// campaign over the recorded schedule and reports zero violations for the
+// paper's (schedule-independent) protocols.
+func TestScheduleFuzzFacade(t *testing.T) {
+	var fr *FuzzReport
+	if _, err := Broadcast(RandomNetwork(8, 9, 4), []byte("m"),
+		WithScheduler("random"), WithSeed(6), WithScheduleFuzz(16, &fr)); err != nil {
+		t.Fatal(err)
+	}
+	if fr == nil {
+		t.Fatal("WithScheduleFuzz left dst nil")
+	}
+	if fr.Mutants == 0 {
+		t.Fatalf("no mutants ran: %s", fr)
+	}
+	if fr.Violations != 0 {
+		t.Fatalf("schedule fuzz found violations on a schedule-independent protocol: %s", fr)
+	}
+	// Fuzzing composes with the wild engines: capture, canonicalize, fuzz.
+	fr = nil
+	if _, err := Broadcast(Ring(4), []byte("m"),
+		WithEngine(EngineConcurrent), WithScheduleFuzz(8, &fr)); err != nil {
+		t.Fatal(err)
+	}
+	if fr == nil || fr.Mutants == 0 || fr.Violations != 0 {
+		t.Fatalf("wild-engine fuzz report: %v", fr)
 	}
 }
 

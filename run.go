@@ -9,6 +9,7 @@ import (
 	"repro/internal/netrun"
 	"repro/internal/protocol"
 	"repro/internal/replay"
+	"repro/internal/replay/fuzz"
 	"repro/internal/sim"
 )
 
@@ -122,6 +123,8 @@ type runConfig struct {
 	alphabet bool
 	record   **TraceData
 	replayTr *TraceData
+	fuzzN    int
+	fuzzDst  **FuzzReport
 }
 
 // WithEngine selects the execution engine.
@@ -147,11 +150,27 @@ func WithProtocol(k ProtocolKind) Option { return func(c *runConfig) { c.kind = 
 // WithAlphabetTracking enables Report.AlphabetSize.
 func WithAlphabetTracking() Option { return func(c *runConfig) { c.alphabet = true } }
 
-// WithRecordTrace pins the run's schedule: after a successful run under a
-// deterministic engine (sequential or synchronous), *dst holds a
-// self-contained trace — graph, protocol, scheduler, seed and the full
-// send/deliver stream — that WithReplayTrace re-executes byte-identically.
+// WithRecordTrace pins the run's schedule: after a successful run, *dst
+// holds a self-contained trace — graph, protocol, scheduler, seed and the
+// full send/deliver stream — that WithReplayTrace re-executes
+// byte-identically. The deterministic engines (sequential, synchronous)
+// record their event stream directly. The wild engines (concurrent, TCP)
+// capture their nondeterministic schedule through a serializing observer
+// and canonicalize it with one sequential replay, so even a one-off
+// Go-runtime or kernel-socket schedule becomes a strict-mode replayable
+// trace (its Scheduler() reads "wild-concurrent" or "wild-tcp").
 func WithRecordTrace(dst **TraceData) Option { return func(c *runConfig) { c.record = dst } }
+
+// WithScheduleFuzz turns the run into a differential fuzz campaign: the
+// executed schedule is recorded (on any engine — wild schedules are
+// captured and canonicalized first), mutated into `mutations` nearby valid
+// schedules, and every mutant is re-run on the sequential engine demanding
+// the paper's schedule-independent outcome stays invariant. *dst receives
+// the report; any violation comes with a delta-debugged 1-minimal repro
+// trace. See internal/replay/fuzz for the mutation operators.
+func WithScheduleFuzz(mutations int, dst **FuzzReport) Option {
+	return func(c *runConfig) { c.fuzzN = mutations; c.fuzzDst = dst }
+}
 
 // WithReplayTrace re-executes a recorded schedule exactly on the sequential
 // engine, replacing any scheduler selection. The run errors loudly if the
@@ -204,6 +223,32 @@ func (t *TraceData) Events() int { return len(t.tr.Events) }
 func (t *TraceData) String() string {
 	return fmt.Sprintf("trace{proto=%s sched=%s seed=%d events=%d}",
 		t.tr.Protocol, t.tr.Scheduler, t.tr.Seed, len(t.tr.Events))
+}
+
+// FuzzReport summarizes a WithScheduleFuzz campaign over the run's recorded
+// schedule.
+type FuzzReport struct {
+	// Mutants is the number of mutated schedules executed.
+	Mutants int
+	// SkippedDeliveries counts mutated schedule entries that were not
+	// executable when their turn came (skipped leniently).
+	SkippedDeliveries int
+	// CompletedDeliveries counts deliveries the fallback adversary appended
+	// after a mutated schedule ran out.
+	CompletedDeliveries int
+	// Violations is the number of mutants whose schedule-independent
+	// outcome diverged from the recorded run's. Any nonzero value is an
+	// invariance bug in an engine or protocol.
+	Violations int
+	// MinimalRepro is the delta-debugged 1-minimal repro trace of the first
+	// violation (nil when Violations == 0 or shrinking failed).
+	MinimalRepro *TraceData
+}
+
+// String summarizes the report.
+func (f *FuzzReport) String() string {
+	return fmt.Sprintf("fuzz{mutants=%d skipped=%d completed=%d violations=%d}",
+		f.Mutants, f.SkippedDeliveries, f.CompletedDeliveries, f.Violations)
 }
 
 // Report summarizes a protocol run with the paper's quality measures.
@@ -276,7 +321,7 @@ func (c runConfig) engineImpl() (sim.Engine, error) {
 	}
 }
 
-func (c runConfig) execute(g *graph.G, p protocol.Protocol) (*sim.Result, error) {
+func (c runConfig) execute(g *graph.G, newProto func() protocol.Protocol) (*sim.Result, error) {
 	eng, err := c.engineImpl()
 	if err != nil {
 		return nil, err
@@ -285,45 +330,91 @@ func (c runConfig) execute(g *graph.G, p protocol.Protocol) (*sim.Result, error)
 	if err != nil {
 		return nil, err
 	}
-	if c.replayTr != nil {
+	// Both recording and fuzzing need the run's schedule pinned to a trace.
+	wantTrace := c.record != nil || c.fuzzDst != nil
+	var recorded *replay.Trace
+	var r *sim.Result
+
+	switch {
+	case c.replayTr != nil:
 		if c.engine != EngineSequential {
 			return nil, fmt.Errorf("anonnet: WithReplayTrace requires the sequential engine, have %s", c.engine)
 		}
 		src := c.replayTr.tr
 		var rec *replay.Recorder
-		if c.record != nil {
+		if wantTrace {
 			rec = replay.NewRecorder()
 			opts.Observer = rec
 		}
-		r, err := replay.Run(g, p, src, opts)
+		r, err = replay.Run(g, newProto(), src, opts)
 		if rec != nil && err == nil {
-			tr := rec.Trace(g, src.Protocol, src.Scheduler, src.Seed)
-			tr.Truncated = src.Truncated
-			*c.record = &TraceData{tr: tr}
+			recorded = rec.Trace(g, src.Protocol, src.Scheduler, src.Seed)
+			recorded.Truncated = src.Truncated
 		}
+	case wantTrace && (c.engine == EngineConcurrent || c.engine == EngineTCP):
+		// Wild engines: capture the nondeterministic schedule through the
+		// engines' serialized observer and canonicalize it into a
+		// strict-mode trace with one sequential replay.
+		r, recorded, err = replay.RecordWild(eng, g, newProto, opts)
+	default:
+		var rec *replay.Recorder
+		if wantTrace {
+			rec = replay.NewRecorder()
+			opts.Observer = rec
+		}
+		r, err = eng.Run(g, newProto(), opts)
+		if rec != nil && err == nil {
+			schedName := "sync"
+			if c.engine == EngineSequential {
+				if opts.Scheduler != nil {
+					schedName = opts.Scheduler.Name()
+				} else {
+					schedName = sim.Order(c.order).String()
+				}
+			}
+			recorded = rec.Trace(g, newProto().Name(), schedName, c.seed)
+		}
+	}
+	if err != nil {
 		return r, err
 	}
-	var rec *replay.Recorder
-	if c.record != nil {
-		if c.engine != EngineSequential && c.engine != EngineSynchronous {
-			return nil, fmt.Errorf("anonnet: WithRecordTrace requires a deterministic engine (seq or sync), have %s", c.engine)
-		}
-		rec = replay.NewRecorder()
-		opts.Observer = rec
+	if c.record != nil && recorded != nil {
+		*c.record = &TraceData{tr: recorded}
 	}
-	r, err := eng.Run(g, p, opts)
-	if rec != nil && err == nil {
-		schedName := "sync"
-		if c.engine == EngineSequential {
-			if opts.Scheduler != nil {
-				schedName = opts.Scheduler.Name()
-			} else {
-				schedName = sim.Order(c.order).String()
-			}
+	if c.fuzzDst != nil && recorded != nil {
+		fr, err := c.fuzzSchedule(g, newProto, recorded, r)
+		if err != nil {
+			return r, err
 		}
-		*c.record = &TraceData{tr: rec.Trace(g, p.Name(), schedName, c.seed)}
+		*c.fuzzDst = fr
 	}
-	return r, err
+	return r, nil
+}
+
+// fuzzSchedule runs the WithScheduleFuzz campaign over the recorded trace.
+// The run's own result serves as the invariance reference, so the seed
+// schedule is not re-executed a second time.
+func (c runConfig) fuzzSchedule(g *graph.G, newProto func() protocol.Protocol, tr *replay.Trace, ref *sim.Result) (*FuzzReport, error) {
+	rep, err := fuzz.CampaignOn(g, newProto, []*replay.Trace{tr}, fuzz.Options{
+		Mutations: c.fuzzN,
+		Seed:      c.seed,
+		Reference: ref,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &FuzzReport{
+		Mutants:             rep.Mutants,
+		SkippedDeliveries:   rep.SkippedDeliveries,
+		CompletedDeliveries: rep.CompletedDeliveries,
+		Violations:          len(rep.Violations),
+	}
+	if len(rep.Violations) > 0 {
+		if v := rep.Violations[0]; v.Shrunk != nil {
+			out.MinimalRepro = &TraceData{tr: v.Shrunk.Trace}
+		}
+	}
+	return out, nil
 }
 
 func report(p protocol.Protocol, r *sim.Result) *Report {
@@ -376,7 +467,11 @@ func Broadcast(n *Network, m []byte, opts ...Option) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	r, err := c.execute(n.graphHandle(), p)
+	newProto := func() protocol.Protocol {
+		fresh, _ := selectProtocol(n, c.kind, m) // selection already validated
+		return fresh
+	}
+	r, err := c.execute(n.graphHandle(), newProto)
 	if err != nil {
 		return nil, err
 	}
@@ -413,7 +508,7 @@ func (l Label) Equal(o Label) bool { return l.union.Equal(o.union) }
 func AssignLabels(n *Network, opts ...Option) (map[VertexID]Label, *Report, error) {
 	c := buildConfig(opts)
 	p := core.NewLabelAssign(nil)
-	r, err := c.execute(n.graphHandle(), p)
+	r, err := c.execute(n.graphHandle(), func() protocol.Protocol { return core.NewLabelAssign(nil) })
 	if err != nil {
 		return nil, nil, err
 	}
@@ -475,7 +570,7 @@ func (t *Topology) IsomorphicTo(n *Network) (bool, error) {
 func ExtractTopology(n *Network, opts ...Option) (*Topology, *Report, error) {
 	c := buildConfig(opts)
 	p := core.NewMapExtract(nil)
-	r, err := c.execute(n.graphHandle(), p)
+	r, err := c.execute(n.graphHandle(), func() protocol.Protocol { return core.NewMapExtract(nil) })
 	if err != nil {
 		return nil, nil, err
 	}
