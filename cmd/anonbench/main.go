@@ -1,15 +1,22 @@
 // Command anonbench regenerates every experiment table of EXPERIMENTS.md:
-// the quantitative checks of each theorem and figure of the paper.
+// the quantitative checks of each theorem and figure of the paper. It is
+// also the keeper of the performance trajectory: -bench emits a
+// machine-readable BENCH.json (see docs/BENCHMARKS.md) that CI compares
+// against the committed BENCH_baseline.json.
 //
 // Usage:
 //
-//	anonbench [-only E5] [-quick] [-sched greedy] [-v]
+//	anonbench [-only E5] [-quick] [-sched greedy] [-workers N] [-v]
+//	anonbench -bench [-quick] [-json BENCH.json] [-baseline BENCH_baseline.json]
 //
 // With -quick, reduced parameter sweeps are used (for smoke testing). With
 // -sched, every sequential run in the sweeps uses the named adversarial
-// scheduler (fifo, lifo, random, rr-vertex, latency, starve-oldest, greedy)
-// instead of each experiment's default — the qualitative verdicts must not
-// change, since the paper's claims are schedule-independent.
+// scheduler (fifo, lifo, random, rr-vertex, latency, latency-pareto,
+// starve-oldest, greedy) instead of each experiment's default — the
+// qualitative verdicts must not change, since the paper's claims are
+// schedule-independent. Table mode fans the sweeps through a bounded worker
+// pool (-workers, default GOMAXPROCS) and prints them in registry order;
+// bench mode times each tier serially so wall-clocks stay undistorted.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/par"
 	"repro/internal/sim"
 )
 
@@ -27,86 +35,89 @@ func main() {
 	only := flag.String("only", "", "run only the experiment with this ID (e.g. E4)")
 	quick := flag.Bool("quick", false, "use reduced sweeps")
 	sched := flag.String("sched", "", "adversarial scheduler for all sequential runs: "+strings.Join(sim.SchedulerNames(), "|"))
+	workers := flag.Int("workers", 0, "worker-pool size for the sweep matrix (0 = GOMAXPROCS)")
+	bench := flag.Bool("bench", false, "benchmark mode: measure the hot path and tier wall-clocks instead of printing tables")
+	jsonPath := flag.String("json", "", "bench mode: write BENCH.json here (\"-\" or empty = stdout)")
+	baseline := flag.String("baseline", "", "bench mode: compare against this baseline BENCH.json and fail on >25% ns/delivery regression")
 	verbose := flag.Bool("v", false, "print per-experiment timing to stderr")
 	flag.Parse()
 	if err := experiments.SetScheduler(*sched); err != nil {
 		fmt.Fprintln(os.Stderr, "anonbench:", err)
 		os.Exit(1)
 	}
-	if err := run(*only, *quick, *verbose); err != nil {
+	var err error
+	if *bench {
+		err = runBench(*quick, *jsonPath, *baseline)
+	} else {
+		err = run(*only, *quick, *workers, *verbose)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "anonbench:", err)
 		os.Exit(1)
 	}
 }
 
-type step struct {
-	id string
-	f  func() (*experiments.Table, error)
-}
-
-func run(only string, quick, verbose bool) error {
-	for _, s := range steps(quick) {
-		if only != "" && !strings.EqualFold(s.id, only) {
-			continue
+// run executes the selected sweeps through the worker pool and prints the
+// tables in registry order, exactly as the serial loop did.
+func run(only string, quick bool, workers int, verbose bool) error {
+	sweeps := experiments.Sweeps(quick)
+	if only != "" {
+		var keep []experiments.Sweep
+		for _, s := range sweeps {
+			if strings.EqualFold(s.ID, only) {
+				keep = append(keep, s)
+			}
 		}
+		sweeps = keep
+	}
+	type result struct {
+		t       *experiments.Table
+		err     error
+		elapsed time.Duration
+	}
+	results := make([]result, len(sweeps))
+	par.Map(workers, len(sweeps), func(i int) {
 		start := time.Now()
-		t, err := s.f()
-		if err != nil {
-			return fmt.Errorf("%s: %w", s.id, err)
+		t, err := sweeps[i].Run()
+		results[i] = result{t: t, err: err, elapsed: time.Since(start)}
+	})
+	for i, s := range sweeps {
+		if results[i].err != nil {
+			return fmt.Errorf("%s: %w", s.ID, results[i].err)
 		}
 		if verbose {
-			fmt.Fprintf(os.Stderr, "%s done in %s\n", s.id, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(os.Stderr, "%s done in %s\n", s.ID, results[i].elapsed.Round(time.Millisecond))
 		}
-		fmt.Println(t.Render())
+		fmt.Println(results[i].t.Render())
 	}
 	return nil
 }
 
-func steps(quick bool) []step {
-	e1Sizes := []int{16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
-	e1bDepths := []int{8, 16, 32, 64, 128, 256}
-	e2Sizes := []int{8, 16, 32, 64, 128, 256, 512, 1024}
-	e3Sizes := []int{16, 32, 64, 128, 256, 512}
-	e4Sizes := []int{2, 4, 6, 8, 10, 12}
-	e5Sizes := []int{8, 16, 32, 64, 128}
-	e6Sizes := []int{8, 16, 32, 64, 128}
-	e7Sizes := []int{8, 16, 32, 64, 128}
-	e8Heights := []int{2, 4, 6, 8, 16, 32, 64, 128}
-	e10Sizes := []int{8, 16, 32, 64}
-	e11Sizes := []int{8, 16, 32, 64}
-	if quick {
-		e1Sizes = []int{16, 64, 256}
-		e1bDepths = []int{8, 32}
-		e2Sizes = []int{8, 64}
-		e3Sizes = []int{16, 64}
-		e4Sizes = []int{2, 5}
-		e5Sizes = []int{8, 24}
-		e6Sizes = []int{8, 24}
-		e7Sizes = []int{8, 24}
-		e8Heights = []int{2, 4, 16}
-		e10Sizes = []int{8, 16}
-		e11Sizes = []int{8, 16}
+// runBench produces BENCH.json and optionally gates it against a baseline.
+func runBench(quick bool, jsonPath, baseline string) error {
+	rep, err := experiments.RunBench(quick)
+	if err != nil {
+		return err
 	}
-	return []step{
-		{"E1", func() (*experiments.Table, error) { return experiments.E1TreeBroadcast(e1Sizes, 8) }},
-		{"E1b", func() (*experiments.Table, error) { return experiments.E1bNaiveVsPow2(e1bDepths) }},
-		{"E2", func() (*experiments.Table, error) { return experiments.E2ChainAlphabet(e2Sizes) }},
-		{"E3", func() (*experiments.Table, error) { return experiments.E3DAGBroadcast(e3Sizes) }},
-		{"E4", func() (*experiments.Table, error) { return experiments.E4Skeleton(e4Sizes) }},
-		{"E5", func() (*experiments.Table, error) { return experiments.E5GeneralBroadcast(e5Sizes) }},
-		{"E6", func() (*experiments.Table, error) { return experiments.E6SymbolSize(e6Sizes) }},
-		{"E7", func() (*experiments.Table, error) { return experiments.E7Labeling(e7Sizes) }},
-		{"E8", func() (*experiments.Table, error) { return experiments.E8PruneLabels(e8Heights, 3) }},
-		{"E9", experiments.E9LinearCuts},
-		{"E10", func() (*experiments.Table, error) { return experiments.E10Mapping(e10Sizes) }},
-		{"E11", func() (*experiments.Table, error) { return experiments.E11Rounds(e11Sizes) }},
-		{"E12", func() (*experiments.Table, error) {
-			n := 50
-			if quick {
-				n = 10
-			}
-			return experiments.E12Ablation(n)
-		}},
-		{"E13", func() (*experiments.Table, error) { return experiments.E13StateSize(e11Sizes) }},
+	if err := experiments.WriteBench(rep, jsonPath); err != nil {
+		return err
 	}
+	if jsonPath != "" && jsonPath != "-" {
+		fmt.Fprintf(os.Stderr, "bench: %.1f ns/delivery, %.3f allocs/delivery, peak in-flight %d, total %.0f ms -> %s\n",
+			rep.Broadcast.NsPerDelivery, rep.Broadcast.AllocsPerDelivery,
+			rep.Broadcast.PeakInFlight, rep.TotalWallMS, jsonPath)
+	}
+	if baseline == "" {
+		return nil
+	}
+	base, err := experiments.ReadBench(baseline)
+	if err != nil {
+		return err
+	}
+	if err := experiments.CompareBench(rep, base); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: within budget of baseline %s (%.1f ns/delivery vs %.1f)\n",
+		baseline, rep.Broadcast.NsPerDelivery, base.Broadcast.NsPerDelivery)
+	return nil
 }

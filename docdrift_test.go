@@ -4,10 +4,12 @@ import (
 	"bufio"
 	"fmt"
 	"os"
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
 
+	"repro/internal/experiments"
 	"repro/internal/replay"
 	"repro/internal/sim"
 )
@@ -129,6 +131,50 @@ func TestArchitectureDocEngineMatrixInSync(t *testing.T) {
 	if strings.Join(documented, " ") != strings.Join(registered, " ") {
 		t.Fatalf("docs/ARCHITECTURE.md engine table out of sync with EngineNames\n doc:      %v\n engines:  %v",
 			documented, registered)
+	}
+}
+
+// jsonTagsOf collects every `json` tag reachable from t, recursing through
+// nested structs, slices, and arrays — the full field vocabulary a marshaled
+// value can emit.
+func jsonTagsOf(t reflect.Type, into map[string]bool) {
+	switch t.Kind() {
+	case reflect.Pointer, reflect.Slice, reflect.Array:
+		jsonTagsOf(t.Elem(), into)
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			tag, _, _ := strings.Cut(f.Tag.Get("json"), ",")
+			if tag == "" || tag == "-" {
+				continue
+			}
+			into[tag] = true
+			jsonTagsOf(f.Type, into)
+		}
+	}
+}
+
+// TestBenchJSONFieldsDocumented drift-guards the BENCH.json schema table in
+// docs/BENCHMARKS.md against experiments.BenchReport: every JSON field the
+// report can emit must be documented, and nothing else. Adding a benchmark
+// metric without documenting it (or documenting a field that no longer
+// exists) fails here, not when someone's trend tooling breaks.
+func TestBenchJSONFieldsDocumented(t *testing.T) {
+	documented := markedTableNames(t, "docs/BENCHMARKS.md",
+		"bench:fields:begin", "bench:fields:end")
+	sort.Strings(documented)
+
+	tags := map[string]bool{}
+	jsonTagsOf(reflect.TypeOf(experiments.BenchReport{}), tags)
+	var want []string
+	for tag := range tags {
+		want = append(want, tag)
+	}
+	sort.Strings(want)
+
+	if strings.Join(documented, " ") != strings.Join(want, " ") {
+		t.Fatalf("docs/BENCHMARKS.md schema table out of sync with experiments.BenchReport\n doc:    %v\n struct: %v",
+			documented, want)
 	}
 }
 

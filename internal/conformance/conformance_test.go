@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/netrun"
+	"repro/internal/par"
 	"repro/internal/protocol"
 	"repro/internal/replay"
 	"repro/internal/replay/fuzz"
@@ -197,13 +198,30 @@ func TestCrossEngineConformance(t *testing.T) {
 					return diverged
 				}
 
-				for _, v := range seqVariants(int64(gi)*37 + 1) {
+				// Run every scheduler cell of the matrix through the bounded
+				// worker pool: each cell owns its scheduler, recorder, and
+				// fresh protocol state, writes only its own slot, and is
+				// checked serially below in matrix order — identical results
+				// and identical failure output, just wall-clock scaled by
+				// cores. The shrink-on-divergence hook still fires per cell.
+				variants := seqVariants(int64(gi)*37 + 1)
+				type cell struct {
+					r   *sim.Result
+					err error
+					rec *replay.Recorder
+				}
+				cells := make([]cell, len(variants))
+				par.Map(0, len(variants), func(i int) {
 					rec := replay.NewRecorder()
-					opts := v.opts
+					opts := variants[i].opts
 					opts.Observer = rec
 					r, err := sim.Sequential().Run(g, pc.make(), opts)
-					if check(v.name, r, err) {
-						saveMinimalRepro(t, g, pc.make, rec, opts.Scheduler.Name(), opts.Seed, r, err)
+					cells[i] = cell{r: r, err: err, rec: rec}
+				})
+				for i, v := range variants {
+					if check(v.name, cells[i].r, cells[i].err) {
+						saveMinimalRepro(t, g, pc.make, cells[i].rec,
+							v.opts.Scheduler.Name(), v.opts.Seed, cells[i].r, cells[i].err)
 					}
 				}
 				r, err := sim.Concurrent().Run(g, pc.make(), sim.Options{})
@@ -312,13 +330,22 @@ func TestCrossEngineQuiescence(t *testing.T) {
 			continue // the graph is cyclic; those protocols don't apply
 		}
 		t.Run(pc.name, func(t *testing.T) {
-			for _, v := range seqVariants(17) {
-				r, err := sim.Sequential().Run(g, pc.make(), v.opts)
-				if err != nil {
-					t.Fatalf("%s: %v", v.name, err)
+			variants := seqVariants(17)
+			type cell struct {
+				r   *sim.Result
+				err error
+			}
+			cells := make([]cell, len(variants))
+			par.Map(0, len(variants), func(i int) {
+				r, err := sim.Sequential().Run(g, pc.make(), variants[i].opts)
+				cells[i] = cell{r: r, err: err}
+			})
+			for i, v := range variants {
+				if cells[i].err != nil {
+					t.Fatalf("%s: %v", v.name, cells[i].err)
 				}
-				if r.Verdict != sim.Quiescent {
-					t.Errorf("%s: verdict %s, want quiescent", v.name, r.Verdict)
+				if cells[i].r.Verdict != sim.Quiescent {
+					t.Errorf("%s: verdict %s, want quiescent", v.name, cells[i].r.Verdict)
 				}
 			}
 			r, err := sim.Concurrent().Run(g, pc.make(), sim.Options{})

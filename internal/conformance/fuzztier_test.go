@@ -30,18 +30,28 @@ func TestFuzzTierMatrix(t *testing.T) {
 		"labelcast":   graph.RandomDigraph(8, 11, graph.RandomDigraphOpts{ExtraEdges: 8, TerminalFrac: 0.3}),
 		"mapcast":     graph.Ring(4),
 	}
+	// Every protocol's campaign is one independent matrix cell. The cells
+	// run concurrently via t.Parallel — the test runner's own bounded pool
+	// (capped by -parallel, default GOMAXPROCS) — rather than par.Map, so
+	// `-run TestFuzzTierMatrix/treecast` still does only treecast's work.
+	// Campaigns are deterministic in (graph, protocol, seed): parallelism
+	// changes wall-clock only.
 	for _, pc := range protoCases {
 		g := graphFor[pc.name]
 		t.Run(pc.name+"/"+g.Name(), func(t *testing.T) {
-			seeds := fuzzSeeds(t, g, pc.make)
+			t.Parallel()
+			seeds, err := fuzzSeeds(g, pc.make)
+			if err != nil {
+				t.Fatal(err)
+			}
 			rep, err := fuzz.CampaignOn(g, pc.make, seeds, fuzz.Options{Mutations: 12, Seed: 11})
 			if err != nil {
 				t.Fatal(err)
 			}
 			t.Log(rep)
-			for i, v := range rep.Violations {
+			for vi, v := range rep.Violations {
 				t.Errorf("invariance violation under %s:\n got: %s\nwant: %s", v.Mutation, v.Got, v.Want)
-				saveFuzzRepro(t, pc.name, g, i, v)
+				saveFuzzRepro(t, pc.name, g, vi, v)
 			}
 		})
 	}
@@ -49,26 +59,27 @@ func TestFuzzTierMatrix(t *testing.T) {
 
 // fuzzSeeds records one trace per seed source: two seeded sequential
 // adversaries and one wild concurrent capture, so the fuzzer's
-// neighborhoods are anchored at schedules from different engines.
-func fuzzSeeds(t *testing.T, g *graph.G, makeProto func() protocol.Protocol) []*replay.Trace {
-	t.Helper()
+// neighborhoods are anchored at schedules from different engines. It
+// returns errors instead of failing a testing.T so campaigns can run inside
+// the worker pool.
+func fuzzSeeds(g *graph.G, makeProto func() protocol.Protocol) ([]*replay.Trace, error) {
 	var seeds []*replay.Trace
 	for _, schedName := range []string{"random", "greedy"} {
 		sched, err := sim.NewScheduler(schedName)
 		if err != nil {
-			t.Fatal(err)
+			return nil, err
 		}
 		rec := replay.NewRecorder()
 		if _, err := sim.Run(g, makeProto(), sim.Options{Scheduler: sched, Seed: 23, Observer: rec}); err != nil {
-			t.Fatalf("seed run %s: %v", schedName, err)
+			return nil, fmt.Errorf("seed run %s: %w", schedName, err)
 		}
 		seeds = append(seeds, rec.Trace(g, makeProto().Name(), schedName, 23))
 	}
 	_, wild, err := replay.RecordWild(sim.Concurrent(), g, makeProto, sim.Options{Seed: 23})
 	if err != nil {
-		t.Fatalf("wild seed: %v", err)
+		return nil, fmt.Errorf("wild seed: %w", err)
 	}
-	return append(seeds, wild)
+	return append(seeds, wild), nil
 }
 
 // saveFuzzRepro writes a violation's shrunk repro trace (or the full mutant

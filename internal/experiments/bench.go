@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// BenchReport is the machine-readable performance trajectory of one
+// `anonbench -bench` run: the delivery-hot-path microbenchmark plus the
+// wall-clock of every experiment tier. It is serialized as BENCH.json, CI
+// regenerates it on every build, and BENCH_baseline.json (committed at the
+// repository root) anchors the regression gate. The field list is documented
+// in docs/BENCHMARKS.md and drift-guarded by docdrift_test.go — adding a
+// field without documenting it fails the build.
+//
+// The report deliberately carries no timestamps or hostnames: two runs on
+// the same machine and commit should produce byte-stable JSON apart from
+// the measured numbers.
+type BenchReport struct {
+	// SchemaVersion identifies this struct's layout; bump on incompatible
+	// field changes so downstream tooling can refuse mixed comparisons.
+	SchemaVersion int `json:"schema_version"`
+	// GoVersion is runtime.Version() of the producing toolchain.
+	GoVersion string `json:"go_version"`
+	// Gomaxprocs is the scheduler width the run had available.
+	Gomaxprocs int `json:"gomaxprocs"`
+	// Quick records whether the reduced sweeps produced the tier timings.
+	Quick bool `json:"quick"`
+	// Broadcast is the sequential-engine delivery microbenchmark.
+	Broadcast BroadcastBench `json:"broadcast"`
+	// Tiers is the wall-clock of each experiment sweep, registry order.
+	Tiers []TierBench `json:"tiers"`
+	// TotalWallMS is the wall-clock of the whole benchmark run.
+	TotalWallMS float64 `json:"total_wall_ms"`
+}
+
+// BroadcastBench measures the delivery hot path: a large sequential
+// broadcast under the seeded random adversary with alphabet metering on —
+// the exact configuration the interning and CSR work optimizes.
+type BroadcastBench struct {
+	// Vertices and Edges describe the benchmark graph.
+	Vertices int `json:"vertices"`
+	Edges    int `json:"edges"`
+	// Scheduler names the adversary driving delivery order.
+	Scheduler string `json:"scheduler"`
+	// Repeats is the number of timed runs averaged below.
+	Repeats int `json:"repeats"`
+	// Deliveries is the per-run delivery count (schedule-independent).
+	Deliveries int `json:"deliveries"`
+	// NsPerDelivery is wall-clock nanoseconds per delivered message — the
+	// headline number the CI gate compares against the baseline.
+	NsPerDelivery float64 `json:"ns_per_delivery"`
+	// AllocsPerDelivery is heap allocations per delivered message,
+	// including per-run setup amortized over the run. Steady-state delivery
+	// itself allocates nothing (asserted in internal/sim's bench tests).
+	AllocsPerDelivery float64 `json:"allocs_per_delivery"`
+	// PeakInFlight is the run's maximum number of simultaneously in-flight
+	// messages (the O(1) counter of sim.Metrics).
+	PeakInFlight int `json:"peak_in_flight"`
+}
+
+// TierBench is the wall-clock of one experiment sweep.
+type TierBench struct {
+	ID     string  `json:"id"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+// benchSchemaVersion is the current BenchReport layout.
+const benchSchemaVersion = 1
+
+// RunBench produces the benchmark report: the broadcast microbenchmark
+// first, then every experiment tier, timed serially so tier wall-clocks are
+// not distorted by each other's load.
+func RunBench(quick bool) (*BenchReport, error) {
+	start := time.Now()
+	rep := &BenchReport{
+		SchemaVersion: benchSchemaVersion,
+		GoVersion:     runtime.Version(),
+		Gomaxprocs:    runtime.GOMAXPROCS(0),
+		Quick:         quick,
+	}
+
+	vertices, repeats := 100_000, 3
+	if quick {
+		vertices, repeats = 20_000, 2
+	}
+	b, err := benchBroadcast(vertices, repeats)
+	if err != nil {
+		return nil, err
+	}
+	rep.Broadcast = *b
+
+	for _, s := range Sweeps(quick) {
+		t0 := time.Now()
+		if _, err := s.Run(); err != nil {
+			return nil, fmt.Errorf("bench tier %s: %w", s.ID, err)
+		}
+		rep.Tiers = append(rep.Tiers, TierBench{ID: s.ID, WallMS: ms(time.Since(t0))})
+	}
+	rep.TotalWallMS = ms(time.Since(start))
+	return rep, nil
+}
+
+// benchBroadcast times the sequential broadcast on a random grounded tree —
+// the same family and parameters as internal/sim's BenchmarkPendingEdge100k
+// (at full size it is the identical seeded instance), so the committed
+// trajectory and the Go benchmarks measure the same workload.
+func benchBroadcast(vertices, repeats int) (*BroadcastBench, error) {
+	g := graph.RandomGroundedTree(vertices, 0.2, 1)
+	proto := core.NewTreeBroadcast(nil, core.RulePow2)
+	opts := sim.Options{Order: sim.OrderRandom, Seed: 7, TrackAlphabet: true}
+
+	run := func() (*sim.Result, error) {
+		r, err := sim.Run(g, proto, opts)
+		if err != nil {
+			return nil, err
+		}
+		if r.Verdict != sim.Terminated {
+			return nil, fmt.Errorf("bench broadcast did not terminate on %s", g)
+		}
+		return r, nil
+	}
+
+	// One warm-up run primes the chunk pool and the allocator.
+	warm, err := run()
+	if err != nil {
+		return nil, err
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	deliveries := 0
+	for i := 0; i < repeats; i++ {
+		r, err := run()
+		if err != nil {
+			return nil, err
+		}
+		deliveries += r.Steps
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&after)
+
+	return &BroadcastBench{
+		Vertices:          g.NumVertices(),
+		Edges:             g.NumEdges(),
+		Scheduler:         "random",
+		Repeats:           repeats,
+		Deliveries:        warm.Steps,
+		NsPerDelivery:     float64(elapsed.Nanoseconds()) / float64(deliveries),
+		AllocsPerDelivery: float64(after.Mallocs-before.Mallocs) / float64(deliveries),
+		PeakInFlight:      warm.Metrics.PeakInFlight,
+	}, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// WriteBench serializes the report to path as indented JSON ("-" or empty
+// for stdout).
+func WriteBench(rep *BenchReport, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" || path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadBench loads a previously written BENCH.json.
+func ReadBench(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// MaxRegression is the CI gate: a run whose ns/delivery exceeds the
+// baseline's by more than this fraction fails the build.
+const MaxRegression = 0.25
+
+// CompareBench gates cur against base: an error describes a hot-path
+// regression beyond MaxRegression, nil means within budget. Schema
+// mismatches are errors (the numbers would not be comparable), improvements
+// are always fine.
+func CompareBench(cur, base *BenchReport) error {
+	if cur.SchemaVersion != base.SchemaVersion {
+		return fmt.Errorf("bench: schema %d vs baseline %d — regenerate the baseline", cur.SchemaVersion, base.SchemaVersion)
+	}
+	if cur.Quick != base.Quick {
+		return fmt.Errorf("bench: quick=%v vs baseline quick=%v — not comparable", cur.Quick, base.Quick)
+	}
+	limit := base.Broadcast.NsPerDelivery * (1 + MaxRegression)
+	if cur.Broadcast.NsPerDelivery > limit {
+		return fmt.Errorf("bench: ns/delivery regressed: %.1f vs baseline %.1f (limit %.1f, +%d%%)",
+			cur.Broadcast.NsPerDelivery, base.Broadcast.NsPerDelivery, limit, int(MaxRegression*100))
+	}
+	return nil
+}

@@ -31,8 +31,10 @@ func (g *G) CanonicalString() string {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for j := 0; j < g.OutDegree(v); j++ {
-			e := g.OutEdge(v, j)
+		// OutEdgeIDs is port-ordered, so this is the same increasing-port
+		// exploration as before, minus a bounds-checked lookup per port.
+		for _, eid := range g.OutEdgeIDs(v) {
+			e := g.Edge(eid)
 			if canon[e.To] == -1 {
 				canon[e.To] = next
 				next++

@@ -31,11 +31,21 @@ type Edge struct {
 }
 
 // G is an immutable directed anonymous network.
+//
+// Adjacency is stored in compressed-sparse-row form: one flat edge-ID array
+// per direction plus a per-vertex offset index, so the whole graph is six
+// allocations regardless of |V|, vertex degree reads are two index
+// subtractions, and walking a vertex's ports is a contiguous slice scan —
+// the representation the simulators' hot loops traverse millions of times
+// per sweep. Port order is preserved: outCSR[outOff[v]+j] is the edge
+// leaving v's out-port j.
 type G struct {
 	name     string
 	edges    []Edge
-	out      [][]EdgeID // out[v][j] = edge leaving v's out-port j
-	in       [][]EdgeID // in[v][i] = edge entering v's in-port i
+	outOff   []int32  // len |V|+1; out-ports of v live at outCSR[outOff[v]:outOff[v+1]]
+	outCSR   []EdgeID // flattened out-adjacency, port order
+	inOff    []int32  // len |V|+1; in-ports of v live at inCSR[inOff[v]:inOff[v+1]]
+	inCSR    []EdgeID // flattened in-adjacency, port order
 	root     VertexID
 	terminal VertexID
 }
@@ -164,55 +174,67 @@ func (b *Builder) Build() (*G, error) {
 	g := &G{
 		name:     b.name,
 		edges:    append([]Edge(nil), b.edges...),
-		out:      make([][]EdgeID, b.n),
-		in:       make([][]EdgeID, b.n),
+		outOff:   make([]int32, b.n+1),
+		outCSR:   make([]EdgeID, len(b.edges)),
+		inOff:    make([]int32, b.n+1),
+		inCSR:    make([]EdgeID, len(b.edges)),
 		root:     b.root,
 		terminal: b.terminal,
 	}
-	const unset = EdgeID(-1)
+	// CSR offsets by prefix sum over the degree counts the builder tracked.
 	for v := 0; v < b.n; v++ {
-		g.out[v] = make([]EdgeID, b.outDeg[v])
-		g.in[v] = make([]EdgeID, b.inDeg[v])
-		for j := range g.out[v] {
-			g.out[v][j] = unset
-		}
-		for j := range g.in[v] {
-			g.in[v][j] = unset
-		}
+		g.outOff[v+1] = g.outOff[v] + int32(b.outDeg[v])
+		g.inOff[v+1] = g.inOff[v] + int32(b.inDeg[v])
+	}
+	if int(g.outOff[b.n]) != len(b.edges) || int(g.inOff[b.n]) != len(b.edges) {
+		// Degrees can exceed edge count only via AddEdgeAt port gaps; the
+		// dense-port validation below would reject these, but the CSR arrays
+		// must be big enough to run it.
+		g.outCSR = make([]EdgeID, g.outOff[b.n])
+		g.inCSR = make([]EdgeID, g.inOff[b.n])
+	}
+	const unset = EdgeID(-1)
+	for i := range g.outCSR {
+		g.outCSR[i] = unset
+	}
+	for i := range g.inCSR {
+		g.inCSR[i] = unset
 	}
 	// Place edges by port and validate that ports are dense and unique.
 	for _, e := range b.edges {
-		if g.out[e.From][e.FromPort] != unset {
+		op := g.outOff[e.From] + int32(e.FromPort)
+		if g.outCSR[op] != unset {
 			return nil, fmt.Errorf("graph: vertex %d out-port %d assigned twice", e.From, e.FromPort)
 		}
-		if g.in[e.To][e.ToPort] != unset {
+		ip := g.inOff[e.To] + int32(e.ToPort)
+		if g.inCSR[ip] != unset {
 			return nil, fmt.Errorf("graph: vertex %d in-port %d assigned twice", e.To, e.ToPort)
 		}
-		g.out[e.From][e.FromPort] = e.ID
-		g.in[e.To][e.ToPort] = e.ID
+		g.outCSR[op] = e.ID
+		g.inCSR[ip] = e.ID
 	}
-	for v := 0; v < b.n; v++ {
-		for j, id := range g.out[v] {
+	for v := VertexID(0); int(v) < b.n; v++ {
+		for j, id := range g.OutEdgeIDs(v) {
 			if id == unset {
 				return nil, fmt.Errorf("graph: vertex %d out-port %d unassigned (ports must be dense)", v, j)
 			}
 		}
-		for j, id := range g.in[v] {
+		for j, id := range g.InEdgeIDs(v) {
 			if id == unset {
 				return nil, fmt.Errorf("graph: vertex %d in-port %d unassigned (ports must be dense)", v, j)
 			}
 		}
 	}
-	if len(g.in[g.root]) != 0 {
+	if g.InDegree(g.root) != 0 {
 		return nil, ErrRootHasIn
 	}
-	if !b.wideRoot && len(g.out[g.root]) != 1 {
-		return nil, fmt.Errorf("%w (has %d)", ErrRootOutDegree, len(g.out[g.root]))
+	if !b.wideRoot && g.OutDegree(g.root) != 1 {
+		return nil, fmt.Errorf("%w (has %d)", ErrRootOutDegree, g.OutDegree(g.root))
 	}
-	if len(g.out[g.root]) == 0 {
+	if g.OutDegree(g.root) == 0 {
 		return nil, fmt.Errorf("%w (has 0)", ErrRootOutDegree)
 	}
-	if len(g.out[g.terminal]) != 0 {
+	if g.OutDegree(g.terminal) != 0 {
 		return nil, ErrTerminalHasOut
 	}
 	if !g.allReachableFromRoot() {
@@ -235,7 +257,7 @@ func (b *Builder) MustBuild() *G {
 func (g *G) Name() string { return g.name }
 
 // NumVertices returns |V|.
-func (g *G) NumVertices() int { return len(g.out) }
+func (g *G) NumVertices() int { return len(g.outOff) - 1 }
 
 // NumEdges returns |E|.
 func (g *G) NumEdges() int { return len(g.edges) }
@@ -253,23 +275,31 @@ func (g *G) Edge(id EdgeID) Edge { return g.edges[id] }
 func (g *G) Edges() []Edge { return g.edges }
 
 // OutDegree returns the out-degree of v.
-func (g *G) OutDegree(v VertexID) int { return len(g.out[v]) }
+func (g *G) OutDegree(v VertexID) int { return int(g.outOff[v+1] - g.outOff[v]) }
 
 // InDegree returns the in-degree of v.
-func (g *G) InDegree(v VertexID) int { return len(g.in[v]) }
+func (g *G) InDegree(v VertexID) int { return int(g.inOff[v+1] - g.inOff[v]) }
 
 // OutEdge returns the edge leaving v's out-port j.
-func (g *G) OutEdge(v VertexID, j int) Edge { return g.edges[g.out[v][j]] }
+func (g *G) OutEdge(v VertexID, j int) Edge { return g.edges[g.outCSR[int(g.outOff[v])+j]] }
 
 // InEdge returns the edge entering v's in-port i.
-func (g *G) InEdge(v VertexID, i int) Edge { return g.edges[g.in[v][i]] }
+func (g *G) InEdge(v VertexID, i int) Edge { return g.edges[g.inCSR[int(g.inOff[v])+i]] }
+
+// OutEdgeIDs returns the edges leaving v, indexed by out-port: a view into
+// the CSR array, allocation-free. The caller must not modify it.
+func (g *G) OutEdgeIDs(v VertexID) []EdgeID { return g.outCSR[g.outOff[v]:g.outOff[v+1]] }
+
+// InEdgeIDs returns the edges entering v, indexed by in-port: a view into
+// the CSR array, allocation-free. The caller must not modify it.
+func (g *G) InEdgeIDs(v VertexID) []EdgeID { return g.inCSR[g.inOff[v]:g.inOff[v+1]] }
 
 // MaxOutDegree returns d_out, the maximal out-degree in the network.
 func (g *G) MaxOutDegree() int {
 	m := 0
-	for v := range g.out {
-		if len(g.out[v]) > m {
-			m = len(g.out[v])
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.OutDegree(VertexID(v)); d > m {
+			m = d
 		}
 	}
 	return m
@@ -277,8 +307,8 @@ func (g *G) MaxOutDegree() int {
 
 func (g *G) allReachableFromRoot() bool {
 	seen := g.reachableFrom(g.root)
-	for v := range g.out {
-		if !seen[v] {
+	for _, ok := range seen {
+		if !ok {
 			return false
 		}
 	}
@@ -286,13 +316,13 @@ func (g *G) allReachableFromRoot() bool {
 }
 
 func (g *G) reachableFrom(start VertexID) []bool {
-	seen := make([]bool, len(g.out))
+	seen := make([]bool, g.NumVertices())
 	stack := []VertexID{start}
 	seen[start] = true
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, eid := range g.out[v] {
+		for _, eid := range g.OutEdgeIDs(v) {
 			w := g.edges[eid].To
 			if !seen[w] {
 				seen[w] = true
@@ -307,13 +337,13 @@ func (g *G) reachableFrom(start VertexID) []bool {
 // from it. The protocols terminate iff this holds for every vertex
 // (Theorems 3.1, 4.2, 5.1).
 func (g *G) CoReachable() []bool {
-	seen := make([]bool, len(g.out))
+	seen := make([]bool, g.NumVertices())
 	stack := []VertexID{g.terminal}
 	seen[g.terminal] = true
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, eid := range g.in[v] {
+		for _, eid := range g.InEdgeIDs(v) {
 			u := g.edges[eid].From
 			if !seen[u] {
 				seen[u] = true
@@ -337,16 +367,16 @@ func (g *G) AllConnectedToTerminal() bool {
 // IsGroundedTree reports whether g is a grounded tree (Section 3): every
 // vertex has in-degree 1 except the root (0) and the terminal (any).
 func (g *G) IsGroundedTree() bool {
-	for v := range g.in {
+	for v := 0; v < g.NumVertices(); v++ {
 		switch VertexID(v) {
 		case g.root:
-			if len(g.in[v]) != 0 {
+			if g.InDegree(g.root) != 0 {
 				return false
 			}
 		case g.terminal:
 			// any in-degree
 		default:
-			if len(g.in[v]) != 1 {
+			if g.InDegree(VertexID(v)) != 1 {
 				return false
 			}
 		}
@@ -363,7 +393,8 @@ func (g *G) IsDAG() bool {
 // TopoOrder returns a topological order of the vertices, or ok == false if g
 // contains a cycle.
 func (g *G) TopoOrder() ([]VertexID, bool) {
-	indeg := make([]int, len(g.out))
+	nV := g.NumVertices()
+	indeg := make([]int, nV)
 	for _, e := range g.edges {
 		indeg[e.To]++
 	}
@@ -373,12 +404,12 @@ func (g *G) TopoOrder() ([]VertexID, bool) {
 			queue = append(queue, VertexID(v))
 		}
 	}
-	order := make([]VertexID, 0, len(g.out))
+	order := make([]VertexID, 0, nV)
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
 		order = append(order, v)
-		for _, eid := range g.out[v] {
+		for _, eid := range g.OutEdgeIDs(v) {
 			w := g.edges[eid].To
 			indeg[w]--
 			if indeg[w] == 0 {
@@ -386,7 +417,7 @@ func (g *G) TopoOrder() ([]VertexID, bool) {
 			}
 		}
 	}
-	if len(order) != len(g.out) {
+	if len(order) != nV {
 		return nil, false
 	}
 	return order, true

@@ -266,13 +266,13 @@ func (r *runner) dial() error {
 		r.wg.Add(1)
 		go r.acceptLoop(graph.VertexID(v), expected)
 	}
-	// Dial every edge.
+	// Dial every edge, walking the CSR out-adjacency in port order.
 	r.outConns = make([][]net.Conn, nV)
 	for v := 0; v < nV; v++ {
-		d := r.g.OutDegree(graph.VertexID(v))
-		r.outConns[v] = make([]net.Conn, d)
-		for j := 0; j < d; j++ {
-			e := r.g.OutEdge(graph.VertexID(v), j)
+		outIDs := r.g.OutEdgeIDs(graph.VertexID(v))
+		r.outConns[v] = make([]net.Conn, len(outIDs))
+		for j, eid := range outIDs {
+			e := r.g.Edge(eid)
 			addr := r.listeners[e.To].Addr().String()
 			conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
 			if err != nil {

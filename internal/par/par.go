@@ -1,0 +1,73 @@
+// Package par is the bounded worker pool behind every "matrix" in this
+// repository: the conformance engine × scheduler grid, the fuzz tier's
+// per-protocol campaigns, and anonbench's experiment sweeps all fan their
+// independent cells through Map so wall-clock scales with cores.
+//
+// Determinism is preserved by construction: a cell writes only to its own
+// index, cells receive all their inputs (graph, fresh scheduler, fresh
+// protocol state, seed) by value or freshly constructed inside the cell, and
+// callers consume results in index order. Parallelism changes when a cell
+// runs, never what it computes.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Map runs fn(0..n-1) on at most workers goroutines and returns when all
+// calls finished. workers <= 0 selects GOMAXPROCS. fn must confine its
+// writes to per-index state; panics propagate to the caller.
+func Map(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Degenerate pool: run inline, same call order as the pre-parallel
+		// loops (and no goroutine hop under -cpu=1 or -workers=1).
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		wg   sync.WaitGroup
+		next = make(chan int)
+		// Panics in workers are rethrown on the caller's goroutine, first
+		// one wins; without this a worker panic would kill the process with
+		// a goroutine stack the caller never sees in tests.
+		panicOnce sync.Once
+		panicked  any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicOnce.Do(func() { panicked = r })
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

@@ -1,0 +1,56 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 7, 100} {
+		const n = 137
+		hits := make([]int32, n)
+		Map(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestMapZeroAndNegativeN(t *testing.T) {
+	ran := false
+	Map(4, 0, func(int) { ran = true })
+	Map(4, -3, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for non-positive n")
+	}
+}
+
+func TestMapDeterministicResults(t *testing.T) {
+	// The pool must not perturb what a cell computes: the output slice is a
+	// pure function of the index regardless of worker count.
+	const n = 64
+	ref := make([]int, n)
+	Map(1, n, func(i int) { ref[i] = i * i })
+	got := make([]int, n)
+	Map(8, n, func(i int) { got[i] = i * i })
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatalf("index %d: %d != %d", i, got[i], ref[i])
+		}
+	}
+}
+
+func TestMapPropagatesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic did not propagate")
+		}
+	}()
+	Map(4, 16, func(i int) {
+		if i == 7 {
+			panic("boom")
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package protocol
+
+import (
+	"fmt"
+	"testing"
+)
+
+// keyMsg is a minimal comparable message whose Key is its value.
+type keyMsg struct{ k string }
+
+func (m keyMsg) Bits() int   { return 8 * len(m.k) }
+func (m keyMsg) Key() string { return m.k }
+
+// sliceMsg is deliberately unhashable (slice field): the interner must fall
+// back to the key map instead of panicking on the value memo.
+type sliceMsg struct{ b []byte }
+
+func (m sliceMsg) Bits() int   { return 8 * len(m.b) }
+func (m sliceMsg) Key() string { return string(m.b) }
+
+func TestInternerBasics(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern(keyMsg{"a"})
+	b := in.Intern(keyMsg{"b"})
+	if a == b {
+		t.Fatal("distinct keys share a symbol")
+	}
+	if got := in.Intern(keyMsg{"a"}); got != a {
+		t.Fatalf("re-interning returned %d, want %d", got, a)
+	}
+	if in.KeyOf(a) != "a" || in.KeyOf(b) != "b" {
+		t.Fatal("KeyOf does not round-trip")
+	}
+	if in.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", in.Len())
+	}
+	// Symbols are dense and first-seen ordered.
+	if a != 0 || b != 1 {
+		t.Fatalf("symbols not dense: a=%d b=%d", a, b)
+	}
+}
+
+// TestInternerUnifiesAcrossTypes pins the hash-consing contract: equal keys
+// must unify to one symbol even when they arrive as different dynamic types
+// (or as unhashable values the memo cannot cache).
+func TestInternerUnifiesAcrossTypes(t *testing.T) {
+	in := NewInterner()
+	s1 := in.Intern(keyMsg{"xyz"})
+	s2 := in.Intern(sliceMsg{[]byte("xyz")})
+	if s1 != s2 {
+		t.Fatalf("equal keys, distinct symbols: %d vs %d", s1, s2)
+	}
+	s3 := in.Intern(sliceMsg{[]byte("other")})
+	if s3 == s1 {
+		t.Fatal("distinct keys share a symbol across types")
+	}
+}
+
+// TestInternerMemoCapDoesNotBreakInjectivity floods the memo far past its
+// cap with distinct values of a tiny key space; the symbol space must stay
+// exactly the key space.
+func TestInternerMemoCapDoesNotBreakInjectivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	in := NewInterner()
+	for i := 0; i < memoCap+512; i++ {
+		m := keyMsg{fmt.Sprint(i % 7)}
+		s := in.Intern(m)
+		if in.KeyOf(s) != m.k {
+			t.Fatalf("iteration %d: symbol %d maps to %q, want %q", i, s, in.KeyOf(s), m.k)
+		}
+	}
+	if in.Len() != 7 {
+		t.Fatalf("interned %d symbols for a 7-key space", in.Len())
+	}
+}
+
+// TestInternSteadyStateZeroAlloc asserts the hot-path contract the metrics
+// rework relies on: re-interning an already-seen comparable message value
+// performs no heap allocation at all.
+func TestInternSteadyStateZeroAlloc(t *testing.T) {
+	in := NewInterner()
+	msgs := [4]Message{keyMsg{"a"}, keyMsg{"b"}, keyMsg{"c"}, keyMsg{"d"}}
+	for _, m := range msgs {
+		in.Intern(m)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		in.Intern(msgs[i&3])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Intern allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// FuzzInternRoundTrip is the intern/lookup round-trip fuzz target: for an
+// arbitrary pair of byte-string keys, interning must be injective
+// (same symbol iff same key), KeyOf must invert Intern, and re-interning
+// must be stable — via both the hashable fast path and the unhashable
+// fallback.
+func FuzzInternRoundTrip(f *testing.F) {
+	f.Add("", "x")
+	f.Add("a", "a")
+	f.Add("2^-3", "2^-4")
+	f.Add("\x00\xff", "\x00")
+	f.Fuzz(func(t *testing.T, k1, k2 string) {
+		in := NewInterner()
+		s1 := in.Intern(keyMsg{k1})
+		s2 := in.Intern(sliceMsg{[]byte(k2)})
+		if (s1 == s2) != (k1 == k2) {
+			t.Fatalf("injectivity broken: keys %q,%q -> symbols %d,%d", k1, k2, s1, s2)
+		}
+		if in.KeyOf(s1) != k1 || in.KeyOf(s2) != k2 {
+			t.Fatalf("KeyOf does not invert Intern for %q,%q", k1, k2)
+		}
+		// Stability under re-interning, swapping the representations.
+		if in.Intern(sliceMsg{[]byte(k1)}) != s1 || in.Intern(keyMsg{k2}) != s2 {
+			t.Fatalf("re-interning unstable for %q,%q", k1, k2)
+		}
+		if k1 == k2 && in.Len() != 1 {
+			t.Fatalf("equal keys produced %d symbols", in.Len())
+		}
+		if k1 != k2 && in.Len() != 2 {
+			t.Fatalf("distinct keys produced %d symbols", in.Len())
+		}
+	})
+}

@@ -40,19 +40,51 @@ type traceIndex struct {
 }
 
 func indexTrace(tr *replay.Trace) *traceIndex {
-	ix := &traceIndex{}
-	sends := make(map[graph.EdgeID][]int)
-	delivered := make(map[graph.EdgeID]int)
+	// Pre-size everything from one counting pass: per-edge send positions
+	// live in a CSR-style flat array (offsets + fill cursors) and the
+	// delivery columns are allocated at their exact final length, so
+	// indexing a trace costs a handful of allocations however long the
+	// schedule is — this index is rebuilt for every fuzz seed.
+	maxE, nSend, nDeliver := -1, 0, 0
+	for _, ev := range tr.Events {
+		if int(ev.Edge) > maxE {
+			maxE = int(ev.Edge)
+		}
+		switch ev.Kind {
+		case replay.Send:
+			nSend++
+		case replay.Deliver:
+			nDeliver++
+		}
+	}
+	off := make([]int32, maxE+2) // off[e+1] accumulates edge e's send count
+	for _, ev := range tr.Events {
+		if ev.Kind == replay.Send {
+			off[ev.Edge+1]++
+		}
+	}
+	for e := 0; e <= maxE; e++ {
+		off[e+1] += off[e]
+	}
+	sendPos := make([]int, nSend)
+	fill := make([]int32, maxE+1)      // sends recorded per edge so far
+	delivered := make([]int32, maxE+1) // deliveries consumed per edge so far
+	ix := &traceIndex{
+		deliveries: make([]graph.EdgeID, 0, nDeliver),
+		evPos:      make([]int, 0, nDeliver),
+		sendPos:    make([]int, 0, nDeliver),
+	}
 	for pos, ev := range tr.Events {
 		switch ev.Kind {
 		case replay.Send:
-			sends[ev.Edge] = append(sends[ev.Edge], pos)
+			sendPos[off[ev.Edge]+fill[ev.Edge]] = pos
+			fill[ev.Edge]++
 		case replay.Deliver:
 			k := delivered[ev.Edge]
 			delivered[ev.Edge]++
 			sp := -1
-			if k < len(sends[ev.Edge]) {
-				sp = sends[ev.Edge][k]
+			if k < off[ev.Edge+1]-off[ev.Edge] {
+				sp = sendPos[off[ev.Edge]+k]
 			}
 			ix.deliveries = append(ix.deliveries, ev.Edge)
 			ix.evPos = append(ix.evPos, pos)

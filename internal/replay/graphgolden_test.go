@@ -1,0 +1,83 @@
+package replay
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCorpusGraphGoldens pins graph.Fingerprint and graph.CanonicalString on
+// every graph embedded in the committed trace corpus, byte for byte, against
+// testdata/graph_golden.tsv (generated before the CSR adjacency refactor).
+// Any change to the graph core that perturbs canonical forms — and with them
+// every recorded trace header — fails here rather than in a confusing replay
+// mismatch. Regenerate the goldens only for a deliberate, documented format
+// change (which also requires a FormatVersion bump).
+func TestCorpusGraphGoldens(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "graph_golden.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	seen := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			t.Fatalf("malformed golden line: %q", line)
+		}
+		name, wantFP, wantCanon := parts[0], parts[1], parts[2]
+		seen++
+		data, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		g, err := tr.Graph()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := fmt.Sprintf("%016x", g.Fingerprint()); got != wantFP {
+			t.Errorf("%s: fingerprint %s, golden %s", name, got, wantFP)
+		}
+		if got := g.CanonicalString(); got != wantCanon {
+			t.Errorf("%s: canonical string drifted\n got: %s\nwant: %s", name, got, wantCanon)
+		}
+		if tr.GraphFP != g.Fingerprint() {
+			t.Errorf("%s: trace header fingerprint %016x does not match recomputed %016x", name, tr.GraphFP, g.Fingerprint())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if seen == 0 {
+		t.Fatal("golden file is empty")
+	}
+	// The golden file must cover the whole corpus: a new committed trace
+	// needs a golden line (regenerate with the recipe in docs/BENCHMARKS.md).
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".trace") {
+			traces++
+		}
+	}
+	if traces != seen {
+		t.Errorf("golden file covers %d traces, corpus has %d", seen, traces)
+	}
+}

@@ -52,16 +52,7 @@ func RunConcurrent(g *graph.G, p protocol.Protocol, opts Options) (*Result, erro
 	res := &Result{
 		Visited: make([]bool, nV),
 		Nodes:   nodes,
-		Metrics: Metrics{
-			PerEdgeBits: make([]int64, nE),
-			PerEdgeMsgs: make([]int, nE),
-		},
-	}
-	if opts.TrackAlphabet {
-		res.Metrics.Alphabet = make(map[string]int)
-	}
-	if opts.TrackFirstSymbol {
-		res.Metrics.FirstSymbol = make(map[graph.EdgeID]string)
+		Metrics: newMetrics(nE, &opts),
 	}
 	res.Visited[g.Root()] = true
 
@@ -131,6 +122,10 @@ func RunConcurrent(g *graph.G, p protocol.Protocol, opts Options) (*Result, erro
 	watcherWG.Wait()
 
 	res.Steps = int(run.steps.Load())
+	// The quiescence counter already tracks in-flight-plus-processing
+	// messages O(1) per event; its high-water mark is the peak.
+	res.Metrics.PeakInFlight = int(run.inFlight.peak)
+	res.Metrics.finalize()
 	if run.err != nil {
 		return res, run.err
 	}
@@ -187,7 +182,7 @@ func (r *concurrentRun) finish(v Verdict, err error) {
 // serialized event order sees every send before its delivery.
 func (r *concurrentRun) recordSend(e graph.EdgeID, msg protocol.Message) {
 	r.metricsMu.Lock()
-	r.res.Metrics.record(e, msg, r.opts)
+	r.res.Metrics.record(e, msg)
 	r.metricsMu.Unlock()
 	if r.obs != nil {
 		r.obs.OnSend(e, msg)
@@ -230,11 +225,12 @@ func (r *concurrentRun) worker(v graph.VertexID) {
 			r.inFlight.dec()
 			return
 		}
+		outIDs := r.g.OutEdgeIDs(v)
 		for j, out := range outs {
 			if out == nil {
 				continue
 			}
-			oe := r.g.OutEdge(v, j)
+			oe := r.g.Edge(outIDs[j])
 			r.inFlight.inc()
 			r.recordSend(oe.ID, out)
 			r.boxes[oe.To].push(delivery{port: oe.ToPort, msg: out})
@@ -256,6 +252,7 @@ type counter struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
 	n        int64
+	peak     int64
 	released bool
 }
 
@@ -271,6 +268,9 @@ func (c *counter) Add(delta int64) {
 	defer c.mu.Unlock()
 	c.lazyInit()
 	c.n += delta
+	if c.n > c.peak {
+		c.peak = c.n
+	}
 	if c.n == 0 {
 		c.cond.Broadcast()
 	}

@@ -65,12 +65,30 @@ type Metrics struct {
 	// MaxMsgBits is the largest single message, a lower bound on the
 	// message-space size log2|Sigma|.
 	MaxMsgBits int
+	// PeakInFlight is the maximum number of messages simultaneously in
+	// flight at any point of the run, maintained as an O(1) running counter
+	// on every send and delivery (never by walking queues). For the
+	// concurrent engine a message being processed still counts as in flight
+	// (it is what the quiescence counter counts); the TCP tier leaves it 0.
+	PeakInFlight int
 	// Alphabet holds the distinct symbols transmitted (Sigma_G of
 	// Theorem 3.2), keyed by Message.Key. Populated only when requested.
 	Alphabet map[string]int
 	// FirstSymbol maps each edge to the key of the first symbol it carried.
 	// Populated only when requested; used by the linear-cut snapshots.
 	FirstSymbol map[graph.EdgeID]string
+
+	// Hot-path alphabet accounting. During the run symbols are interned to
+	// dense IDs and counted in flat slices; the string-keyed maps above are
+	// materialized once, by finalize, at the measurement boundary — so a
+	// delivery costs two map probes and zero allocations instead of a
+	// Key() string build per message.
+	interner      *protocol.Interner
+	symCounts     []int
+	firstSym      []uint32 // per-edge symbol+1; 0 = edge carried nothing yet
+	trackAlphabet bool
+	trackFirstSym bool
+	curInFlight   int
 }
 
 // MaxEdgeBits returns the required bandwidth: the maximal number of bits
@@ -99,7 +117,25 @@ func (m *Metrics) MaxEdgeMsgs() int {
 // AlphabetSize returns |Sigma_G| when alphabet tracking was enabled, else 0.
 func (m *Metrics) AlphabetSize() int { return len(m.Alphabet) }
 
-func (m *Metrics) record(e graph.EdgeID, msg protocol.Message, opts *Options) {
+// newMetrics returns run-ready metrics for a graph with nE edges, with the
+// interned alphabet accounting armed when the options request it.
+func newMetrics(nE int, opts *Options) Metrics {
+	m := Metrics{
+		PerEdgeBits:   make([]int64, nE),
+		PerEdgeMsgs:   make([]int, nE),
+		trackAlphabet: opts.TrackAlphabet,
+		trackFirstSym: opts.TrackFirstSymbol,
+	}
+	if m.trackAlphabet || m.trackFirstSym {
+		m.interner = protocol.NewInterner()
+	}
+	if m.trackFirstSym {
+		m.firstSym = make([]uint32, nE)
+	}
+	return m
+}
+
+func (m *Metrics) record(e graph.EdgeID, msg protocol.Message) {
 	bits := msg.Bits()
 	m.Messages++
 	m.TotalBits += int64(bits)
@@ -108,12 +144,53 @@ func (m *Metrics) record(e graph.EdgeID, msg protocol.Message, opts *Options) {
 	if bits > m.MaxMsgBits {
 		m.MaxMsgBits = bits
 	}
-	if opts.TrackAlphabet {
-		m.Alphabet[msg.Key()]++
+	if m.interner != nil {
+		sym := m.interner.Intern(msg)
+		if m.trackAlphabet {
+			if int(sym) == len(m.symCounts) {
+				m.symCounts = append(m.symCounts, 0)
+			}
+			m.symCounts[sym]++
+		}
+		if m.trackFirstSym && m.firstSym[e] == 0 {
+			m.firstSym[e] = uint32(sym) + 1
+		}
 	}
-	if opts.TrackFirstSymbol {
-		if _, ok := m.FirstSymbol[e]; !ok {
-			m.FirstSymbol[e] = msg.Key()
+}
+
+// sent and delivered maintain the O(1) in-flight counter: every message put
+// in flight bumps it, every delivery drops it, and the peak is folded in on
+// the way up. Engines call them exactly once per send/delivery.
+func (m *Metrics) sent() {
+	m.curInFlight++
+	if m.curInFlight > m.PeakInFlight {
+		m.PeakInFlight = m.curInFlight
+	}
+}
+
+func (m *Metrics) delivered() { m.curInFlight-- }
+
+// finalize materializes the measurement-boundary views — the string-keyed
+// Alphabet and FirstSymbol maps — from the interned per-symbol slices. It
+// runs once per run (the engines defer it), so Message.Key is evaluated at
+// most once per distinct symbol, never per delivery. The resulting maps are
+// byte-identical to the ones the pre-interning engines built inline.
+func (m *Metrics) finalize() {
+	if m.interner == nil {
+		return
+	}
+	if m.trackAlphabet {
+		m.Alphabet = make(map[string]int, len(m.symCounts))
+		for s, c := range m.symCounts {
+			m.Alphabet[m.interner.KeyOf(protocol.Symbol(s))] = c
+		}
+	}
+	if m.trackFirstSym {
+		m.FirstSymbol = make(map[graph.EdgeID]string)
+		for e, s := range m.firstSym {
+			if s != 0 {
+				m.FirstSymbol[graph.EdgeID(e)] = m.interner.KeyOf(protocol.Symbol(s - 1))
+			}
 		}
 	}
 }

@@ -33,10 +33,39 @@ type msgChunk struct {
 
 var chunkPool = sync.Pool{New: func() any { return new(msgChunk) }}
 
+// chunkRecycleHook, when non-nil, observes every chunk at the moment it is
+// returned to the pool. Test-only: the leak-regression test uses it to assert
+// that no recycled chunk still pins a message payload.
+var chunkRecycleHook func(*msgChunk)
+
+// putChunk recycles a chunk whose items are already clear. Clearing is the
+// pop side's job, one slot per pop: a delivered message's pointer is dropped
+// the moment it leaves the queue (so a large payload is collectable
+// immediately, not when its chunk drains), and by the time a chunk comes
+// back here every slot has been popped — re-zeroing all 32 slots per recycle
+// was pure overhead. Paths that retire a chunk with live slots (release)
+// must clear them before calling putChunk.
 func putChunk(c *msgChunk) {
-	// Clear the message pointers so pooled chunks don't pin payloads.
-	*c = msgChunk{}
+	if chunkRecycleHook != nil {
+		chunkRecycleHook(c)
+	}
+	c.next = nil
 	chunkPool.Put(c)
+}
+
+// warmChunks pre-seeds the pool so a large run's first wave of queue growth
+// does not pay one allocation per chunk. Called once per process by the
+// sequential engine; sized for a few thousand simultaneously in-flight
+// messages, after which the pool sustains itself by recycling.
+var warmChunksOnce sync.Once
+
+func warmChunks() {
+	warmChunksOnce.Do(func() {
+		const warm = 128
+		for i := 0; i < warm; i++ {
+			chunkPool.Put(new(msgChunk))
+		}
+	})
 }
 
 // msgQueue is an unbounded FIFO over pooled chunks. The zero value is an
@@ -94,10 +123,20 @@ func (q *msgQueue) frontSeq() uint64 { return q.head.items[q.hi].seq }
 func (q *msgQueue) len() int { return q.n }
 
 // release returns all remaining chunks to the pool (used when a run ends
-// with messages still queued, e.g. on early termination).
+// with messages still queued, e.g. on early termination). Unlike the pop
+// path, these chunks still hold undelivered messages, so their live ranges
+// are cleared here — pooled chunks must never pin payloads.
 func (q *msgQueue) release() {
 	for c := q.head; c != nil; {
 		next := c.next
+		lo, hi := 0, chunkSize
+		if c == q.head {
+			lo = q.hi
+		}
+		if c == q.tail {
+			hi = q.ti
+		}
+		clear(c.items[lo:hi])
 		putChunk(c)
 		c = next
 	}

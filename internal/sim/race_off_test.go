@@ -1,0 +1,9 @@
+//go:build !race
+
+package sim
+
+// raceEnabled reports whether the race detector instruments this build. The
+// steady-state allocation assertions are meaningless under -race: the race
+// runtime makes sync.Pool drop puts at random (by design, to expose reuse
+// races), so pooled chunks re-allocate on a fraction of pops.
+const raceEnabled = false

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
@@ -121,11 +120,15 @@ type edgeItem struct {
 
 // edgeHeap is a min-heap on (prio, prio2, edge); wrap priorities to flip the
 // direction. The final edge-ID tiebreak makes every comparison total, so heap
-// order — and with it the delivery trace — is fully deterministic.
+// order — and with it the delivery trace — is fully deterministic. The sift
+// routines are hand-rolled rather than container/heap: the stdlib interface
+// boxes every pushed item into an `any`, which costs one heap allocation per
+// send on the delivery hot path; this version moves concrete values only, so
+// pushes and pops allocate nothing once the backing array is grown.
 type edgeHeap []edgeItem
 
 func (h edgeHeap) Len() int { return len(h) }
-func (h edgeHeap) Less(i, j int) bool {
+func (h edgeHeap) less(i, j int) bool {
 	if h[i].prio != h[j].prio {
 		return h[i].prio < h[j].prio
 	}
@@ -134,12 +137,67 @@ func (h edgeHeap) Less(i, j int) bool {
 	}
 	return h[i].edge < h[j].edge
 }
-func (h edgeHeap) Swap(i, j int)        { h[i], h[j] = h[j], h[i] }
-func (h *edgeHeap) Push(x any)          { *h = append(*h, x.(edgeItem)) }
-func (h *edgeHeap) Pop() any            { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
-func (h *edgeHeap) reset()              { *h = (*h)[:0] }
-func (h *edgeHeap) popMin() edgeItem    { return heap.Pop(h).(edgeItem) }
-func (h *edgeHeap) pushItem(e edgeItem) { heap.Push(h, e) }
+func (h *edgeHeap) reset() { *h = (*h)[:0] }
+
+// reserve pre-sizes the heap for a run on a graph with nE edges, so the
+// pending set never regrows mid-run. Capped: the pending set rarely reaches
+// |E| and a reused scheduler keeps its backing array anyway.
+func (h *edgeHeap) reserve(nE int) {
+	if nE > maxPresize {
+		nE = maxPresize
+	}
+	if cap(*h) < nE {
+		*h = make(edgeHeap, 0, nE)
+	}
+	*h = (*h)[:0]
+}
+
+// maxPresize bounds degree-derived pre-allocations so a million-edge sweep
+// does not commit megabytes per scheduler before the first delivery.
+const maxPresize = 1 << 14
+
+func (h *edgeHeap) pushItem(e edgeItem) {
+	*h = append(*h, e)
+	// Sift up.
+	hh := *h
+	i := len(hh) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !hh.less(i, parent) {
+			break
+		}
+		hh[i], hh[parent] = hh[parent], hh[i]
+		i = parent
+	}
+}
+
+func (h *edgeHeap) popMin() edgeItem {
+	hh := *h
+	it := hh[0]
+	n := len(hh) - 1
+	hh[0] = hh[n]
+	hh[n] = edgeItem{}
+	hh = hh[:n]
+	*h = hh
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && hh.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && hh.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		hh[i], hh[smallest] = hh[smallest], hh[i]
+		i = smallest
+	}
+	return it
+}
 
 // --- fifo -------------------------------------------------------------------
 
@@ -150,8 +208,8 @@ type fifoScheduler struct{ h edgeHeap }
 // NewFIFOScheduler returns the global-send-order adversary (the default).
 func NewFIFOScheduler() Scheduler { return &fifoScheduler{} }
 
-func (s *fifoScheduler) Name() string       { return "fifo" }
-func (s *fifoScheduler) Reset(SchedContext) { s.h.reset() }
+func (s *fifoScheduler) Name() string           { return "fifo" }
+func (s *fifoScheduler) Reset(ctx SchedContext) { s.h.reserve(ctx.Graph.NumEdges()) }
 func (s *fifoScheduler) Push(pe PendingEdge) {
 	s.h.pushItem(edgeItem{edge: pe.Edge, prio: pe.HeadSeq})
 }
@@ -167,8 +225,13 @@ type lifoScheduler struct{ stack []graph.EdgeID }
 // NewLIFOScheduler returns the newest-edge-first adversary.
 func NewLIFOScheduler() Scheduler { return &lifoScheduler{} }
 
-func (s *lifoScheduler) Name() string        { return "lifo" }
-func (s *lifoScheduler) Reset(SchedContext)  { s.stack = s.stack[:0] }
+func (s *lifoScheduler) Name() string { return "lifo" }
+func (s *lifoScheduler) Reset(ctx SchedContext) {
+	if n := min(ctx.Graph.NumEdges(), maxPresize); cap(s.stack) < n {
+		s.stack = make([]graph.EdgeID, 0, n)
+	}
+	s.stack = s.stack[:0]
+}
 func (s *lifoScheduler) Push(pe PendingEdge) { s.stack = append(s.stack, pe.Edge) }
 func (s *lifoScheduler) Pop() graph.EdgeID {
 	e := s.stack[len(s.stack)-1]
@@ -192,6 +255,9 @@ func NewRandomScheduler() Scheduler { return &randomScheduler{} }
 func (s *randomScheduler) Name() string { return "random" }
 func (s *randomScheduler) Reset(ctx SchedContext) {
 	s.rng = rand.New(rand.NewSource(ctx.Seed))
+	if n := min(ctx.Graph.NumEdges(), maxPresize); cap(s.items) < n {
+		s.items = make([]graph.EdgeID, 0, n)
+	}
 	s.items = s.items[:0]
 }
 func (s *randomScheduler) Push(pe PendingEdge) { s.items = append(s.items, pe.Edge) }
@@ -319,7 +385,7 @@ func (s *latencyScheduler) Reset(ctx SchedContext) {
 	for e := range s.delays {
 		s.delays[e] = latencyClasses[rng.Intn(len(latencyClasses))]
 	}
-	s.h.reset()
+	s.h.reserve(nE)
 }
 func (s *latencyScheduler) Push(pe PendingEdge) {
 	s.h.pushItem(edgeItem{edge: pe.Edge, prio: pe.HeadSeq + s.delays[pe.Edge], prio2: pe.HeadSeq})
@@ -369,7 +435,7 @@ func (s *paretoScheduler) Reset(ctx SchedContext) {
 		}
 		s.delays[e] = uint64(d)
 	}
-	s.h.reset()
+	s.h.reserve(nE)
 }
 func (s *paretoScheduler) Push(pe PendingEdge) {
 	s.h.pushItem(edgeItem{edge: pe.Edge, prio: pe.HeadSeq + s.delays[pe.Edge], prio2: pe.HeadSeq})
@@ -389,8 +455,8 @@ type starvationScheduler struct{ h edgeHeap }
 // NewStarvationScheduler returns the oldest-message-starvation adversary.
 func NewStarvationScheduler() Scheduler { return &starvationScheduler{} }
 
-func (s *starvationScheduler) Name() string       { return "starve-oldest" }
-func (s *starvationScheduler) Reset(SchedContext) { s.h.reset() }
+func (s *starvationScheduler) Name() string           { return "starve-oldest" }
+func (s *starvationScheduler) Reset(ctx SchedContext) { s.h.reserve(ctx.Graph.NumEdges()) }
 func (s *starvationScheduler) Push(pe PendingEdge) {
 	// Negate the send time so the min-heap yields the newest message.
 	s.h.pushItem(edgeItem{edge: pe.Edge, prio: ^pe.HeadSeq})
@@ -419,7 +485,7 @@ func NewGreedyScheduler() Scheduler { return &greedyScheduler{} }
 func (s *greedyScheduler) Name() string { return "greedy" }
 func (s *greedyScheduler) Reset(ctx SchedContext) {
 	s.ctx = ctx
-	s.h.reset()
+	s.h.reserve(ctx.Graph.NumEdges())
 }
 
 // prio ranks unvisited destinations by descending out-degree; every visited

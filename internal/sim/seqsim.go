@@ -45,17 +45,9 @@ func Run(g *graph.G, p protocol.Protocol, opts Options) (*Result, error) {
 	res := &Result{
 		Visited: make([]bool, nV),
 		Nodes:   nodes,
-		Metrics: Metrics{
-			PerEdgeBits: make([]int64, nE),
-			PerEdgeMsgs: make([]int, nE),
-		},
+		Metrics: newMetrics(nE, &opts),
 	}
-	if opts.TrackAlphabet {
-		res.Metrics.Alphabet = make(map[string]int)
-	}
-	if opts.TrackFirstSymbol {
-		res.Metrics.FirstSymbol = make(map[graph.EdgeID]string)
-	}
+	defer res.Metrics.finalize()
 	res.Visited[g.Root()] = true
 
 	sched := opts.Scheduler
@@ -70,6 +62,7 @@ func Run(g *graph.G, p protocol.Protocol, opts Options) (*Result, error) {
 
 	// Per-edge FIFO queues over pooled chunks. An edge is registered with
 	// the scheduler exactly when its front message is deliverable.
+	warmChunks()
 	queues := make([]msgQueue, nE)
 	defer func() {
 		for e := range queues {
@@ -86,6 +79,7 @@ func Run(g *graph.G, p protocol.Protocol, opts Options) (*Result, error) {
 			drops[e]--
 			return
 		}
+		res.Metrics.sent()
 		seq := sendSeq
 		sendSeq++
 		queues[e].push(msg, seq)
@@ -109,7 +103,7 @@ func Run(g *graph.G, p protocol.Protocol, opts Options) (*Result, error) {
 			continue
 		}
 		rootEdge := g.OutEdge(g.Root(), j)
-		res.Metrics.record(rootEdge.ID, init, &opts)
+		res.Metrics.record(rootEdge.ID, init)
 		if opts.Observer != nil {
 			opts.Observer.OnSend(rootEdge.ID, init)
 		}
@@ -126,6 +120,7 @@ func Run(g *graph.G, p protocol.Protocol, opts Options) (*Result, error) {
 		// message (links are FIFO).
 		e := sched.Pop()
 		msg := queues[e].pop()
+		res.Metrics.delivered()
 		if queues[e].len() > 0 {
 			sched.Push(PendingEdge{Edge: e, HeadSeq: queues[e].frontSeq()})
 		}
@@ -143,16 +138,17 @@ func Run(g *graph.G, p protocol.Protocol, opts Options) (*Result, error) {
 			return res, fmt.Errorf("sim: vertex %d returned %d outputs, out-degree is %d",
 				edge.To, len(outs), g.OutDegree(edge.To))
 		}
+		outIDs := g.OutEdgeIDs(edge.To)
 		for j, out := range outs {
 			if out == nil {
 				continue
 			}
-			oe := g.OutEdge(edge.To, j)
-			res.Metrics.record(oe.ID, out, &opts)
+			oe := outIDs[j]
+			res.Metrics.record(oe, out)
 			if opts.Observer != nil {
-				opts.Observer.OnSend(oe.ID, out)
+				opts.Observer.OnSend(oe, out)
 			}
-			push(oe.ID, out)
+			push(oe, out)
 		}
 		if edge.To == g.Terminal() && term.Done() {
 			res.Verdict = Terminated

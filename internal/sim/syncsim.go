@@ -42,17 +42,9 @@ func RunSynchronous(g *graph.G, p protocol.Protocol, opts Options) (*Result, err
 	res := &Result{
 		Visited: make([]bool, nV),
 		Nodes:   nodes,
-		Metrics: Metrics{
-			PerEdgeBits: make([]int64, nE),
-			PerEdgeMsgs: make([]int, nE),
-		},
+		Metrics: newMetrics(nE, &opts),
 	}
-	if opts.TrackAlphabet {
-		res.Metrics.Alphabet = make(map[string]int)
-	}
-	if opts.TrackFirstSymbol {
-		res.Metrics.FirstSymbol = make(map[graph.EdgeID]string)
-	}
+	defer res.Metrics.finalize()
 	res.Visited[g.Root()] = true
 
 	maxSteps := opts.MaxSteps
@@ -74,7 +66,8 @@ func RunSynchronous(g *graph.G, p protocol.Protocol, opts Options) (*Result, err
 			continue
 		}
 		rootEdge := g.OutEdge(g.Root(), j)
-		res.Metrics.record(rootEdge.ID, init, &opts)
+		res.Metrics.record(rootEdge.ID, init)
+		res.Metrics.sent()
 		if opts.Observer != nil {
 			opts.Observer.OnSend(rootEdge.ID, init)
 		}
@@ -89,6 +82,7 @@ func RunSynchronous(g *graph.G, p protocol.Protocol, opts Options) (*Result, err
 				return res, fmt.Errorf("%w (%d steps, graph %s, protocol %s)", ErrStepLimit, res.Steps, g, p.Name())
 			}
 			res.Steps++
+			res.Metrics.delivered()
 			edge := g.Edge(f.edge)
 			res.Visited[edge.To] = true
 			if opts.Observer != nil {
@@ -102,16 +96,18 @@ func RunSynchronous(g *graph.G, p protocol.Protocol, opts Options) (*Result, err
 				return res, fmt.Errorf("sim: vertex %d returned %d outputs, out-degree is %d",
 					edge.To, len(outs), g.OutDegree(edge.To))
 			}
+			outIDs := g.OutEdgeIDs(edge.To)
 			for j, out := range outs {
 				if out == nil {
 					continue
 				}
-				oe := g.OutEdge(edge.To, j)
-				res.Metrics.record(oe.ID, out, &opts)
+				oe := outIDs[j]
+				res.Metrics.record(oe, out)
+				res.Metrics.sent()
 				if opts.Observer != nil {
-					opts.Observer.OnSend(oe.ID, out)
+					opts.Observer.OnSend(oe, out)
 				}
-				next = append(next, flight{edge: oe.ID, msg: out})
+				next = append(next, flight{edge: oe, msg: out})
 			}
 			if edge.To == g.Terminal() && term.Done() {
 				res.Verdict = Terminated

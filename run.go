@@ -274,6 +274,9 @@ type Report struct {
 	Steps int
 	// Rounds is the synchronous time complexity (EngineSynchronous only).
 	Rounds int
+	// PeakInFlight is the maximum number of messages simultaneously in
+	// flight (0 on the TCP engine, which does not track it).
+	PeakInFlight int
 	// MaxStateBits is the largest per-vertex memory footprint observed.
 	MaxStateBits int
 }
@@ -429,6 +432,7 @@ func report(p protocol.Protocol, r *sim.Result) *Report {
 		AlphabetSize:   r.Metrics.AlphabetSize(),
 		Steps:          r.Steps,
 		Rounds:         r.Rounds,
+		PeakInFlight:   r.Metrics.PeakInFlight,
 		MaxStateBits:   r.MaxStateBits(),
 	}
 }
