@@ -37,6 +37,9 @@
 //	concurrent   Go runtime interleaving      n/a (nondeterministic)
 //	sync         global rounds (Section 2)    n/a (one fixed schedule)
 //	tcp          kernel loopback sockets      n/a (real transport)
+//	shard        partitioned seq loops +      every adversary below,
+//	             deterministic merge          one instance per shard
+//	             (multi-core, WithShards)     (seeded, deterministic)
 //
 // The sequential adversaries, selectable by name through WithScheduler and
 // the -sched CLI flags (this table is drift-guarded against
@@ -54,11 +57,11 @@
 // # Trace record, replay, shrink, and schedule fuzzing
 //
 // Any run — on any engine — can pin its schedule to a self-contained binary
-// trace via WithRecordTrace. The deterministic engines record their event
-// stream directly; the wild engines (concurrent, TCP) capture their
-// nondeterministic schedule through a serializing observer and canonicalize
-// it with one sequential replay, so even a one-off Go-runtime or
-// kernel-socket schedule becomes reproducible. WithReplayTrace re-executes
+// trace via WithRecordTrace. The deterministic single-threaded engines
+// record their event stream directly; the wild-capture engines (concurrent,
+// TCP, shard) capture their schedule through a serializing observer and
+// canonicalize it with one sequential replay, so even a one-off Go-runtime
+// or kernel-socket schedule becomes reproducible. WithReplayTrace re-executes
 // a recorded schedule byte-identically on the sequential engine, erroring
 // loudly on a graph, protocol, or behavior mismatch. The trace embeds the
 // network, so TraceData.Network rebuilds it from the file alone; the

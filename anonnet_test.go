@@ -396,10 +396,11 @@ func TestEngineByName(t *testing.T) {
 }
 
 func TestSchedulerAcrossEngineMatrix(t *testing.T) {
-	// A scheduler option combined with a non-sequential engine is simply
-	// ignored by that engine; the run must still succeed and agree.
+	// A scheduler option is honored by the sequential and sharded engines
+	// (the latter instantiates one copy per shard) and simply ignored by
+	// the others; the run must succeed and agree either way.
 	n := Ring(5)
-	for _, eng := range []Engine{EngineSequential, EngineConcurrent, EngineSynchronous} {
+	for _, eng := range []Engine{EngineSequential, EngineConcurrent, EngineSynchronous, EngineSharded} {
 		rep, err := Broadcast(n, []byte("x"), WithEngine(eng), WithScheduler("greedy"), WithSeed(2))
 		if err != nil {
 			t.Fatalf("engine %s: %v", eng, err)

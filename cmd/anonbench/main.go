@@ -8,6 +8,7 @@
 //
 //	anonbench [-only E5] [-quick] [-sched greedy] [-workers N] [-v]
 //	anonbench -bench [-quick] [-json BENCH.json] [-baseline BENCH_baseline.json]
+//	anonbench -trend BENCH_a.json BENCH_b.json [BENCH_c.json ...]
 //
 // With -quick, reduced parameter sweeps are used (for smoke testing). With
 // -sched, every sequential run in the sweeps uses the named adversarial
@@ -16,7 +17,16 @@
 // qualitative verdicts must not change, since the paper's claims are
 // schedule-independent. Table mode fans the sweeps through a bounded worker
 // pool (-workers, default GOMAXPROCS) and prints them in registry order;
-// bench mode times each tier serially so wall-clocks stay undistorted.
+// bench mode times each tier serially so wall-clocks stay undistorted and
+// additionally measures the sharded engine (1 shard vs 4, with speedup).
+// The -baseline gate warns on stderr when the baseline's toolchain or
+// GOMAXPROCS differ from the current run's — a stale baseline should be
+// regenerated, not silently trusted.
+//
+// Trend mode reads several BENCH*.json files (oldest first) and prints a
+// per-metric trajectory table — ns/delivery, allocs/delivery, shard
+// speedup, tier wall-clocks — with deltas against the first file, so CI
+// bench artifacts chart the repository's speed across builds.
 package main
 
 import (
@@ -37,8 +47,9 @@ func main() {
 	sched := flag.String("sched", "", "adversarial scheduler for all sequential runs: "+strings.Join(sim.SchedulerNames(), "|"))
 	workers := flag.Int("workers", 0, "worker-pool size for the sweep matrix (0 = GOMAXPROCS)")
 	bench := flag.Bool("bench", false, "benchmark mode: measure the hot path and tier wall-clocks instead of printing tables")
+	trend := flag.Bool("trend", false, "trend mode: read the BENCH*.json files given as arguments (oldest first) and print the per-metric trajectory")
 	jsonPath := flag.String("json", "", "bench mode: write BENCH.json here (\"-\" or empty = stdout)")
-	baseline := flag.String("baseline", "", "bench mode: compare against this baseline BENCH.json and fail on >25% ns/delivery regression")
+	baseline := flag.String("baseline", "", "bench mode: compare against this baseline BENCH.json and fail on >25% regression (ns/delivery, shard speedup)")
 	verbose := flag.Bool("v", false, "print per-experiment timing to stderr")
 	flag.Parse()
 	if err := experiments.SetScheduler(*sched); err != nil {
@@ -46,9 +57,12 @@ func main() {
 		os.Exit(1)
 	}
 	var err error
-	if *bench {
+	switch {
+	case *trend:
+		err = runTrend(flag.Args())
+	case *bench:
 		err = runBench(*quick, *jsonPath, *baseline)
-	} else {
+	default:
 		err = run(*only, *quick, *workers, *verbose)
 	}
 	if err != nil {
@@ -103,9 +117,10 @@ func runBench(quick bool, jsonPath, baseline string) error {
 		return err
 	}
 	if jsonPath != "" && jsonPath != "-" {
-		fmt.Fprintf(os.Stderr, "bench: %.1f ns/delivery, %.3f allocs/delivery, peak in-flight %d, total %.0f ms -> %s\n",
+		fmt.Fprintf(os.Stderr, "bench: %.1f ns/delivery, %.3f allocs/delivery, peak in-flight %d, shard speedup %.2fx (%d shards), total %.0f ms -> %s\n",
 			rep.Broadcast.NsPerDelivery, rep.Broadcast.AllocsPerDelivery,
-			rep.Broadcast.PeakInFlight, rep.TotalWallMS, jsonPath)
+			rep.Broadcast.PeakInFlight, rep.ShardBroadcast.Speedup,
+			rep.ShardBroadcast.Shards, rep.TotalWallMS, jsonPath)
 	}
 	if baseline == "" {
 		return nil
@@ -114,10 +129,37 @@ func runBench(quick bool, jsonPath, baseline string) error {
 	if err != nil {
 		return err
 	}
+	// A stale baseline (different toolchain or core count) must be loud:
+	// the gate still runs, but these numbers are not silently comparable.
+	for _, w := range experiments.StaleBaselineWarnings(rep, base) {
+		fmt.Fprintf(os.Stderr, "bench: WARNING: %s\n", w)
+	}
 	if err := experiments.CompareBench(rep, base); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "bench: within budget of baseline %s (%.1f ns/delivery vs %.1f)\n",
-		baseline, rep.Broadcast.NsPerDelivery, base.Broadcast.NsPerDelivery)
+	fmt.Fprintf(os.Stderr, "bench: within budget of baseline %s (%.1f ns/delivery vs %.1f, shard speedup %.2fx vs %.2fx)\n",
+		baseline, rep.Broadcast.NsPerDelivery, base.Broadcast.NsPerDelivery,
+		rep.ShardBroadcast.Speedup, base.ShardBroadcast.Speedup)
+	return nil
+}
+
+// runTrend prints the trajectory table across the given BENCH.json files.
+func runTrend(files []string) error {
+	if len(files) < 2 {
+		return fmt.Errorf("trend mode needs at least two BENCH.json files (oldest first), have %d", len(files))
+	}
+	reports := make([]*experiments.BenchReport, len(files))
+	for i, f := range files {
+		rep, err := experiments.ReadBench(f)
+		if err != nil {
+			return err
+		}
+		reports[i] = rep
+	}
+	table, err := experiments.TrendTable(files, reports)
+	if err != nil {
+		return err
+	}
+	fmt.Print(table)
 	return nil
 }

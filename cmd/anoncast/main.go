@@ -9,17 +9,19 @@
 // randdag, randnet, layered (use -layers and -width).
 //
 // Engines: seq (deterministic, adversarial scheduler), concurrent
-// (goroutine per vertex), sync (global rounds), tcp (real sockets).
-// Schedulers (seq engine): every sim.SchedulerNames entry — fifo, lifo,
-// random, rr-vertex, latency, latency-pareto, starve-oldest, greedy.
+// (goroutine per vertex), sync (global rounds), tcp (real sockets), shard
+// (partitioned sequential loops with a deterministic merge; -shards N picks
+// the shard count). Schedulers (seq and shard engines): every
+// sim.SchedulerNames entry — fifo, lifo, random, rr-vertex, latency,
+// latency-pareto, starve-oldest, greedy.
 //
 // -record FILE pins the run's delivery schedule to a self-contained trace
-// file — on every engine: the deterministic engines record directly, the
-// wild engines (concurrent, tcp) capture their schedule through a
-// serializing observer and canonicalize it (scheduler header reads
-// wild-concurrent/wild-tcp). -replay FILE re-executes a trace
-// byte-identically (network and protocol come from the file). Minimize or
-// differential-fuzz traces with cmd/anonshrink.
+// file — on every engine: the deterministic single-threaded engines record
+// directly, the wild-capture engines (concurrent, tcp, shard) capture their
+// schedule through a serializing observer and canonicalize it (scheduler
+// header reads wild-concurrent/wild-tcp/wild-shard). -replay FILE
+// re-executes a trace byte-identically (network and protocol come from the
+// file). Minimize or differential-fuzz traces with cmd/anonshrink.
 package main
 
 import (
@@ -44,7 +46,8 @@ func main() {
 		msg    = flag.String("msg", "hello, anonymous world", "broadcast payload")
 		proto  = flag.String("proto", "auto", "protocol: auto|tree|tree-naive|dag|general")
 		engine = flag.String("engine", "seq", "engine: "+strings.Join(anonnet.EngineNames(), "|"))
-		sched  = flag.String("sched", "fifo", "adversarial scheduler (seq engine): "+strings.Join(anonnet.SchedulerNames(), "|"))
+		shards = flag.Int("shards", anonnet.DefaultShards, "shard count (shard engine)")
+		sched  = flag.String("sched", "fifo", "adversarial scheduler (seq/shard engines): "+strings.Join(anonnet.SchedulerNames(), "|"))
 		dot    = flag.String("dot", "", "write the network in DOT format to this file")
 		file   = flag.String("file", "", "load the network from this file (anonnet v1 text format) instead of generating one")
 		save   = flag.String("save", "", "write the generated network to this file in the text format")
@@ -55,7 +58,7 @@ func main() {
 	if err := run(params{
 		topo: *topo, n: *n, height: *height, degree: *degree,
 		layers: *layers, width: *width, extra: *extra, seed: *seed,
-		msg: *msg, proto: *proto, engine: *engine, sched: *sched,
+		msg: *msg, proto: *proto, engine: *engine, shards: *shards, sched: *sched,
 		dot: *dot, file: *file, save: *save, record: *record, replay: *replay,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "anoncast:", err)
@@ -67,6 +70,7 @@ type params struct {
 	topo                             string
 	n, height, degree, layers, width int
 	extra                            int
+	shards                           int
 	seed                             int64
 	msg, proto, engine, sched        string
 	dot, file, save                  string
@@ -118,7 +122,7 @@ func run(p params) error {
 	fmt.Printf("network: %s  (|V|=%d |E|=%d class=%s dout=%d)\n",
 		net, net.NumVertices(), net.NumEdges(), net.Class(), net.MaxOutDegree())
 
-	opts, err := buildOptions(p.proto, p.engine, p.sched, p.seed)
+	opts, err := buildOptions(p.proto, p.engine, p.sched, p.seed, p.shards)
 	if err != nil {
 		return err
 	}
@@ -207,7 +211,7 @@ func buildNetwork(topo string, n, height, degree, layers, width, extra int, seed
 	}
 }
 
-func buildOptions(proto, engine, sched string, seed int64) ([]anonnet.Option, error) {
+func buildOptions(proto, engine, sched string, seed int64, shards int) ([]anonnet.Option, error) {
 	var opts []anonnet.Option
 	switch proto {
 	case "auto":
@@ -226,7 +230,7 @@ func buildOptions(proto, engine, sched string, seed int64) ([]anonnet.Option, er
 	if err != nil {
 		return nil, err
 	}
-	opts = append(opts, anonnet.WithEngine(eng))
+	opts = append(opts, anonnet.WithEngine(eng), anonnet.WithShards(shards))
 	opts = append(opts, anonnet.WithScheduler(sched), anonnet.WithSeed(seed))
 	return opts, nil
 }

@@ -1,0 +1,138 @@
+package conformance
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/replay/fuzz"
+	"repro/internal/sim"
+	"repro/internal/sim/shard"
+)
+
+// shardCounts spans the degenerate single-shard case, an uneven split, and
+// more shards than some test graphs have vertices (the partitioner caps K).
+var shardCounts = []int{1, 3, 4}
+
+// TestShardConformanceMatrix extends the cross-engine matrix with the
+// sharded engine: protocol × graph family × every scheduler × shard count
+// must reproduce the sequential reference's schedule-independent outcome —
+// verdict, visited-set completeness, labeled-vertex set, extracted-topology
+// isomorphism. This is the acceptance gate for the deterministic cross-shard
+// merge: a tie-break that depended on thread timing would diverge here (and
+// under -race in CI, across repeated runs).
+func TestShardConformanceMatrix(t *testing.T) {
+	for _, pc := range protoCases {
+		for gi, g := range graphsFor(pc.name) {
+			t.Run(fmt.Sprintf("%s/%s-%d", pc.name, g.Name(), gi), func(t *testing.T) {
+				ref, err := sim.Sequential().Run(g, pc.make(), sim.Options{})
+				if err != nil {
+					t.Fatalf("reference run: %v", err)
+				}
+				want := outcomeOf(t, g, ref)
+
+				type cell struct {
+					name string
+					r    *sim.Result
+					err  error
+				}
+				var cells []cell
+				for _, shards := range shardCounts {
+					for _, schedName := range sim.SchedulerNames() {
+						cells = append(cells, cell{name: fmt.Sprintf("shard%d/%s", shards, schedName)})
+					}
+				}
+				// One shard-engine run per cell through the worker pool. The
+				// engine fans its shards through par.Map too; each call
+				// spawns its own bounded pool, so nesting oversubscribes
+				// goroutines briefly instead of deadlocking.
+				par.Map(0, len(cells), func(i int) {
+					shards := shardCounts[i/len(sim.SchedulerNames())]
+					schedName := sim.SchedulerNames()[i%len(sim.SchedulerNames())]
+					sched, err := sim.NewScheduler(schedName)
+					if err != nil {
+						cells[i].err = err
+						return
+					}
+					cells[i].r, cells[i].err = shard.Engine(shards).Run(g, pc.make(),
+						sim.Options{Scheduler: sched, Seed: int64(gi)*37 + 1})
+				})
+				for _, c := range cells {
+					if c.err != nil {
+						t.Errorf("%s: %v", c.name, c.err)
+						continue
+					}
+					got, problems := fuzz.Compute(g, c.r)
+					for _, p := range problems {
+						t.Errorf("%s: %s", c.name, p)
+					}
+					if got != want {
+						t.Errorf("%s: outcome diverges\n got: %s\nwant: %s", c.name, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardQuiescence is the negative half on the sharded engine: when some
+// vertex cannot reach the terminal, every scheduler and shard count must
+// report quiescence, never termination.
+func TestShardQuiescence(t *testing.T) {
+	g := deadEndGraph(t)
+	for _, pc := range protoCases {
+		if pc.name == "treecast" || pc.name == "dagcast" {
+			continue // the graph is cyclic; those protocols don't apply
+		}
+		t.Run(pc.name, func(t *testing.T) {
+			for _, shards := range shardCounts {
+				for _, schedName := range sim.SchedulerNames() {
+					sched, err := sim.NewScheduler(schedName)
+					if err != nil {
+						t.Fatal(err)
+					}
+					r, err := shard.Engine(shards).Run(g, pc.make(), sim.Options{Scheduler: sched, Seed: 17})
+					if err != nil {
+						t.Fatalf("shard%d/%s: %v", shards, schedName, err)
+					}
+					if r.Verdict != sim.Quiescent {
+						t.Errorf("shard%d/%s: verdict %s, want quiescent", shards, schedName, r.Verdict)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardDeterminismAcrossWorkerCounts pins the "parallelism changes
+// wall-clock, never bytes" contract at the conformance tier: the same shard
+// run executed back-to-back (different goroutine interleavings under the
+// race detector's scheduler perturbation) yields identical deterministic
+// results.
+func TestShardDeterminismAcrossWorkerCounts(t *testing.T) {
+	g := graph.RandomDigraph(16, 11, graph.RandomDigraphOpts{ExtraEdges: 20, TerminalFrac: 0.3})
+	sched := func() sim.Scheduler {
+		s, err := sim.NewScheduler("random")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	base, err := shard.Engine(4).Run(g, protoCases[3].make(), sim.Options{Scheduler: sched(), Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		r, err := shard.Engine(4).Run(g, protoCases[3].make(), sim.Options{Scheduler: sched(), Seed: 23})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Steps != base.Steps || r.Metrics.Messages != base.Metrics.Messages ||
+			r.Metrics.TotalBits != base.Metrics.TotalBits || r.Verdict != base.Verdict {
+			t.Fatalf("run %d diverges: steps %d/%d msgs %d/%d bits %d/%d verdict %s/%s",
+				i, r.Steps, base.Steps, r.Metrics.Messages, base.Metrics.Messages,
+				r.Metrics.TotalBits, base.Metrics.TotalBits, r.Verdict, base.Verdict)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/sim"
+	"repro/internal/sim/shard"
 )
 
 // BenchReport is the machine-readable performance trajectory of one
@@ -35,6 +36,10 @@ type BenchReport struct {
 	Quick bool `json:"quick"`
 	// Broadcast is the sequential-engine delivery microbenchmark.
 	Broadcast BroadcastBench `json:"broadcast"`
+	// ShardBroadcast is the multi-core single-run benchmark: the same
+	// broadcast on the sharded engine at 1 shard and at ShardBench.Shards
+	// shards, with the wall-clock speedup between them.
+	ShardBroadcast ShardBench `json:"shard_broadcast"`
 	// Tiers is the wall-clock of each experiment sweep, registry order.
 	Tiers []TierBench `json:"tiers"`
 	// TotalWallMS is the wall-clock of the whole benchmark run.
@@ -66,14 +71,46 @@ type BroadcastBench struct {
 	PeakInFlight int `json:"peak_in_flight"`
 }
 
+// ShardBench measures the sharded engine on the broadcast workload: one run
+// per configuration tells whether partitioned delivery actually buys
+// wall-clock on this machine. Speedup is meaningful only when gomaxprocs >=
+// shards; on starved machines it hovers near (or below) 1 and the CI gate
+// compares it against the baseline rather than an absolute bar.
+type ShardBench struct {
+	// Vertices and Edges describe the benchmark graph (same instance as the
+	// broadcast microbenchmark).
+	Vertices int `json:"vertices"`
+	Edges    int `json:"edges"`
+	// Scheduler names the per-shard adversary.
+	Scheduler string `json:"scheduler"`
+	// Shards is the shard count of the multi-shard configuration.
+	Shards int `json:"shards"`
+	// CutEdges is the partition's cross-shard edge count at Shards shards —
+	// the partition-quality number behind the speedup.
+	CutEdges int `json:"cut_edges"`
+	// Repeats is the number of timed runs averaged per configuration.
+	Repeats int `json:"repeats"`
+	// Deliveries is the per-run delivery count of the multi-shard
+	// configuration (deterministic; differs from the 1-shard schedule's).
+	Deliveries int `json:"deliveries"`
+	// NsPerDeliveryOneShard and NsPerDeliverySharded are wall-clock
+	// nanoseconds per delivered message at 1 and at Shards shards.
+	NsPerDeliveryOneShard float64 `json:"ns_per_delivery_one_shard"`
+	NsPerDeliverySharded  float64 `json:"ns_per_delivery_sharded"`
+	// Speedup is the whole-run wall-clock ratio (1-shard time / sharded
+	// time) — the headline multi-core number.
+	Speedup float64 `json:"speedup"`
+}
+
 // TierBench is the wall-clock of one experiment sweep.
 type TierBench struct {
 	ID     string  `json:"id"`
 	WallMS float64 `json:"wall_ms"`
 }
 
-// benchSchemaVersion is the current BenchReport layout.
-const benchSchemaVersion = 1
+// benchSchemaVersion is the current BenchReport layout. v2 added
+// shard_broadcast.
+const benchSchemaVersion = 2
 
 // RunBench produces the benchmark report: the broadcast microbenchmark
 // first, then every experiment tier, timed serially so tier wall-clocks are
@@ -96,6 +133,12 @@ func RunBench(quick bool) (*BenchReport, error) {
 		return nil, err
 	}
 	rep.Broadcast = *b
+
+	sb, err := benchShardBroadcast(vertices, repeats)
+	if err != nil {
+		return nil, err
+	}
+	rep.ShardBroadcast = *sb
 
 	for _, s := range Sweeps(quick) {
 		t0 := time.Now()
@@ -161,6 +204,75 @@ func benchBroadcast(vertices, repeats int) (*BroadcastBench, error) {
 	}, nil
 }
 
+// benchShards is the multi-shard configuration of the shard benchmark and
+// the shard count the CI speedup gate tracks. The target of the sharding
+// work is >= 2.5x wall-clock at 100k vertices with 4 shards on a machine
+// with >= 4 cores.
+const benchShards = 4
+
+// benchSeed seeds the shard benchmark's scheduler — and, through
+// sim.Options.Seed, the partition the shard engine derives from it; the
+// explicit PartitionGraph call below must use the same seed so the reported
+// cut_edges describes the partition that actually ran.
+const benchSeed = 7
+
+// benchShardBroadcast times the sharded engine on the same seeded graph as
+// the broadcast microbenchmark, once at 1 shard (the honest baseline: same
+// engine, same superstep machinery, no parallelism) and once at benchShards
+// shards, and reports the whole-run wall-clock ratio.
+func benchShardBroadcast(vertices, repeats int) (*ShardBench, error) {
+	g := graph.RandomGroundedTree(vertices, 0.2, 1)
+	proto := core.NewTreeBroadcast(nil, core.RulePow2)
+
+	timeRuns := func(shards int) (wall time.Duration, deliveries int, err error) {
+		eng := shard.Engine(shards)
+		run := func() (*sim.Result, error) {
+			r, err := eng.Run(g, proto, sim.Options{Order: sim.OrderRandom, Seed: benchSeed, TrackAlphabet: true})
+			if err != nil {
+				return nil, err
+			}
+			if r.Verdict != sim.Terminated {
+				return nil, fmt.Errorf("shard bench broadcast did not terminate on %s", g)
+			}
+			return r, nil
+		}
+		warm, err := run()
+		if err != nil {
+			return 0, 0, err
+		}
+		t0 := time.Now()
+		for i := 0; i < repeats; i++ {
+			if _, err := run(); err != nil {
+				return 0, 0, err
+			}
+		}
+		return time.Since(t0), warm.Steps, nil
+	}
+
+	oneWall, oneSteps, err := timeRuns(1)
+	if err != nil {
+		return nil, err
+	}
+	nWall, nSteps, err := timeRuns(benchShards)
+	if err != nil {
+		return nil, err
+	}
+	part := graph.PartitionGraph(g, benchShards, benchSeed)
+
+	return &ShardBench{
+		Vertices:              g.NumVertices(),
+		Edges:                 g.NumEdges(),
+		Scheduler:             "random",
+		Shards:                benchShards,
+		CutEdges:              part.CutEdges,
+		Repeats:               repeats,
+		Deliveries:            nSteps,
+		NsPerDeliveryOneShard: float64(oneWall.Nanoseconds()) / float64(repeats*oneSteps),
+		NsPerDeliverySharded:  float64(nWall.Nanoseconds()) / float64(repeats*nSteps),
+		Speedup:               float64(oneWall.Nanoseconds()) / float64(nWall.Nanoseconds()),
+	}, nil
+}
+
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
 // WriteBench serializes the report to path as indented JSON ("-" or empty
@@ -198,7 +310,10 @@ const MaxRegression = 0.25
 // CompareBench gates cur against base: an error describes a hot-path
 // regression beyond MaxRegression, nil means within budget. Schema
 // mismatches are errors (the numbers would not be comparable), improvements
-// are always fine.
+// are always fine. Both the single-threaded delivery path and the sharded
+// engine are gated: sharded ns/delivery like the sequential number, and the
+// 1-shard-vs-N-shard speedup relative to the baseline's (a thread-scaling
+// regression is a perf bug even when single-core speed is unchanged).
 func CompareBench(cur, base *BenchReport) error {
 	if cur.SchemaVersion != base.SchemaVersion {
 		return fmt.Errorf("bench: schema %d vs baseline %d — regenerate the baseline", cur.SchemaVersion, base.SchemaVersion)
@@ -211,5 +326,38 @@ func CompareBench(cur, base *BenchReport) error {
 		return fmt.Errorf("bench: ns/delivery regressed: %.1f vs baseline %.1f (limit %.1f, +%d%%)",
 			cur.Broadcast.NsPerDelivery, base.Broadcast.NsPerDelivery, limit, int(MaxRegression*100))
 	}
+	if base.ShardBroadcast.Shards != 0 {
+		shardLimit := base.ShardBroadcast.NsPerDeliverySharded * (1 + MaxRegression)
+		if cur.ShardBroadcast.NsPerDeliverySharded > shardLimit {
+			return fmt.Errorf("bench: sharded ns/delivery regressed: %.1f vs baseline %.1f (limit %.1f, +%d%%)",
+				cur.ShardBroadcast.NsPerDeliverySharded, base.ShardBroadcast.NsPerDeliverySharded,
+				shardLimit, int(MaxRegression*100))
+		}
+		floor := base.ShardBroadcast.Speedup * (1 - MaxRegression)
+		if cur.ShardBroadcast.Speedup < floor {
+			return fmt.Errorf("bench: shard speedup regressed: %.2fx vs baseline %.2fx (floor %.2fx, -%d%%)",
+				cur.ShardBroadcast.Speedup, base.ShardBroadcast.Speedup, floor, int(MaxRegression*100))
+		}
+	}
 	return nil
+}
+
+// StaleBaselineWarnings reports environment drift between a run and the
+// baseline it is gated against. A baseline produced by a different
+// toolchain or on different parallelism is not silently comparable — the
+// gate still runs (the margins absorb moderate drift), but the caller must
+// surface these so a stale baseline is regenerated instead of trusted.
+func StaleBaselineWarnings(cur, base *BenchReport) []string {
+	var warns []string
+	if cur.GoVersion != base.GoVersion {
+		warns = append(warns, fmt.Sprintf(
+			"baseline was produced by %s, this run by %s — toolchain drift skews ns/delivery; regenerate the baseline",
+			base.GoVersion, cur.GoVersion))
+	}
+	if cur.Gomaxprocs != base.Gomaxprocs {
+		warns = append(warns, fmt.Sprintf(
+			"baseline ran with GOMAXPROCS=%d, this run with %d — parallel tiers and shard speedup are not comparable; regenerate the baseline",
+			base.Gomaxprocs, cur.Gomaxprocs))
+	}
+	return warns
 }

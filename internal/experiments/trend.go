@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+)
+
+// TrendTable renders the performance trajectory across several BENCH.json
+// reports (oldest first; the first column is the baseline every delta is
+// computed against): the hot-path rates, the shard-engine numbers, and every
+// experiment tier's wall-clock, one row per metric, one column per report.
+// Reports from an older schema that lack a metric render "-" for it. This is
+// the offline half of the CI bench artifact: download a few builds'
+// BENCH.json files and see where the trajectory moved.
+func TrendTable(names []string, reports []*BenchReport) (string, error) {
+	if len(reports) == 0 {
+		return "", fmt.Errorf("trend: no reports")
+	}
+	if len(names) != len(reports) {
+		return "", fmt.Errorf("trend: %d names for %d reports", len(names), len(reports))
+	}
+	cols := make([]string, len(names))
+	for i, n := range names {
+		cols[i] = filepath.Base(n)
+	}
+
+	type row struct {
+		label string
+		// value extracts the metric; ok=false when the report lacks it
+		// (older schema or missing tier).
+		value func(*BenchReport) (float64, bool)
+		// format renders the bare value; deltas are appended as signed
+		// percentages vs the first column (the reader knows which direction
+		// is good per metric: rates down, speedup up).
+		format string
+	}
+	rows := []row{
+		{"broadcast ns/delivery", func(r *BenchReport) (float64, bool) {
+			return r.Broadcast.NsPerDelivery, r.Broadcast.Deliveries > 0
+		}, "%.1f"},
+		{"broadcast allocs/delivery", func(r *BenchReport) (float64, bool) {
+			return r.Broadcast.AllocsPerDelivery, r.Broadcast.Deliveries > 0
+		}, "%.3f"},
+		{"shard ns/delivery (1 shard)", func(r *BenchReport) (float64, bool) {
+			return r.ShardBroadcast.NsPerDeliveryOneShard, r.ShardBroadcast.Shards > 0
+		}, "%.1f"},
+		{"shard ns/delivery (sharded)", func(r *BenchReport) (float64, bool) {
+			return r.ShardBroadcast.NsPerDeliverySharded, r.ShardBroadcast.Shards > 0
+		}, "%.1f"},
+		{"shard speedup", func(r *BenchReport) (float64, bool) {
+			return r.ShardBroadcast.Speedup, r.ShardBroadcast.Shards > 0
+		}, "%.2f"},
+	}
+	// Tier rows follow the first report's registry order; tiers absent from
+	// a column render "-".
+	for _, t := range reports[0].Tiers {
+		id := t.ID
+		rows = append(rows, row{"tier " + id + " wall ms", func(r *BenchReport) (float64, bool) {
+			for _, tb := range r.Tiers {
+				if tb.ID == id {
+					return tb.WallMS, true
+				}
+			}
+			return 0, false
+		}, "%.1f"})
+	}
+	rows = append(rows, row{"total wall ms", func(r *BenchReport) (float64, bool) {
+		return r.TotalWallMS, r.TotalWallMS > 0
+	}, "%.1f"})
+
+	// Render with delta-vs-first annotations on every column but the first.
+	table := make([][]string, 0, len(rows)+1)
+	header := append([]string{"metric"}, cols...)
+	table = append(table, header)
+	for _, rw := range rows {
+		cells := []string{rw.label}
+		base, baseOK := rw.value(reports[0])
+		for i, rep := range reports {
+			v, ok := rw.value(rep)
+			switch {
+			case !ok:
+				cells = append(cells, "-")
+			case i == 0 || !baseOK || base == 0:
+				cells = append(cells, fmt.Sprintf(rw.format, v))
+			default:
+				delta := (v - base) / base * 100
+				cells = append(cells, fmt.Sprintf(rw.format+" (%+.1f%%)", v, delta))
+			}
+		}
+		table = append(table, cells)
+	}
+
+	widths := make([]int, len(header))
+	for _, r := range table {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, r := range table {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+		if ri == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", w))
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String(), nil
+}

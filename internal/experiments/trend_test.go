@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchReportFixture(ns, allocs, shardNs, speedup float64) *BenchReport {
+	return &BenchReport{
+		SchemaVersion: benchSchemaVersion,
+		GoVersion:     "go1.24.0",
+		Gomaxprocs:    4,
+		Quick:         true,
+		Broadcast: BroadcastBench{
+			Vertices: 100, Edges: 120, Scheduler: "random", Repeats: 2,
+			Deliveries: 120, NsPerDelivery: ns, AllocsPerDelivery: allocs,
+		},
+		ShardBroadcast: ShardBench{
+			Vertices: 100, Edges: 120, Scheduler: "random", Shards: 4,
+			Repeats: 2, Deliveries: 120,
+			NsPerDeliveryOneShard: ns * 1.1, NsPerDeliverySharded: shardNs, Speedup: speedup,
+		},
+		Tiers:       []TierBench{{ID: "E1", WallMS: 1.5}, {ID: "E2", WallMS: 2.5}},
+		TotalWallMS: 100,
+	}
+}
+
+// TestTrendTable: the trajectory table carries every metric row, one column
+// per report, and annotates non-baseline columns with deltas against the
+// first report.
+func TestTrendTable(t *testing.T) {
+	a := benchReportFixture(800, 5.0, 400, 1.0)
+	b := benchReportFixture(400, 5.0, 100, 2.5)
+	out, err := TrendTable([]string{"ci/BENCH_old.json", "BENCH_new.json"}, []*BenchReport{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"BENCH_old.json", "BENCH_new.json", // base names, not paths
+		"broadcast ns/delivery",
+		"800.0", "400.0 (-50.0%)",
+		"shard speedup", "2.50 (+150.0%)",
+		"tier E1 wall ms", "tier E2 wall ms",
+		"total wall ms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trend table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "ci/BENCH_old.json") {
+		t.Errorf("trend table shows full path instead of base name:\n%s", out)
+	}
+}
+
+// TestTrendTableOldSchema: a report without the shard section (schema v1
+// artifact) renders "-" for the shard rows instead of fake zeros.
+func TestTrendTableOldSchema(t *testing.T) {
+	old := benchReportFixture(800, 5.0, 0, 0)
+	old.ShardBroadcast = ShardBench{}
+	cur := benchReportFixture(700, 5.0, 200, 2.0)
+	out, err := TrendTable([]string{"old.json", "new.json"}, []*BenchReport{old, cur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "shard speedup") && !strings.Contains(line, "-") {
+			t.Errorf("shard row for old schema should render '-': %q", line)
+		}
+	}
+	// With no baseline value, the new column shows the bare number.
+	if !strings.Contains(out, "2.00") {
+		t.Errorf("new report's speedup missing:\n%s", out)
+	}
+}
+
+func TestTrendTableErrors(t *testing.T) {
+	if _, err := TrendTable(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := TrendTable([]string{"a"}, []*BenchReport{benchReportFixture(1, 1, 1, 1), benchReportFixture(1, 1, 1, 1)}); err == nil {
+		t.Error("mismatched names/reports accepted")
+	}
+}
+
+// TestCompareBenchShardGate: the shard tier is regression-gated exactly like
+// the sequential hot path — sharded ns/delivery up or speedup down beyond
+// the margin fails, improvements pass.
+func TestCompareBenchShardGate(t *testing.T) {
+	base := benchReportFixture(800, 5.0, 400, 2.0)
+
+	ok := benchReportFixture(700, 5.0, 380, 2.2)
+	if err := CompareBench(ok, base); err != nil {
+		t.Fatalf("improvement rejected: %v", err)
+	}
+
+	slow := benchReportFixture(700, 5.0, 400*1.3, 2.0)
+	if err := CompareBench(slow, base); err == nil || !strings.Contains(err.Error(), "sharded ns/delivery") {
+		t.Fatalf("sharded ns/delivery regression not caught: %v", err)
+	}
+
+	unscaled := benchReportFixture(700, 5.0, 380, 2.0*0.7)
+	if err := CompareBench(unscaled, base); err == nil || !strings.Contains(err.Error(), "shard speedup") {
+		t.Fatalf("speedup regression not caught: %v", err)
+	}
+
+	// A v1 baseline (no shard section) gates only the sequential number.
+	oldBase := benchReportFixture(800, 5.0, 0, 0)
+	oldBase.ShardBroadcast = ShardBench{}
+	if err := CompareBench(unscaled, oldBase); err != nil {
+		t.Fatalf("v1 baseline must not gate the shard tier: %v", err)
+	}
+}
+
+// TestStaleBaselineWarnings: toolchain or parallelism drift between run and
+// baseline must be reported, identical environments must not warn.
+func TestStaleBaselineWarnings(t *testing.T) {
+	cur := benchReportFixture(1, 1, 1, 1)
+	base := benchReportFixture(1, 1, 1, 1)
+	if w := StaleBaselineWarnings(cur, base); len(w) != 0 {
+		t.Fatalf("identical environments warned: %v", w)
+	}
+	base.GoVersion = "go1.23.0"
+	base.Gomaxprocs = 1
+	w := StaleBaselineWarnings(cur, base)
+	if len(w) != 2 {
+		t.Fatalf("want 2 warnings, got %v", w)
+	}
+	if !strings.Contains(w[0], "go1.23.0") || !strings.Contains(w[1], "GOMAXPROCS=1") {
+		t.Fatalf("warnings lack specifics: %v", w)
+	}
+}

@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func partitionGraphs() []*G {
+	return []*G{
+		Line(8),
+		KaryGroundedTree(3, 3),
+		Ring(9),
+		RandomGroundedTree(200, 0.3, 5),
+		RandomDigraph(60, 11, RandomDigraphOpts{ExtraEdges: 80, TerminalFrac: 0.3}),
+		LayeredDigraph(4, 5, 7),
+	}
+}
+
+// TestPartitionGraphInvariants checks, across graph families and shard
+// counts, that every vertex is assigned exactly one shard, sizes add up,
+// the shard count is capped at |V|, CutEdges matches its definition, and
+// single-shard partitions are cut-free.
+func TestPartitionGraphInvariants(t *testing.T) {
+	for _, g := range partitionGraphs() {
+		for _, k := range []int{1, 2, 4, 7, 1000} {
+			p := PartitionGraph(g, k, 42)
+			if p.K < 1 || p.K > g.NumVertices() || p.K > max(k, 1) {
+				t.Fatalf("%s k=%d: got K=%d", g, k, p.K)
+			}
+			total := 0
+			for s, n := range p.Sizes {
+				if n <= 0 {
+					t.Fatalf("%s k=%d: shard %d is empty", g, k, s)
+				}
+				total += n
+			}
+			if total != g.NumVertices() {
+				t.Fatalf("%s k=%d: sizes sum to %d, |V|=%d", g, k, total, g.NumVertices())
+			}
+			counts := make([]int, p.K)
+			for v, s := range p.Of {
+				if s < 0 || s >= p.K {
+					t.Fatalf("%s k=%d: vertex %d in shard %d", g, k, v, s)
+				}
+				counts[s]++
+			}
+			if !reflect.DeepEqual(counts, p.Sizes) {
+				t.Fatalf("%s k=%d: Sizes %v do not match assignment %v", g, k, p.Sizes, counts)
+			}
+			cut := 0
+			for _, e := range g.Edges() {
+				if p.Of[e.From] != p.Of[e.To] {
+					cut++
+				}
+			}
+			if cut != p.CutEdges {
+				t.Fatalf("%s k=%d: CutEdges=%d, recount=%d", g, k, p.CutEdges, cut)
+			}
+			if p.K == 1 && p.CutEdges != 0 {
+				t.Fatalf("%s: single shard has %d cut edges", g, p.CutEdges)
+			}
+		}
+	}
+}
+
+// TestPartitionGraphDeterministic pins the seeded determinism contract: the
+// same (graph, k, seed) triple yields the identical partition, and a
+// different seed is allowed to (and on random graphs does) differ.
+func TestPartitionGraphDeterministic(t *testing.T) {
+	g := RandomDigraph(80, 13, RandomDigraphOpts{ExtraEdges: 100, TerminalFrac: 0.25})
+	a := PartitionGraph(g, 4, 7)
+	b := PartitionGraph(g, 4, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical (g,k,seed) produced different partitions")
+	}
+	c := PartitionGraph(g, 4, 8)
+	if reflect.DeepEqual(a.Of, c.Of) {
+		t.Log("different seeds produced the same partition (allowed, but suspicious on a random graph)")
+	}
+}
+
+// TestPartitionGraphLocality: on a line, a 2-way partition admits a 1-edge
+// cut, and the region-growing heuristic must stay within a small constant of
+// it — the qualitative property ("most deliveries stay shard-local") the
+// sharded engine's speedup rests on.
+func TestPartitionGraphLocality(t *testing.T) {
+	g := Line(64)
+	p := PartitionGraph(g, 2, 3)
+	if p.CutEdges > 4 {
+		t.Fatalf("line graph 2-way cut is %d edges, want <= 4", p.CutEdges)
+	}
+	// Balance: neither shard may dwarf the other.
+	if p.Sizes[0] > 3*p.Sizes[1] || p.Sizes[1] > 3*p.Sizes[0] {
+		t.Fatalf("line graph 2-way partition badly unbalanced: %v", p.Sizes)
+	}
+}
+
+// TestPartitionGraphRootAnchored: shard 0 owns the root, so injection stays
+// local to the first shard by construction.
+func TestPartitionGraphRootAnchored(t *testing.T) {
+	for _, g := range partitionGraphs() {
+		p := PartitionGraph(g, 3, 11)
+		if p.Of[g.Root()] != 0 {
+			t.Fatalf("%s: root assigned to shard %d, want 0", g, p.Of[g.Root()])
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package msgq is the pooled per-edge message FIFO shared by the delivery
+// engines: the sequential engine keeps one Queue per edge, and the sharded
+// engine (internal/sim/shard) keeps the same queues partitioned across
+// workers. On 100k+-vertex sweeps a naive []Message-with-reslicing
+// representation is the allocation hot spot: every queue grows its own
+// backing array and the `q = q[1:]` pop pins delivered messages until the
+// whole array dies. The chunked queue below stores (message, send-sequence)
+// pairs in fixed-size chunks drawn from a shared sync.Pool: pops release
+// chunks (and their message pointers) as soon as a chunk drains, and the
+// chunks are recycled across edges, across runs, and across shards, so
+// steady-state allocation is proportional to the peak number of in-flight
+// messages, not to the total traffic.
+//
+// A Queue is single-owner: exactly one goroutine may touch it at a time (the
+// shard engine guarantees this by edge ownership and superstep barriers).
+// The chunk pool itself is a sync.Pool and safe for concurrent Get/Put from
+// many shard workers.
+package msgq
+
+import (
+	"sync"
+
+	"repro/internal/protocol"
+)
+
+const chunkSize = 32
+
+// flightMsg is one queued message with its global send-sequence number (the
+// scheduler's notion of send time).
+type flightMsg struct {
+	msg protocol.Message
+	seq uint64
+}
+
+// chunk is one pooled segment of a queue's ring of messages.
+type chunk struct {
+	items [chunkSize]flightMsg
+	next  *chunk
+}
+
+var chunkPool = sync.Pool{New: func() any { return new(chunk) }}
+
+// TestingRecycleObserver, when non-nil, receives the number of live
+// (non-zero) slots of every chunk at the moment it is returned to the pool.
+// Test-only: the leak-regression tests use it to assert that no recycled
+// chunk still pins a message payload. Must not be set while any engine runs
+// concurrently.
+var TestingRecycleObserver func(liveSlots int)
+
+// putChunk recycles a chunk whose items are already clear. Clearing is the
+// pop side's job, one slot per pop: a delivered message's pointer is dropped
+// the moment it leaves the queue (so a large payload is collectable
+// immediately, not when its chunk drains), and by the time a chunk comes
+// back here every slot has been popped — re-zeroing all 32 slots per recycle
+// was pure overhead. Paths that retire a chunk with live slots (Release)
+// must clear them before calling putChunk.
+func putChunk(c *chunk) {
+	if TestingRecycleObserver != nil {
+		live := 0
+		for i := range c.items {
+			if c.items[i] != (flightMsg{}) {
+				live++
+			}
+		}
+		TestingRecycleObserver(live)
+	}
+	c.next = nil
+	chunkPool.Put(c)
+}
+
+// Warm pre-seeds the pool so a large run's first wave of queue growth does
+// not pay one allocation per chunk. Called once per process by the engines;
+// sized for a few thousand simultaneously in-flight messages, after which
+// the pool sustains itself by recycling.
+var warmOnce sync.Once
+
+func Warm() {
+	warmOnce.Do(func() {
+		const warm = 128
+		for i := 0; i < warm; i++ {
+			chunkPool.Put(new(chunk))
+		}
+	})
+}
+
+// Queue is an unbounded FIFO over pooled chunks. The zero value is an empty
+// queue.
+type Queue struct {
+	head, tail *chunk
+	// hi is the index of the front element in head; ti is the index one
+	// past the back element in tail.
+	hi, ti int
+	n      int
+}
+
+// Push appends a message with its global send-sequence number.
+func (q *Queue) Push(m protocol.Message, seq uint64) {
+	if q.tail == nil || q.ti == chunkSize {
+		c := chunkPool.Get().(*chunk)
+		c.next = nil
+		if q.tail == nil {
+			q.head, q.tail = c, c
+			q.hi = 0
+		} else {
+			q.tail.next = c
+			q.tail = c
+		}
+		q.ti = 0
+	}
+	q.tail.items[q.ti] = flightMsg{msg: m, seq: seq}
+	q.ti++
+	q.n++
+}
+
+// Pop removes and returns the front message.
+func (q *Queue) Pop() protocol.Message {
+	m := q.head.items[q.hi].msg
+	q.head.items[q.hi] = flightMsg{}
+	q.hi++
+	if q.hi == chunkSize || (q.head == q.tail && q.hi == q.ti) {
+		c := q.head
+		q.head = c.next
+		putChunk(c)
+		q.hi = 0
+		if q.head == nil {
+			q.tail = nil
+			q.ti = 0
+		}
+	}
+	q.n--
+	return m
+}
+
+// FrontSeq returns the send-sequence number of the front message.
+func (q *Queue) FrontSeq() uint64 { return q.head.items[q.hi].seq }
+
+// Len reports the number of queued messages.
+func (q *Queue) Len() int { return q.n }
+
+// Release returns all remaining chunks to the pool (used when a run ends
+// with messages still queued, e.g. on early termination). Unlike the pop
+// path, these chunks still hold undelivered messages, so their live ranges
+// are cleared here — pooled chunks must never pin payloads.
+func (q *Queue) Release() {
+	for c := q.head; c != nil; {
+		next := c.next
+		lo, hi := 0, chunkSize
+		if c == q.head {
+			lo = q.hi
+		}
+		if c == q.tail {
+			hi = q.ti
+		}
+		clear(c.items[lo:hi])
+		putChunk(c)
+		c = next
+	}
+	*q = Queue{}
+}

@@ -1,0 +1,100 @@
+package msgq
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bitio"
+)
+
+// testMsg is a minimal protocol.Message: a counter, gamma-encoded.
+type testMsg struct{ n uint64 }
+
+func (m testMsg) Bits() int   { return bitio.Gamma0Len(m.n) }
+func (m testMsg) Key() string { return fmt.Sprintf("t:%d", m.n) }
+
+// TestFIFOAcrossChunks pins the FIFO contract and sequence numbers across
+// several chunk boundaries.
+func TestFIFOAcrossChunks(t *testing.T) {
+	var q Queue
+	const n = 3*chunkSize + 11
+	for i := 0; i < n; i++ {
+		q.Push(testMsg{n: uint64(i)}, uint64(100+i))
+	}
+	if q.Len() != n {
+		t.Fatalf("Len = %d, want %d", q.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if got := q.FrontSeq(); got != uint64(100+i) {
+			t.Fatalf("FrontSeq = %d, want %d", got, 100+i)
+		}
+		if got := q.Pop(); got != (testMsg{n: uint64(i)}) {
+			t.Fatalf("Pop %d returned %v", i, got)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after full drain", q.Len())
+	}
+}
+
+// TestPopClearsSlotImmediately pins the incremental clearing contract: the
+// moment a message is popped its slot no longer references it, so a large
+// payload becomes collectable at delivery time — not when its whole chunk
+// drains, and not at run teardown.
+func TestPopClearsSlotImmediately(t *testing.T) {
+	var q Queue
+	q.Push(testMsg{n: 1}, 0)
+	q.Push(testMsg{n: 2}, 1)
+	if q.Pop() != (testMsg{n: 1}) {
+		t.Fatal("pop returned wrong message")
+	}
+	// The popped slot (head chunk, index 0) must be zero while the queue
+	// still holds the chunk.
+	if got := q.head.items[0]; got != (flightMsg{}) {
+		t.Fatalf("popped slot still holds %+v", got)
+	}
+	if q.Pop() != (testMsg{n: 2}) {
+		t.Fatal("second pop returned wrong message")
+	}
+}
+
+// TestChunkRecycleNeverPinsPayloads is the leak-regression test for the
+// chunk pool: every chunk returned to the pool — whether drained by pops or
+// retired by Release with messages still queued — must have every slot
+// cleared, or pooled chunks would pin arbitrary payloads for the life of the
+// process. The recycle observer sees chunks at the recycle boundary. (The
+// engine-teardown variant of this invariant lives in internal/sim.)
+func TestChunkRecycleNeverPinsPayloads(t *testing.T) {
+	dirty := 0
+	TestingRecycleObserver = func(live int) { dirty += live }
+	defer func() { TestingRecycleObserver = nil }()
+
+	// Path 1: full drain via pop across several chunks.
+	var q Queue
+	for i := 0; i < 5*chunkSize+7; i++ {
+		q.Push(testMsg{n: uint64(i)}, uint64(i))
+	}
+	for q.Len() > 0 {
+		q.Pop()
+	}
+	if dirty != 0 {
+		t.Fatalf("pop-drained chunks reached the pool with %d live slots", dirty)
+	}
+
+	// Path 2: partial drain then Release (early-termination teardown),
+	// exercising a partially popped head, full middle chunks, and a
+	// partially filled tail.
+	for i := 0; i < 3*chunkSize+5; i++ {
+		q.Push(testMsg{n: uint64(i)}, uint64(i))
+	}
+	for i := 0; i < chunkSize/2; i++ {
+		q.Pop()
+	}
+	q.Release()
+	if dirty != 0 {
+		t.Fatalf("released chunks reached the pool with %d live slots", dirty)
+	}
+	if q.Len() != 0 || q.head != nil || q.tail != nil {
+		t.Fatalf("Release left queue state behind: %+v", q)
+	}
+}

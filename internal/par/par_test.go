@@ -3,6 +3,7 @@ package par
 import (
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestMapCoversAllIndices(t *testing.T) {
@@ -53,4 +54,78 @@ func TestMapPropagatesPanic(t *testing.T) {
 			panic("boom")
 		}
 	})
+}
+
+// TestMapPanicValuePreserved: the rethrown value is the worker's original
+// panic value, not a wrapper — callers (and tests) match on it.
+func TestMapPanicValuePreserved(t *testing.T) {
+	type marker struct{ n int }
+	defer func() {
+		r := recover()
+		m, ok := r.(marker)
+		if !ok || m.n != 7 {
+			t.Fatalf("recovered %#v, want marker{7}", r)
+		}
+	}()
+	Map(3, 16, func(i int) {
+		if i == 7 {
+			panic(marker{n: 7})
+		}
+	})
+}
+
+// TestMapPanicInlineWorker: the workers==1 degenerate pool runs fn inline;
+// a panic must still reach the caller (naturally, with no pool machinery in
+// the way).
+func TestMapPanicInlineWorker(t *testing.T) {
+	for _, workers := range []int{1, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+			}()
+			// n=1 forces the inline path even when workers > 1 (workers are
+			// clamped to n).
+			Map(workers, 1, func(int) { panic("inline boom") })
+		}()
+	}
+}
+
+// TestMapPanicDoesNotDeadlock: a panic early in the index stream must not
+// wedge the dispatcher — remaining indices are still drained (their effects
+// may or may not happen; the call must return by panicking, not hang).
+func TestMapPanicDoesNotDeadlock(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() { recover() }()
+		Map(2, 10_000, func(i int) {
+			if i == 0 {
+				panic("early boom")
+			}
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Map deadlocked after an early worker panic")
+	}
+}
+
+// TestMapSingleItemSingleWorker pins the smallest configurations: one item,
+// and one item with the degenerate inline pool, both run exactly once.
+func TestMapSingleItemSingleWorker(t *testing.T) {
+	for _, workers := range []int{0, 1, 8} {
+		runs := 0
+		Map(workers, 1, func(i int) {
+			if i != 0 {
+				t.Fatalf("workers=%d: index %d, want 0", workers, i)
+			}
+			runs++
+		})
+		if runs != 1 {
+			t.Fatalf("workers=%d: fn ran %d times", workers, runs)
+		}
+	}
 }

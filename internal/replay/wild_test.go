@@ -11,6 +11,7 @@ import (
 	"repro/internal/netrun"
 	"repro/internal/protocol"
 	"repro/internal/sim"
+	"repro/internal/sim/shard"
 )
 
 // requireStrictByteIdentical replays tr strictly on the sequential engine
@@ -99,6 +100,33 @@ func TestRecordWildConcurrent(t *testing.T) {
 				r2 := requireStrictByteIdentical(t, c.graph, c.newProto, tr)
 				if r2.Verdict != r.Verdict {
 					t.Fatalf("replay verdict %s, wild run %s", r2.Verdict, r.Verdict)
+				}
+			})
+		}
+	}
+}
+
+// TestRecordWildShard: the sharded engine's schedule — per-shard sequential
+// loops stitched by the deterministic merge — is captured through the same
+// serialized-observer pipeline as the other wild engines and canonicalizes
+// into a trace that replays byte-identically on the sequential engine, with
+// the shard run's verdict. (The *linearization* of the shard schedule varies
+// with thread timing even though the run's outcome does not, which is
+// exactly the case wild capture exists for.)
+func TestRecordWildShard(t *testing.T) {
+	for _, c := range wildCases() {
+		for _, shards := range []int{2, 4} {
+			t.Run(fmt.Sprintf("%s/shards=%d", c.name, shards), func(t *testing.T) {
+				r, tr, err := RecordWild(shard.Engine(shards), c.graph, c.newProto, sim.Options{Seed: 9})
+				if err != nil {
+					t.Fatalf("RecordWild: %v", err)
+				}
+				if tr.Scheduler != "wild-shard" {
+					t.Fatalf("scheduler header %q, want wild-shard", tr.Scheduler)
+				}
+				r2 := requireStrictByteIdentical(t, c.graph, c.newProto, tr)
+				if r2.Verdict != r.Verdict {
+					t.Fatalf("replay verdict %s, shard run %s", r2.Verdict, r.Verdict)
 				}
 			})
 		}

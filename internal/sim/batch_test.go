@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/protocol"
+)
+
+// scheduleLog records the delivery sequence of a run: the exact object the
+// batch-drain equivalence property quantifies over.
+type scheduleLog struct {
+	steps []int
+	edges []graph.EdgeID
+	keys  []string
+}
+
+func (l *scheduleLog) OnSend(graph.EdgeID, protocol.Message) {}
+func (l *scheduleLog) OnDeliver(step int, e graph.EdgeID, msg protocol.Message) {
+	l.steps = append(l.steps, step)
+	l.edges = append(l.edges, e)
+	l.keys = append(l.keys, msg.Key())
+}
+
+func (l *scheduleLog) equal(o *scheduleLog) bool {
+	if len(l.edges) != len(o.edges) {
+		return false
+	}
+	for i := range l.edges {
+		if l.steps[i] != o.steps[i] || l.edges[i] != o.edges[i] || l.keys[i] != o.keys[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// echoProto forwards *every* received message (ttl-bounded), unlike
+// floodProto's forward-once rule, so fan-in vertices queue several messages
+// on one out-edge — the workload whose runs the forced-choice batch drain
+// exists for. The terminal stops after `need` receipts.
+type echoProto struct {
+	ttl  uint64
+	need int
+}
+
+func (p echoProto) Name() string                     { return "echo" }
+func (p echoProto) InitialMessage() protocol.Message { return hopMsg{hops: p.ttl} }
+func (p echoProto) NewNode(_, outDeg int, role protocol.Role) protocol.Node {
+	if role == protocol.RoleTerminal {
+		return &echoTerminal{need: p.need}
+	}
+	return &echoNode{outDeg: outDeg}
+}
+
+type echoNode struct{ outDeg int }
+
+func (n *echoNode) Receive(msg protocol.Message, _ int) ([]protocol.Message, error) {
+	h := msg.(hopMsg).hops
+	if h == 0 {
+		return nil, nil
+	}
+	outs := make([]protocol.Message, n.outDeg)
+	for j := range outs {
+		outs[j] = hopMsg{hops: h - 1}
+	}
+	return outs, nil
+}
+
+type echoTerminal struct{ got, need int }
+
+func (t *echoTerminal) Receive(protocol.Message, int) ([]protocol.Message, error) {
+	t.got++
+	return nil, nil
+}
+func (t *echoTerminal) Done() bool  { return t.got >= t.need }
+func (t *echoTerminal) Output() any { return t.got }
+
+// diamondGraph fans one message out over two branches that reconverge, so
+// the reconvergence vertex's single out-edge queues two messages — the
+// minimal forced-run shape.
+func diamondGraph() *graph.G {
+	b := graph.NewBuilder(0)
+	s := b.AddVertex()
+	a := b.AddVertex()
+	b1 := b.AddVertex()
+	b2 := b.AddVertex()
+	c := b.AddVertex()
+	tt := b.AddVertex()
+	b.AddEdge(s, a)
+	b.AddEdge(a, b1).AddEdge(a, b2)
+	b.AddEdge(b1, c)
+	b.AddEdge(b2, c)
+	b.AddEdge(c, tt)
+	b.SetRoot(s).SetTerminal(tt).SetName("diamond")
+	return b.MustBuild()
+}
+
+// cycleTrapGraph buries the terminal-bound edge under a 2-cycle's chatter:
+// under depth-first adversaries (lifo) the c->d->c cycle runs dry while the
+// c->t queue accumulates, so its eventual drain is a forced run.
+func cycleTrapGraph() *graph.G {
+	b := graph.NewBuilder(0)
+	s := b.AddVertex()
+	a := b.AddVertex()
+	c := b.AddVertex()
+	d := b.AddVertex()
+	tt := b.AddVertex()
+	b.AddEdge(s, a)
+	b.AddEdge(a, c)
+	b.AddEdge(c, tt).AddEdge(c, d)
+	b.AddEdge(d, c)
+	b.SetRoot(s).SetTerminal(tt).SetName("cycle-trap")
+	return b.MustBuild()
+}
+
+// funnelGraph fans out over three parallel edges into one relay whose single
+// out-edge feeds the terminal: the relay's three receives queue three
+// messages on the terminal edge, whose drain is then the only choice left —
+// the forced-run endgame for priority adversaries (greedy, latency).
+func funnelGraph() *graph.G {
+	b := graph.NewBuilder(0)
+	s := b.AddVertex()
+	a := b.AddVertex()
+	r := b.AddVertex()
+	tt := b.AddVertex()
+	b.AddEdge(s, a)
+	b.AddEdge(a, r).AddEdge(a, r).AddEdge(a, r)
+	b.AddEdge(r, tt)
+	b.SetRoot(s).SetTerminal(tt).SetName("funnel")
+	return b.MustBuild()
+}
+
+// TestBatchDrainScheduleEquivalence is the forced-choice batch drain's
+// correctness contract: for every registered scheduler, on graphs spanning
+// trees, cycles, fan-in and dense digraphs, under both a forward-once and a
+// forward-everything protocol, the recorded delivery schedule (step, edge,
+// message) with batching enabled is identical to the schedule with batching
+// disabled — batching may only skip scheduler round-trips the adversary
+// provably could not have used. It also pins where batching may engage at
+// all: the batch-capable schedulers must drain at least one forced run
+// somewhere in this matrix, and the order-sensitive ones (random,
+// rr-vertex) must never report a forced step.
+func TestBatchDrainScheduleEquivalence(t *testing.T) {
+	graphs := []*graph.G{
+		graph.Line(6),
+		diamondGraph(),
+		cycleTrapGraph(),
+		funnelGraph(),
+		graph.Chain(5),
+		graph.KaryGroundedTree(2, 3),
+		graph.Ring(7),
+		graph.RandomDigraph(12, 11, graph.RandomDigraphOpts{ExtraEdges: 14, TerminalFrac: 0.3}),
+	}
+	protos := []protocol.Protocol{
+		floodProto{need: 1},
+		echoProto{ttl: 7, need: 2},
+		echoProto{ttl: 12, need: 6},
+	}
+	batchable := map[string]bool{
+		"fifo": true, "lifo": true, "latency": true, "latency-pareto": true,
+		"starve-oldest": true, "greedy": true,
+	}
+	forcedBySched := map[string]int{}
+	for _, name := range SchedulerNames() {
+		for _, p := range protos {
+			for gi, g := range graphs {
+				t.Run(fmt.Sprintf("%s/%s/%s-%d", name, p.Name(), g.Name(), gi), func(t *testing.T) {
+					var logs [2]*scheduleLog
+					var results [2]*Result
+					for i, noBatch := range []bool{false, true} {
+						sched, err := NewScheduler(name)
+						if err != nil {
+							t.Fatal(err)
+						}
+						log := &scheduleLog{}
+						r, err := Run(g, p, Options{
+							Scheduler:    sched,
+							Seed:         int64(gi)*31 + 5,
+							Observer:     log,
+							NoBatchDrain: noBatch,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						logs[i], results[i] = log, r
+					}
+					if !logs[0].equal(logs[1]) {
+						t.Fatalf("batched schedule diverges from unbatched (%d vs %d deliveries)",
+							len(logs[0].edges), len(logs[1].edges))
+					}
+					if results[0].Steps != results[1].Steps ||
+						results[0].Metrics.Messages != results[1].Metrics.Messages ||
+						results[0].Verdict != results[1].Verdict {
+						t.Fatalf("batched result diverges: steps %d/%d msgs %d/%d verdict %s/%s",
+							results[0].Steps, results[1].Steps,
+							results[0].Metrics.Messages, results[1].Metrics.Messages,
+							results[0].Verdict, results[1].Verdict)
+					}
+					if results[1].ForcedSteps != 0 {
+						t.Fatalf("NoBatchDrain run reported %d forced steps", results[1].ForcedSteps)
+					}
+					if !batchable[name] && results[0].ForcedSteps != 0 {
+						t.Fatalf("scheduler %s has no batch capability but drained %d forced steps",
+							name, results[0].ForcedSteps)
+					}
+					forcedBySched[name] += results[0].ForcedSteps
+				})
+			}
+		}
+	}
+	for name, ok := range batchable {
+		if ok && forcedBySched[name] == 0 {
+			t.Errorf("batch-capable scheduler %s never drained a forced run on this matrix", name)
+		}
+	}
+}
+
+// TestBatchDrainDiamondForcedRun pins the minimal forced run exactly: under
+// fifo on the diamond, the reconvergence vertex's out-edge queues two
+// messages and nothing else is pending, so exactly one delivery is forced.
+func TestBatchDrainDiamondForcedRun(t *testing.T) {
+	r, err := Run(diamondGraph(), echoProto{ttl: 7, need: 2}, Options{Scheduler: NewFIFOScheduler()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != Terminated {
+		t.Fatalf("verdict %s", r.Verdict)
+	}
+	if r.Steps != 7 || r.ForcedSteps != 1 {
+		t.Fatalf("diamond echo under fifo: %d steps, %d forced; want 7 and 1",
+			r.Steps, r.ForcedSteps)
+	}
+}

@@ -69,10 +69,10 @@ func runSeedReference(g *graph.G, p protocol.Protocol, opts Options) (*Result, e
 	}
 	maxSteps := opts.MaxSteps
 	if maxSteps <= 0 {
-		maxSteps = defaultMaxSteps
+		maxSteps = DefaultMaxSteps
 	}
 
-	inits, err := initialMessages(g, p)
+	inits, err := InitialMessages(g, p)
 	if err != nil {
 		return nil, err
 	}

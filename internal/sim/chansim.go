@@ -58,7 +58,7 @@ func RunConcurrent(g *graph.G, p protocol.Protocol, opts Options) (*Result, erro
 
 	maxSteps := opts.MaxSteps
 	if maxSteps <= 0 {
-		maxSteps = defaultMaxSteps
+		maxSteps = DefaultMaxSteps
 	}
 
 	run := &concurrentRun{
@@ -78,7 +78,7 @@ func RunConcurrent(g *graph.G, p protocol.Protocol, opts Options) (*Result, erro
 	}
 
 	// Inject sigma0.
-	inits, err := initialMessages(g, p)
+	inits, err := InitialMessages(g, p)
 	if err != nil {
 		return nil, err
 	}

@@ -7,11 +7,12 @@ import (
 	"repro/internal/protocol"
 )
 
-// initialMessages returns sigma0 per root out-port. Roots with a single
+// InitialMessages returns sigma0 per root out-port. Roots with a single
 // out-edge use Protocol.InitialMessage; wider roots (the Section 2
 // extension) need the protocol to implement protocol.MultiInitializer so the
-// unit commodity is split across the ports.
-func initialMessages(g *graph.G, p protocol.Protocol) ([]protocol.Message, error) {
+// unit commodity is split across the ports. Exported for sibling engines
+// (internal/sim/shard) that perform their own injection.
+func InitialMessages(g *graph.G, p protocol.Protocol) ([]protocol.Message, error) {
 	d := g.OutDegree(g.Root())
 	if d == 1 {
 		return []protocol.Message{p.InitialMessage()}, nil

@@ -206,6 +206,13 @@ type Result struct {
 	Visited []bool
 	// Steps is the number of delivery steps executed.
 	Steps int
+	// ForcedSteps is the number of deliveries the sequential engine (or a
+	// shard's local loop) executed as forced choices — runs of messages
+	// drained from one edge without a scheduler Push/Pop round-trip because
+	// the adversary provably had no other option. Always 0 for schedulers
+	// without batch capabilities and under Options.NoBatchDrain; the
+	// delivery sequence is identical either way.
+	ForcedSteps int
 	// Rounds is the number of synchronous rounds (RunSynchronous only; the
 	// asynchronous engines leave it 0 — time is undefined for them).
 	Rounds  int
@@ -306,6 +313,12 @@ type Options struct {
 	// delivery, and a delivery is observed before the sends it triggers.
 	// Observer implementations therefore never need their own locking.
 	Observer Observer
+	// NoBatchDrain disables forced-choice batch draining in the sequential
+	// engine and the shard engine's local loops. The delivery sequence is
+	// identical with and without batching (that equivalence is what the
+	// batch tests assert); this switch exists for those tests and for
+	// isolating the optimization when profiling.
+	NoBatchDrain bool
 	// DropFirst is a fault-injection plan for the deterministic engine Run:
 	// DropFirst[e] = k silently discards the first k messages sent on edge
 	// e (they are metered as sent, never delivered). The paper's model has
@@ -424,7 +437,7 @@ func (s *SerializedObserver) Seal() {
 	s.mu.Unlock()
 }
 
-const defaultMaxSteps = 50_000_000
+const DefaultMaxSteps = 50_000_000
 
 // ErrStepLimit is returned when a run exceeds its step budget, which for the
 // protocols in this repository indicates a bug rather than a slow graph.

@@ -4,73 +4,19 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/msgq"
 )
 
-// TestPopClearsSlotImmediately pins the incremental clearing contract: the
-// moment a message is popped its slot no longer references it, so a large
-// payload becomes collectable at delivery time — not when its whole chunk
-// drains, and not at run teardown.
-func TestPopClearsSlotImmediately(t *testing.T) {
-	var q msgQueue
-	q.push(hopMsg{hops: 1}, 0)
-	q.push(hopMsg{hops: 2}, 1)
-	if q.pop() != (hopMsg{hops: 1}) {
-		t.Fatal("pop returned wrong message")
-	}
-	// The popped slot (head chunk, index 0) must be zero while the queue
-	// still holds the chunk.
-	if got := q.head.items[0]; got != (flightMsg{}) {
-		t.Fatalf("popped slot still holds %+v", got)
-	}
-	if q.pop() != (hopMsg{hops: 2}) {
-		t.Fatal("second pop returned wrong message")
-	}
-}
-
-// TestChunkRecycleNeverPinsPayloads is the leak-regression test for the
-// chunk pool: every chunk returned to the pool — whether drained by pops or
-// retired by release with messages still queued — must have every slot
-// cleared, or pooled chunks would pin arbitrary payloads for the life of the
-// process. The recycle hook observes chunks at the recycle boundary.
-func TestChunkRecycleNeverPinsPayloads(t *testing.T) {
+// TestEngineTeardownNeverPinsPayloads is the engine-level half of the chunk
+// pool's leak-regression contract (the queue-level half lives in
+// internal/msgq): a run that terminates with messages still in flight
+// releases its queues through the same cleared-slot invariant, so pooled
+// chunks never pin payloads across runs.
+func TestEngineTeardownNeverPinsPayloads(t *testing.T) {
 	dirty := 0
-	chunkRecycleHook = func(c *msgChunk) {
-		for i := range c.items {
-			if c.items[i] != (flightMsg{}) {
-				dirty++
-			}
-		}
-	}
-	defer func() { chunkRecycleHook = nil }()
+	msgq.TestingRecycleObserver = func(live int) { dirty += live }
+	defer func() { msgq.TestingRecycleObserver = nil }()
 
-	// Path 1: full drain via pop across several chunks.
-	var q msgQueue
-	for i := 0; i < 5*chunkSize+7; i++ {
-		q.push(hopMsg{hops: uint64(i)}, uint64(i))
-	}
-	for q.len() > 0 {
-		q.pop()
-	}
-	if dirty != 0 {
-		t.Fatalf("pop-drained chunks reached the pool with %d live slots", dirty)
-	}
-
-	// Path 2: partial drain then release (early-termination teardown),
-	// exercising a partially popped head, full middle chunks, and a
-	// partially filled tail.
-	for i := 0; i < 3*chunkSize+5; i++ {
-		q.push(hopMsg{hops: uint64(i)}, uint64(i))
-	}
-	for i := 0; i < chunkSize/2; i++ {
-		q.pop()
-	}
-	q.release()
-	if dirty != 0 {
-		t.Fatalf("released chunks reached the pool with %d live slots", dirty)
-	}
-
-	// Path 3: a run that terminates with messages still in flight releases
-	// its queues through the same invariant.
 	g := graph.KaryGroundedTree(3, 4)
 	r, err := Run(g, floodProto{need: 1}, Options{})
 	if err != nil {

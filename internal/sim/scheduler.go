@@ -109,6 +109,52 @@ func schedulerForOrder(o Order) Scheduler {
 	}
 }
 
+// --- forced-choice batch capabilities ---------------------------------------
+
+// BatchCaps describes how a delivery loop may batch *forced* choices for a
+// scheduler: deliver a run of consecutive messages from one edge without a
+// Push/Pop round-trip per message, under the guarantee that the resulting
+// delivery sequence is byte-identical to the unbatched one (asserted by the
+// recorded-schedule equivalence test in batch_test.go).
+type BatchCaps struct {
+	// PushOrderFree declares that Pop's choice is a function of the *set* of
+	// registered entries, never of their insertion order — true for heaps
+	// whose priority comparison is total (every scheduler built on edgeHeap:
+	// the edge-ID tiebreak makes ties impossible). The engine may then defer
+	// an edge's re-registration until after the delivery it triggered, and
+	// skip the registration entirely when the scheduler is empty at decision
+	// time (the next Pop would be forced to return that edge).
+	PushOrderFree bool
+	// ForcedWhenQuiet declares stack semantics: immediately after Pop
+	// returned edge e, if no Push has happened since, re-registering e would
+	// make it the very next Pop. The engine may then keep draining e without
+	// consulting the scheduler even while other edges are pending.
+	ForcedWhenQuiet bool
+}
+
+// BatchCapable is an optional Scheduler capability enabling forced-choice
+// batch draining (see BatchCaps). Schedulers that keep per-delivery state in
+// Pop (replay scripts advance a cursor) or consume randomness per Pop (the
+// random adversary draws from its RNG even for a single pending edge) must
+// NOT implement it: the engine bypasses Push/Pop pairs on forced choices,
+// and a scheduler whose Pop has side effects would fall out of sync with the
+// unbatched schedule.
+type BatchCapable interface {
+	// BatchCaps returns the scheduler's batch-drain capabilities.
+	BatchCaps() BatchCaps
+}
+
+// DeferredPusher is an optional capability for insertion-order-sensitive
+// schedulers that still want batch draining: PushDeferred(pe, newer)
+// registers pe exactly as if it had been pushed immediately *before* the
+// most recent `newer` Push calls. It lets the engine delay an edge's
+// re-registration past the delivery it triggered — to learn whether the
+// choice was forced — while reconstructing the scheduler state a
+// non-deferred Push sequence would have produced.
+type DeferredPusher interface {
+	PushDeferred(pe PendingEdge, newer int)
+}
+
 // --- edge heap, shared by the priority schedulers ---------------------------
 
 // edgeItem is one heap entry: an edge with a primary/secondary priority.
@@ -213,8 +259,9 @@ func (s *fifoScheduler) Reset(ctx SchedContext) { s.h.reserve(ctx.Graph.NumEdges
 func (s *fifoScheduler) Push(pe PendingEdge) {
 	s.h.pushItem(edgeItem{edge: pe.Edge, prio: pe.HeadSeq})
 }
-func (s *fifoScheduler) Pop() graph.EdgeID { return s.h.popMin().edge }
-func (s *fifoScheduler) Len() int          { return s.h.Len() }
+func (s *fifoScheduler) Pop() graph.EdgeID    { return s.h.popMin().edge }
+func (s *fifoScheduler) Len() int             { return s.h.Len() }
+func (s *fifoScheduler) BatchCaps() BatchCaps { return BatchCaps{PushOrderFree: true} }
 
 // --- lifo -------------------------------------------------------------------
 
@@ -239,6 +286,20 @@ func (s *lifoScheduler) Pop() graph.EdgeID {
 	return e
 }
 func (s *lifoScheduler) Len() int { return len(s.stack) }
+
+// BatchCaps: a stack pops whatever was pushed last, so after Pop(e) with no
+// intervening pushes, re-pushing e forces the next Pop — the "LIFO run over
+// one edge" the batch drain exploits.
+func (s *lifoScheduler) BatchCaps() BatchCaps { return BatchCaps{ForcedWhenQuiet: true} }
+
+// PushDeferred inserts pe below the `newer` most recent pushes, rebuilding
+// the exact stack an eager re-registration would have produced.
+func (s *lifoScheduler) PushDeferred(pe PendingEdge, newer int) {
+	i := len(s.stack) - newer
+	s.stack = append(s.stack, 0)
+	copy(s.stack[i+1:], s.stack[i:])
+	s.stack[i] = pe.Edge
+}
 
 // --- random -----------------------------------------------------------------
 
@@ -390,8 +451,9 @@ func (s *latencyScheduler) Reset(ctx SchedContext) {
 func (s *latencyScheduler) Push(pe PendingEdge) {
 	s.h.pushItem(edgeItem{edge: pe.Edge, prio: pe.HeadSeq + s.delays[pe.Edge], prio2: pe.HeadSeq})
 }
-func (s *latencyScheduler) Pop() graph.EdgeID { return s.h.popMin().edge }
-func (s *latencyScheduler) Len() int          { return s.h.Len() }
+func (s *latencyScheduler) Pop() graph.EdgeID    { return s.h.popMin().edge }
+func (s *latencyScheduler) Len() int             { return s.h.Len() }
+func (s *latencyScheduler) BatchCaps() BatchCaps { return BatchCaps{PushOrderFree: true} }
 
 // --- latency-pareto ---------------------------------------------------------
 
@@ -440,8 +502,9 @@ func (s *paretoScheduler) Reset(ctx SchedContext) {
 func (s *paretoScheduler) Push(pe PendingEdge) {
 	s.h.pushItem(edgeItem{edge: pe.Edge, prio: pe.HeadSeq + s.delays[pe.Edge], prio2: pe.HeadSeq})
 }
-func (s *paretoScheduler) Pop() graph.EdgeID { return s.h.popMin().edge }
-func (s *paretoScheduler) Len() int          { return s.h.Len() }
+func (s *paretoScheduler) Pop() graph.EdgeID    { return s.h.popMin().edge }
+func (s *paretoScheduler) Len() int             { return s.h.Len() }
+func (s *paretoScheduler) BatchCaps() BatchCaps { return BatchCaps{PushOrderFree: true} }
 
 // --- starve-oldest ----------------------------------------------------------
 
@@ -461,8 +524,9 @@ func (s *starvationScheduler) Push(pe PendingEdge) {
 	// Negate the send time so the min-heap yields the newest message.
 	s.h.pushItem(edgeItem{edge: pe.Edge, prio: ^pe.HeadSeq})
 }
-func (s *starvationScheduler) Pop() graph.EdgeID { return s.h.popMin().edge }
-func (s *starvationScheduler) Len() int          { return s.h.Len() }
+func (s *starvationScheduler) Pop() graph.EdgeID    { return s.h.popMin().edge }
+func (s *starvationScheduler) Len() int             { return s.h.Len() }
+func (s *starvationScheduler) BatchCaps() BatchCaps { return BatchCaps{PushOrderFree: true} }
 
 // --- greedy -----------------------------------------------------------------
 
@@ -517,3 +581,8 @@ func (s *greedyScheduler) Pop() graph.EdgeID {
 	}
 }
 func (s *greedyScheduler) Len() int { return s.h.Len() }
+
+// BatchCaps: the heap comparison is total and Pop's lazy revalidation
+// depends only on the entry set and the monotone Visited state, so pop order
+// is insertion-order independent.
+func (s *greedyScheduler) BatchCaps() BatchCaps { return BatchCaps{PushOrderFree: true} }

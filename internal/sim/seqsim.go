@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/msgq"
 	"repro/internal/protocol"
 )
 
@@ -18,7 +19,13 @@ import (
 // The engine maintains one pooled chunked FIFO per edge and hands the
 // scheduler an indexed view of the pending-edge set, so a delivery step
 // costs O(1) or O(log |pending|) depending on the adversary — never a
-// linear scan.
+// linear scan. On top of that, forced choices are batched: when the
+// adversary's next pick is provably the edge just delivered on (the
+// scheduler is otherwise empty, or a stack scheduler saw no new
+// registrations), the engine drains the run of messages without a Push/Pop
+// round-trip per delivery. Batching engages only for schedulers that
+// declare it safe (BatchCapable) and never changes the delivery sequence —
+// batch_test.go asserts byte-identical schedules with it on and off.
 func Run(g *graph.G, p protocol.Protocol, opts Options) (*Result, error) {
 	nV, nE := g.NumVertices(), g.NumEdges()
 	nodes := make([]protocol.Node, nV)
@@ -60,16 +67,32 @@ func Run(g *graph.G, p protocol.Protocol, opts Options) (*Result, error) {
 		Visited: func(v graph.VertexID) bool { return res.Visited[v] },
 	})
 
+	// Forced-choice batch plan: engages only for schedulers that declare the
+	// required capability, and only when the options don't disable it.
+	var (
+		batchOn bool
+		caps    BatchCaps
+		defPush DeferredPusher
+	)
+	if !opts.NoBatchDrain {
+		if bc, ok := sched.(BatchCapable); ok {
+			caps = bc.BatchCaps()
+			defPush, _ = sched.(DeferredPusher)
+			batchOn = caps.PushOrderFree || defPush != nil
+		}
+	}
+
 	// Per-edge FIFO queues over pooled chunks. An edge is registered with
 	// the scheduler exactly when its front message is deliverable.
-	warmChunks()
-	queues := make([]msgQueue, nE)
+	msgq.Warm()
+	queues := make([]msgq.Queue, nE)
 	defer func() {
 		for e := range queues {
-			queues[e].release()
+			queues[e].Release()
 		}
 	}()
 	var sendSeq uint64 // global send-sequence number, drives HeadSeq
+	var newPushes int  // scheduler registrations since the last delivery began
 	drops := make(map[graph.EdgeID]int, len(opts.DropFirst))
 	for e, k := range opts.DropFirst {
 		drops[e] = k
@@ -82,19 +105,20 @@ func Run(g *graph.G, p protocol.Protocol, opts Options) (*Result, error) {
 		res.Metrics.sent()
 		seq := sendSeq
 		sendSeq++
-		queues[e].push(msg, seq)
-		if queues[e].len() == 1 {
+		queues[e].Push(msg, seq)
+		if queues[e].Len() == 1 {
 			sched.Push(PendingEdge{Edge: e, HeadSeq: seq})
+			newPushes++
 		}
 	}
 
 	maxSteps := opts.MaxSteps
 	if maxSteps <= 0 {
-		maxSteps = defaultMaxSteps
+		maxSteps = DefaultMaxSteps
 	}
 
 	// Inject sigma0 on the root's out-edges.
-	inits, err := initialMessages(g, p)
+	inits, err := InitialMessages(g, p)
 	if err != nil {
 		return nil, err
 	}
@@ -111,49 +135,87 @@ func Run(g *graph.G, p protocol.Protocol, opts Options) (*Result, error) {
 	}
 
 	for sched.Len() > 0 {
-		if res.Steps >= maxSteps {
-			return res, fmt.Errorf("%w (%d steps, graph %s, protocol %s)", ErrStepLimit, res.Steps, g, p.Name())
-		}
-		res.Steps++
-
 		// Adversary: choose the next pending edge; deliver its oldest
-		// message (links are FIFO).
+		// message (links are FIFO). The inner loop batch-drains forced
+		// follow-up choices on the same edge.
 		e := sched.Pop()
-		msg := queues[e].pop()
-		res.Metrics.delivered()
-		if queues[e].len() > 0 {
-			sched.Push(PendingEdge{Edge: e, HeadSeq: queues[e].frontSeq()})
-		}
+		forced := false
+		for {
+			if res.Steps >= maxSteps {
+				return res, fmt.Errorf("%w (%d steps, graph %s, protocol %s)", ErrStepLimit, res.Steps, g, p.Name())
+			}
+			res.Steps++
+			if forced {
+				res.ForcedSteps++
+			}
 
-		edge := g.Edge(e)
-		res.Visited[edge.To] = true
-		if opts.Observer != nil {
-			opts.Observer.OnDeliver(res.Steps, e, msg)
-		}
-		outs, err := nodes[edge.To].Receive(msg, edge.ToPort)
-		if err != nil {
-			return res, fmt.Errorf("sim: vertex %d receive: %w", edge.To, err)
-		}
-		if outs != nil && len(outs) != g.OutDegree(edge.To) {
-			return res, fmt.Errorf("sim: vertex %d returned %d outputs, out-degree is %d",
-				edge.To, len(outs), g.OutDegree(edge.To))
-		}
-		outIDs := g.OutEdgeIDs(edge.To)
-		for j, out := range outs {
-			if out == nil {
+			msg := queues[e].Pop()
+			res.Metrics.delivered()
+			pendingHere := queues[e].Len() > 0
+			if pendingHere && !batchOn {
+				// Legacy ordering: re-register before processing the
+				// delivery, as insertion-order-sensitive schedulers
+				// (random, rr-vertex, replay scripts) require.
+				sched.Push(PendingEdge{Edge: e, HeadSeq: queues[e].FrontSeq()})
+			}
+			newPushes = 0
+
+			edge := g.Edge(e)
+			res.Visited[edge.To] = true
+			if opts.Observer != nil {
+				opts.Observer.OnDeliver(res.Steps, e, msg)
+			}
+			outs, err := nodes[edge.To].Receive(msg, edge.ToPort)
+			if err != nil {
+				return res, fmt.Errorf("sim: vertex %d receive: %w", edge.To, err)
+			}
+			if outs != nil && len(outs) != g.OutDegree(edge.To) {
+				return res, fmt.Errorf("sim: vertex %d returned %d outputs, out-degree is %d",
+					edge.To, len(outs), g.OutDegree(edge.To))
+			}
+			outIDs := g.OutEdgeIDs(edge.To)
+			for j, out := range outs {
+				if out == nil {
+					continue
+				}
+				oe := outIDs[j]
+				res.Metrics.record(oe, out)
+				if opts.Observer != nil {
+					opts.Observer.OnSend(oe, out)
+				}
+				push(oe, out)
+			}
+			if edge.To == g.Terminal() && term.Done() {
+				res.Verdict = Terminated
+				res.Output = term.Output()
+				return res, nil
+			}
+
+			if !pendingHere || !batchOn {
+				break
+			}
+			// Forced-choice decision: e still holds messages and was not
+			// re-registered. If the adversary provably must pick e next,
+			// keep draining without a Push/Pop round-trip.
+			if sched.Len() == 0 {
+				// e is the only pending edge anywhere: every scheduler's
+				// next Pop would return it.
+				forced = true
 				continue
 			}
-			oe := outIDs[j]
-			res.Metrics.record(oe, out)
-			if opts.Observer != nil {
-				opts.Observer.OnSend(oe, out)
+			if caps.ForcedWhenQuiet && newPushes == 0 {
+				// Stack semantics with no registrations since our Pop:
+				// re-pushing e would top the scheduler.
+				forced = true
+				continue
 			}
-			push(oe, out)
-		}
-		if edge.To == g.Terminal() && term.Done() {
-			res.Verdict = Terminated
-			res.Output = term.Output()
-			return res, nil
+			pe := PendingEdge{Edge: e, HeadSeq: queues[e].FrontSeq()}
+			if caps.PushOrderFree {
+				sched.Push(pe)
+			} else {
+				defPush.PushDeferred(pe, newPushes)
+			}
+			break
 		}
 	}
 	res.Verdict = Quiescent

@@ -1,0 +1,519 @@
+// Package shard is the multi-core sequential engine: it partitions the
+// network into shards (graph.PartitionGraph, a seeded multi-way edge-cut),
+// runs one scheduler and one delivery loop per shard through the bounded
+// worker pool (internal/par), and stitches cross-shard traffic back together
+// with a deterministic merge — so a single run scales with cores while
+// remaining a pure function of (graph, protocol, scheduler name, seed,
+// shard count).
+//
+// Execution proceeds in supersteps:
+//
+//  1. Drain (parallel): every shard runs the same indexed, batch-draining
+//     delivery loop as the sequential engine over the edges it owns (an
+//     edge belongs to the shard of its head vertex). Sends to in-shard
+//     edges are delivered locally; sends on cut edges are buffered in a
+//     per-(source, destination) outbox. Shards share no mutable state
+//     except arrays indexed by edge or vertex, each slot of which has
+//     exactly one owning shard.
+//  2. Barrier + merge (parallel per destination): each destination shard
+//     ingests the outboxes addressed to it in deterministic order — source
+//     shard ID first, then the source's local send order — assigning local
+//     send-sequence numbers as it goes. Tie-breaking is therefore
+//     (shard ID × local step), independent of thread timing.
+//
+// The run ends when the terminal's predicate holds (Terminated), when no
+// shard has pending traffic after a merge (Quiescent), or on the step
+// budget. Verdicts, visited sets, final protocol states (labels, extracted
+// topologies) and the transmitted alphabet agree with the single-threaded
+// engine on every scheduler — asserted by the conformance matrix — while
+// schedule-dependent metrics (step counts, per-edge traffic) are
+// deterministic for a fixed configuration but legitimately differ from
+// other engines' schedules.
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/msgq"
+	"repro/internal/par"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// Engine returns the sharded engine with the given shard count (capped at
+// |V| per run). Shard count 1 degenerates to a single-threaded run with the
+// sequential engine's semantics on a trivially partitioned graph — the
+// honest baseline for speedup measurements.
+func Engine(shards int) sim.Engine { return engine{shards: shards} }
+
+type engine struct{ shards int }
+
+func (e engine) Name() string { return "shard" }
+
+func (e engine) Run(g *graph.G, p protocol.Protocol, opts sim.Options) (*sim.Result, error) {
+	if e.shards < 1 {
+		return nil, fmt.Errorf("shard: shard count %d, must be >= 1", e.shards)
+	}
+	return run(g, p, opts, e.shards)
+}
+
+// outMsg is one cross-shard send awaiting the merge.
+type outMsg struct {
+	edge graph.EdgeID
+	msg  protocol.Message
+}
+
+// shardState is the per-shard mutable world: scheduler, send sequencing,
+// outboxes, and metric partials. Only its owning worker touches it during a
+// drain; only the coordinator touches it at barriers.
+type shardState struct {
+	id    int
+	sched sim.Scheduler
+
+	// Batch plan (mirrors the sequential engine's forced-choice drain).
+	batchOn bool
+	caps    sim.BatchCaps
+	defPush sim.DeferredPusher
+
+	sendSeq uint64
+	out     [][]outMsg // per destination shard
+
+	// Metric partials, merged deterministically at the end of the run.
+	messages   int
+	totalBits  int64
+	maxMsgBits int
+	interner   *protocol.Interner
+	symCounts  []int
+	aliveSent  int // sends that passed the drop filter (in-flight accounting)
+	delivered  int
+	steps      int
+	forced     int
+
+	terminated bool
+	err        error
+}
+
+// shardRun is the state shared across shards. Every mutable slice is indexed
+// by edge or vertex and each index has exactly one owning shard: queues and
+// visited belong to the shard of the edge's head / the vertex, per-edge
+// metric slots and drop counters to the shard of the edge's tail (the only
+// sender). The race detector runs over this engine in the conformance suite.
+type shardRun struct {
+	g      *graph.G
+	part   *graph.Partition
+	states []*shardState
+	nodes  []protocol.Node
+	term   protocol.Terminal
+	obs    *sim.SerializedObserver
+
+	queues  []msgq.Queue
+	visited []bool
+	drops   []int32
+
+	perEdgeBits []int64
+	perEdgeMsgs []int
+	firstSym    []uint32 // per-edge symbol+1 in the *tail* shard's interner
+
+	trackAlphabet bool
+	trackFirstSym bool
+	noBatch       bool
+}
+
+func run(g *graph.G, p protocol.Protocol, opts sim.Options, shards int) (*sim.Result, error) {
+	nV, nE := g.NumVertices(), g.NumEdges()
+
+	// The scheduler option names the adversary family; every shard gets its
+	// own instance so the per-shard loops can run concurrently.
+	schedName := sim.Order(opts.Order).String()
+	if opts.Scheduler != nil {
+		schedName = opts.Scheduler.Name()
+	}
+
+	nodes := make([]protocol.Node, nV)
+	var term protocol.Terminal
+	for v := 0; v < nV; v++ {
+		role := protocol.RoleInternal
+		switch graph.VertexID(v) {
+		case g.Root():
+			role = protocol.RoleRoot
+		case g.Terminal():
+			role = protocol.RoleTerminal
+		}
+		n := p.NewNode(g.InDegree(graph.VertexID(v)), g.OutDegree(graph.VertexID(v)), role)
+		if role == protocol.RoleTerminal {
+			t, ok := n.(protocol.Terminal)
+			if !ok {
+				return nil, fmt.Errorf("shard: protocol %q terminal node does not implement Terminal", p.Name())
+			}
+			term = t
+		}
+		nodes[v] = n
+	}
+
+	part := graph.PartitionGraph(g, shards, opts.Seed)
+	run := &shardRun{
+		g:             g,
+		part:          part,
+		states:        make([]*shardState, part.K),
+		nodes:         nodes,
+		term:          term,
+		obs:           sim.NewSerializedObserver(opts.Observer),
+		queues:        make([]msgq.Queue, nE),
+		visited:       make([]bool, nV),
+		drops:         make([]int32, nE),
+		perEdgeBits:   make([]int64, nE),
+		perEdgeMsgs:   make([]int, nE),
+		trackAlphabet: opts.TrackAlphabet,
+		trackFirstSym: opts.TrackFirstSymbol,
+		noBatch:       opts.NoBatchDrain,
+	}
+	msgq.Warm()
+	defer func() {
+		for e := range run.queues {
+			run.queues[e].Release()
+		}
+	}()
+	if run.trackFirstSym {
+		run.firstSym = make([]uint32, nE)
+	}
+	for e, k := range opts.DropFirst {
+		run.drops[e] = int32(k)
+	}
+	for s := 0; s < part.K; s++ {
+		sched, err := sim.NewScheduler(schedName)
+		if err != nil {
+			return nil, fmt.Errorf("shard: cannot instantiate per-shard schedulers: %w", err)
+		}
+		st := &shardState{id: s, sched: sched, out: make([][]outMsg, part.K)}
+		// Per-shard seeds are decorrelated so seeded adversaries (random,
+		// latency, ...) don't mirror each other across shards; the mix is a
+		// fixed function of (run seed, shard ID), keeping the whole run
+		// deterministic.
+		shardSeed := opts.Seed ^ int64(uint64(s)*0x9e3779b97f4a7c15)
+		sched.Reset(sim.SchedContext{
+			Graph:   g,
+			Seed:    shardSeed,
+			Visited: func(v graph.VertexID) bool { return run.visited[v] },
+		})
+		if !run.noBatch {
+			if bc, ok := sched.(sim.BatchCapable); ok {
+				st.caps = bc.BatchCaps()
+				st.defPush, _ = sched.(sim.DeferredPusher)
+				st.batchOn = st.caps.PushOrderFree || st.defPush != nil
+			}
+		}
+		if run.trackAlphabet || run.trackFirstSym {
+			st.interner = protocol.NewInterner()
+		}
+		run.states[s] = st
+	}
+
+	res := &sim.Result{
+		Visited: run.visited,
+		Nodes:   nodes,
+	}
+	run.visited[g.Root()] = true
+
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = sim.DefaultMaxSteps
+	}
+
+	// Inject sigma0 on the root's out-edges (coordinator, pre-parallel).
+	inits, err := sim.InitialMessages(g, p)
+	if err != nil {
+		return nil, err
+	}
+	rootShard := run.states[part.Of[g.Root()]]
+	for j, init := range inits {
+		if init == nil {
+			continue
+		}
+		rootEdge := g.OutEdge(g.Root(), j)
+		rootShard.record(run, rootEdge.ID, init)
+		if run.obs != nil {
+			run.obs.OnSend(rootEdge.ID, init)
+		}
+		if run.drops[rootEdge.ID] > 0 {
+			run.drops[rootEdge.ID]--
+			continue
+		}
+		rootShard.aliveSent++
+		dst := run.states[part.Of[rootEdge.To]]
+		seq := dst.sendSeq
+		dst.sendSeq++
+		run.queues[rootEdge.ID].Push(init, seq)
+		if run.queues[rootEdge.ID].Len() == 1 {
+			dst.sched.Push(sim.PendingEdge{Edge: rootEdge.ID, HeadSeq: seq})
+		}
+	}
+
+	peak := run.inFlight()
+	totalSteps := 0
+	for {
+		// Drain phase: every shard delivers its pending local traffic, in
+		// parallel, each against its own scheduler. The remaining global
+		// budget is split evenly across shards so a runaway superstep can
+		// overshoot MaxSteps by at most K-1 deliveries (the sequential
+		// engine overshoots by 0); crossing the limit surfaces as
+		// ErrStepLimit below.
+		budget := (maxSteps - totalSteps + part.K - 1) / part.K
+		par.Map(0, part.K, func(s int) { run.states[s].drain(run, budget) })
+
+		totalSteps = 0
+		forced := 0
+		for _, st := range run.states {
+			totalSteps += st.steps
+			forced += st.forced
+		}
+		res.Steps = totalSteps
+		res.ForcedSteps = forced
+		if f := run.inFlight(); f > peak {
+			peak = f
+		}
+
+		for _, st := range run.states {
+			if st.err != nil {
+				run.obs.Seal()
+				run.finalize(res, peak)
+				return res, st.err
+			}
+		}
+		for _, st := range run.states {
+			if st.terminated {
+				run.obs.Seal()
+				res.Verdict = sim.Terminated
+				res.Output = term.Output()
+				run.finalize(res, peak)
+				return res, nil
+			}
+		}
+
+		// Merge phase: destination shards ingest cross-shard traffic in
+		// (source shard ID, source-local send order) — the deterministic
+		// tie-break that makes the whole run thread-timing independent.
+		par.Map(0, part.K, func(dst int) { run.mergeInto(dst) })
+		for _, sts := range run.states {
+			for d := range sts.out {
+				sts.out[d] = sts.out[d][:0]
+			}
+		}
+
+		pending := 0
+		for _, st := range run.states {
+			pending += st.sched.Len()
+		}
+		if pending == 0 {
+			run.obs.Seal()
+			res.Verdict = sim.Quiescent
+			run.finalize(res, peak)
+			return res, nil
+		}
+		if totalSteps >= maxSteps {
+			run.obs.Seal()
+			run.finalize(res, peak)
+			return res, fmt.Errorf("%w (%d steps, graph %s, protocol %s)", sim.ErrStepLimit, totalSteps, g, p.Name())
+		}
+	}
+}
+
+// record meters one send: shared per-edge slots are owned by this shard (the
+// edge's tail lives here), scalars and the interner are shard-local.
+func (st *shardState) record(run *shardRun, e graph.EdgeID, msg protocol.Message) {
+	bits := msg.Bits()
+	st.messages++
+	st.totalBits += int64(bits)
+	run.perEdgeBits[e] += int64(bits)
+	run.perEdgeMsgs[e]++
+	if bits > st.maxMsgBits {
+		st.maxMsgBits = bits
+	}
+	if st.interner != nil {
+		sym := st.interner.Intern(msg)
+		if run.trackAlphabet {
+			if int(sym) == len(st.symCounts) {
+				st.symCounts = append(st.symCounts, 0)
+			}
+			st.symCounts[sym]++
+		}
+		if run.trackFirstSym && run.firstSym[e] == 0 {
+			run.firstSym[e] = uint32(sym) + 1
+		}
+	}
+}
+
+// drain is one shard's superstep: the sequential engine's indexed,
+// forced-choice-batching delivery loop restricted to the edges this shard
+// owns, with cut-edge sends diverted to the outboxes.
+func (st *shardState) drain(run *shardRun, budget int) {
+	sched := st.sched
+	n := 0
+	for sched.Len() > 0 {
+		if n >= budget {
+			st.steps += n
+			return
+		}
+		e := sched.Pop()
+		forced := false
+		for {
+			if n >= budget {
+				// Put the in-hand edge back so its traffic survives into
+				// the next superstep (the run will surface ErrStepLimit).
+				sched.Push(sim.PendingEdge{Edge: e, HeadSeq: run.queues[e].FrontSeq()})
+				st.steps += n
+				return
+			}
+			n++
+			if forced {
+				st.forced++
+			}
+
+			msg := run.queues[e].Pop()
+			st.delivered++
+			pendingHere := run.queues[e].Len() > 0
+			if pendingHere && !st.batchOn {
+				sched.Push(sim.PendingEdge{Edge: e, HeadSeq: run.queues[e].FrontSeq()})
+			}
+			newPushes := 0
+
+			edge := run.g.Edge(e)
+			run.visited[edge.To] = true
+			if run.obs != nil {
+				run.obs.OnDeliver(0, e, msg)
+			}
+			outs, err := run.nodes[edge.To].Receive(msg, edge.ToPort)
+			if err != nil {
+				st.err = fmt.Errorf("shard: vertex %d receive: %w", edge.To, err)
+				st.steps += n
+				return
+			}
+			if outs != nil && len(outs) != run.g.OutDegree(edge.To) {
+				st.err = fmt.Errorf("shard: vertex %d returned %d outputs, out-degree is %d",
+					edge.To, len(outs), run.g.OutDegree(edge.To))
+				st.steps += n
+				return
+			}
+			outIDs := run.g.OutEdgeIDs(edge.To)
+			for j, out := range outs {
+				if out == nil {
+					continue
+				}
+				oe := outIDs[j]
+				st.record(run, oe, out)
+				if run.obs != nil {
+					run.obs.OnSend(oe, out)
+				}
+				if run.drops[oe] > 0 {
+					run.drops[oe]--
+					continue
+				}
+				st.aliveSent++
+				dst := run.part.Of[run.g.Edge(oe).To]
+				if dst == st.id {
+					seq := st.sendSeq
+					st.sendSeq++
+					run.queues[oe].Push(out, seq)
+					if run.queues[oe].Len() == 1 {
+						sched.Push(sim.PendingEdge{Edge: oe, HeadSeq: seq})
+						newPushes++
+					}
+				} else {
+					st.out[dst] = append(st.out[dst], outMsg{edge: oe, msg: out})
+				}
+			}
+			if edge.To == run.g.Terminal() && run.term.Done() {
+				st.terminated = true
+				st.steps += n
+				return
+			}
+
+			if !pendingHere || !st.batchOn {
+				break
+			}
+			// Forced-choice decision, exactly as in the sequential engine:
+			// e still holds messages and was not re-registered.
+			if sched.Len() == 0 {
+				forced = true
+				continue
+			}
+			if st.caps.ForcedWhenQuiet && newPushes == 0 {
+				forced = true
+				continue
+			}
+			pe := sim.PendingEdge{Edge: e, HeadSeq: run.queues[e].FrontSeq()}
+			if st.caps.PushOrderFree {
+				sched.Push(pe)
+			} else {
+				st.defPush.PushDeferred(pe, newPushes)
+			}
+			break
+		}
+	}
+	st.steps += n
+}
+
+// mergeInto ingests all outboxes addressed to dst, source shards in ID
+// order, each box in its source-local send order. Per-edge FIFO holds
+// because an edge has a single sending shard: all of its messages arrive
+// from one outbox, in send order.
+func (run *shardRun) mergeInto(dst int) {
+	st := run.states[dst]
+	for _, src := range run.states {
+		for _, m := range src.out[dst] {
+			seq := st.sendSeq
+			st.sendSeq++
+			run.queues[m.edge].Push(m.msg, seq)
+			if run.queues[m.edge].Len() == 1 {
+				st.sched.Push(sim.PendingEdge{Edge: m.edge, HeadSeq: seq})
+			}
+		}
+	}
+}
+
+// inFlight is the global in-flight message count, valid at barriers only.
+func (run *shardRun) inFlight() int {
+	sent, delivered := 0, 0
+	for _, st := range run.states {
+		sent += st.aliveSent
+		delivered += st.delivered
+	}
+	return sent - delivered
+}
+
+// finalize merges the per-shard metric partials into the result, shards in
+// ID order — deterministic content, byte-identical across runs. PeakInFlight
+// is the barrier-sampled peak: within a superstep shards move concurrently,
+// so only barrier points have a well-defined (and deterministic) global
+// count.
+func (run *shardRun) finalize(res *sim.Result, peak int) {
+	m := &res.Metrics
+	m.PerEdgeBits = run.perEdgeBits
+	m.PerEdgeMsgs = run.perEdgeMsgs
+	m.PeakInFlight = peak
+	for _, st := range run.states {
+		m.Messages += st.messages
+		m.TotalBits += st.totalBits
+		if st.maxMsgBits > m.MaxMsgBits {
+			m.MaxMsgBits = st.maxMsgBits
+		}
+	}
+	if run.trackAlphabet {
+		m.Alphabet = make(map[string]int)
+		for _, st := range run.states {
+			for sym, count := range st.symCounts {
+				m.Alphabet[st.interner.KeyOf(protocol.Symbol(sym))] += count
+			}
+		}
+	}
+	if run.trackFirstSym {
+		m.FirstSymbol = make(map[graph.EdgeID]string)
+		for e, s := range run.firstSym {
+			if s == 0 {
+				continue
+			}
+			owner := run.states[run.part.Of[run.g.Edge(graph.EdgeID(e)).From]]
+			m.FirstSymbol[graph.EdgeID(e)] = owner.interner.KeyOf(protocol.Symbol(s - 1))
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/protocol"
+	"repro/internal/replay/fuzz"
+	"repro/internal/sim"
+)
+
+type protoCase struct {
+	name string
+	make func() protocol.Protocol
+}
+
+func protoCases() []protoCase {
+	return []protoCase{
+		{"treecast", func() protocol.Protocol { return core.NewTreeBroadcast([]byte("m"), core.RulePow2) }},
+		{"generalcast", func() protocol.Protocol { return core.NewGeneralBroadcast([]byte("m")) }},
+		{"labelcast", func() protocol.Protocol { return core.NewLabelAssign(nil) }},
+		{"mapcast", func() protocol.Protocol { return core.NewMapExtract(nil) }},
+	}
+}
+
+func graphFor(proto string) *graph.G {
+	if proto == "treecast" {
+		return graph.RandomGroundedTree(40, 0.3, 5)
+	}
+	return graph.RandomDigraph(24, 11, graph.RandomDigraphOpts{ExtraEdges: 30, TerminalFrac: 0.3})
+}
+
+// TestShardMatchesSequentialOutcome: across protocols, shard counts and
+// schedulers, the sharded engine must reproduce the sequential engine's
+// schedule-independent outcome (verdict, visited set, labeled-vertex set,
+// topology isomorphism) — the same oracle the conformance matrix uses.
+func TestShardMatchesSequentialOutcome(t *testing.T) {
+	for _, pc := range protoCases() {
+		g := graphFor(pc.name)
+		ref, err := sim.Sequential().Run(g, pc.make(), sim.Options{})
+		if err != nil {
+			t.Fatalf("%s: reference: %v", pc.name, err)
+		}
+		want, problems := fuzz.Compute(g, ref)
+		if len(problems) > 0 {
+			t.Fatalf("%s: reference problems: %v", pc.name, problems)
+		}
+		for _, shards := range []int{1, 2, 4, 9} {
+			for _, sched := range []string{"fifo", "lifo", "random", "greedy"} {
+				name := fmt.Sprintf("%s/shards=%d/%s", pc.name, shards, sched)
+				s, err := sim.NewScheduler(sched)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := Engine(shards).Run(g, pc.make(), sim.Options{Scheduler: s, Seed: 3})
+				if err != nil {
+					t.Errorf("%s: %v", name, err)
+					continue
+				}
+				got, problems := fuzz.Compute(g, r)
+				for _, p := range problems {
+					t.Errorf("%s: %s", name, p)
+				}
+				if got != want {
+					t.Errorf("%s: outcome diverges\n got: %s\nwant: %s", name, got, want)
+				}
+			}
+		}
+	}
+}
+
+// resultFingerprint flattens everything deterministic about a run —
+// including schedule-dependent metrics — for exact comparison.
+func resultFingerprint(r *sim.Result) string {
+	return fmt.Sprintf("v=%v steps=%d forced=%d msgs=%d bits=%d maxmsg=%d peak=%d visited=%v perEdge=%v alpha=%v first=%v",
+		r.Verdict, r.Steps, r.ForcedSteps, r.Metrics.Messages, r.Metrics.TotalBits,
+		r.Metrics.MaxMsgBits, r.Metrics.PeakInFlight, r.Visited, r.Metrics.PerEdgeMsgs,
+		len(r.Metrics.Alphabet), len(r.Metrics.FirstSymbol))
+}
+
+// TestShardDeterministic: the sharded engine is a pure function of (graph,
+// protocol, scheduler, seed, shard count) — repeated runs agree on every
+// field, including metrics, in spite of parallel drains.
+func TestShardDeterministic(t *testing.T) {
+	g := graph.RandomDigraph(30, 7, graph.RandomDigraphOpts{ExtraEdges: 40, TerminalFrac: 0.3})
+	for _, sched := range sim.SchedulerNames() {
+		var prints []string
+		var alphas []map[string]int
+		for i := 0; i < 3; i++ {
+			s, err := sim.NewScheduler(sched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := Engine(4).Run(g, core.NewLabelAssign(nil), sim.Options{
+				Scheduler: s, Seed: 11, TrackAlphabet: true, TrackFirstSymbol: true,
+			})
+			if err != nil {
+				t.Fatalf("%s run %d: %v", sched, i, err)
+			}
+			prints = append(prints, resultFingerprint(r))
+			alphas = append(alphas, r.Metrics.Alphabet)
+		}
+		if prints[0] != prints[1] || prints[1] != prints[2] {
+			t.Errorf("%s: nondeterministic results:\n%s\n%s\n%s", sched, prints[0], prints[1], prints[2])
+		}
+		if !reflect.DeepEqual(alphas[0], alphas[1]) || !reflect.DeepEqual(alphas[1], alphas[2]) {
+			t.Errorf("%s: nondeterministic alphabet", sched)
+		}
+	}
+}
+
+// TestShardAlphabetMatchesSequential: for treecast the transmitted alphabet
+// Sigma_G is schedule-independent (every edge carries the flow value its
+// subtree dictates), so the sharded engine's merged per-shard intern tables
+// must reproduce the sequential engine's key set and |Sigma_G| exactly. The
+// general-graph protocols transmit schedule-dependent intermediate symbols
+// (their alphabets legitimately differ across schedules, sequential
+// adversaries included), so for those the guarantee is determinism —
+// asserted by TestShardDeterministic — plus the byte-identical replay of a
+// recorded shard schedule in internal/replay's wild-capture tests.
+func TestShardAlphabetMatchesSequential(t *testing.T) {
+	pc := protoCases()[0] // treecast
+	g := graphFor(pc.name)
+	ref, err := sim.Sequential().Run(g, pc.make(), sim.Options{TrackAlphabet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 4} {
+		r, err := Engine(shards).Run(g, pc.make(), sim.Options{TrackAlphabet: true, Seed: 5})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if got, want := keys(r.Metrics.Alphabet), keys(ref.Metrics.Alphabet); !reflect.DeepEqual(got, want) {
+			t.Errorf("shards=%d: treecast alphabet diverges from sequential\n got: %v\nwant: %v", shards, got, want)
+		}
+		if r.Metrics.AlphabetSize() != ref.Metrics.AlphabetSize() {
+			t.Errorf("shards=%d: |Sigma_G| %d, sequential %d", shards, r.Metrics.AlphabetSize(), ref.Metrics.AlphabetSize())
+		}
+	}
+}
+
+func keys(m map[string]int) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+// TestShardBatchDrainEquivalence: within each shard the forced-choice batch
+// drain must not change the local schedules, so the full deterministic
+// result — steps, per-edge traffic, final labels — is identical with
+// batching on and off, and batching must actually engage somewhere.
+func TestShardBatchDrainEquivalence(t *testing.T) {
+	g := graph.RandomDigraph(30, 7, graph.RandomDigraphOpts{ExtraEdges: 40, TerminalFrac: 0.3})
+	engaged := 0
+	for _, sched := range sim.SchedulerNames() {
+		var rs [2]*sim.Result
+		for i, noBatch := range []bool{false, true} {
+			s, err := sim.NewScheduler(sched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := Engine(3).Run(g, core.NewGeneralBroadcast([]byte("m")), sim.Options{
+				Scheduler: s, Seed: 2, NoBatchDrain: noBatch,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", sched, err)
+			}
+			rs[i] = r
+		}
+		if rs[1].ForcedSteps != 0 {
+			t.Errorf("%s: NoBatchDrain run forced %d steps", sched, rs[1].ForcedSteps)
+		}
+		engaged += rs[0].ForcedSteps
+		rs[0].ForcedSteps, rs[1].ForcedSteps = 0, 0
+		if a, b := resultFingerprint(rs[0]), resultFingerprint(rs[1]); a != b {
+			t.Errorf("%s: batched shard run diverges\n got: %s\nwant: %s", sched, a, b)
+		}
+	}
+	if engaged == 0 {
+		t.Error("batch draining never engaged in any shard on this workload")
+	}
+}
+
+// TestShardStepLimit: exceeding the budget surfaces ErrStepLimit, exactly
+// like the sequential engine.
+func TestShardStepLimit(t *testing.T) {
+	g := graph.RandomDigraph(20, 3, graph.RandomDigraphOpts{ExtraEdges: 25, TerminalFrac: 0.3})
+	_, err := Engine(3).Run(g, core.NewGeneralBroadcast([]byte("m")), sim.Options{MaxSteps: 5, Seed: 1})
+	if !errors.Is(err, sim.ErrStepLimit) {
+		t.Fatalf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+// deliveryCounter counts OnDeliver events — the ground truth Result.Steps
+// must match on every exit path.
+type deliveryCounter struct{ n int }
+
+func (c *deliveryCounter) OnSend(graph.EdgeID, protocol.Message) {}
+func (c *deliveryCounter) OnDeliver(int, graph.EdgeID, protocol.Message) {
+	c.n++
+}
+
+// TestShardStepLimitSweep sweeps MaxSteps across the whole range of a run,
+// at 1 and 3 shards, with and without batch draining: every configuration
+// must return (a budget-exhausted drain that forgets its step count would
+// loop forever re-granting the same budget — a past bug), Result.Steps must
+// equal the observed delivery count exactly, and the overshoot past
+// MaxSteps is bounded by the shard count.
+func TestShardStepLimitSweep(t *testing.T) {
+	g := graph.Ring(6)
+	full, err := Engine(1).Run(g, core.NewGeneralBroadcast([]byte("m")), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 3} {
+		for _, noBatch := range []bool{false, true} {
+			for m := 1; m <= full.Steps+2; m++ {
+				obs := &deliveryCounter{}
+				r, err := Engine(shards).Run(g, core.NewGeneralBroadcast([]byte("m")), sim.Options{
+					MaxSteps: m, NoBatchDrain: noBatch, Observer: obs,
+				})
+				name := fmt.Sprintf("shards=%d noBatch=%v MaxSteps=%d", shards, noBatch, m)
+				if err != nil && !errors.Is(err, sim.ErrStepLimit) {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if r.Steps != obs.n {
+					t.Fatalf("%s: Result.Steps=%d but %d deliveries observed", name, r.Steps, obs.n)
+				}
+				if r.Steps > m+shards-1 {
+					t.Fatalf("%s: %d deliveries, budget overshoot beyond K-1", name, r.Steps)
+				}
+				if err == nil && r.Verdict == 0 {
+					t.Fatalf("%s: no verdict and no error", name)
+				}
+			}
+		}
+	}
+}
+
+// TestShardDropFirstSafety: dropped messages may cost liveness but never
+// safety — the terminal must not declare termination, and the run must
+// still be deterministic.
+func TestShardDropFirstSafety(t *testing.T) {
+	g := graph.Line(6)
+	// Drop the first message on the root's only out-edge: nothing can ever
+	// reach the rest of the line.
+	rootEdge := g.OutEdge(g.Root(), 0)
+	r, err := Engine(2).Run(g, core.NewGeneralBroadcast([]byte("m")), sim.Options{
+		DropFirst: map[graph.EdgeID]int{rootEdge.ID: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != sim.Quiescent {
+		t.Fatalf("verdict %s with the injection dropped, want quiescent", r.Verdict)
+	}
+	if r.Steps != 0 {
+		t.Fatalf("%d deliveries happened after the only injection was dropped", r.Steps)
+	}
+}
+
+// TestShardArgumentErrors pins the error paths: invalid shard count and a
+// scheduler that cannot be re-instantiated per shard.
+func TestShardArgumentErrors(t *testing.T) {
+	g := graph.Line(3)
+	if _, err := Engine(0).Run(g, core.NewGeneralBroadcast(nil), sim.Options{}); err == nil {
+		t.Fatal("shard count 0 accepted")
+	}
+	if _, err := Engine(2).Run(g, core.NewGeneralBroadcast(nil), sim.Options{Scheduler: fakeSched{}}); err == nil {
+		t.Fatal("non-registry scheduler accepted")
+	}
+	// More shards than vertices is fine: the partitioner caps K at |V|.
+	if _, err := Engine(64).Run(g, core.NewGeneralBroadcast(nil), sim.Options{}); err != nil {
+		t.Fatalf("shards > |V|: %v", err)
+	}
+}
+
+type fakeSched struct{}
+
+func (fakeSched) Name() string           { return "no-such-adversary" }
+func (fakeSched) Reset(sim.SchedContext) {}
+func (fakeSched) Push(sim.PendingEdge)   {}
+func (fakeSched) Pop() graph.EdgeID      { return 0 }
+func (fakeSched) Len() int               { return 0 }

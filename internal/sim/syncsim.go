@@ -49,14 +49,14 @@ func RunSynchronous(g *graph.G, p protocol.Protocol, opts Options) (*Result, err
 
 	maxSteps := opts.MaxSteps
 	if maxSteps <= 0 {
-		maxSteps = defaultMaxSteps
+		maxSteps = DefaultMaxSteps
 	}
 
 	type flight struct {
 		edge graph.EdgeID
 		msg  protocol.Message
 	}
-	inits, err := initialMessages(g, p)
+	inits, err := InitialMessages(g, p)
 	if err != nil {
 		return nil, err
 	}

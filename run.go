@@ -11,9 +11,10 @@ import (
 	"repro/internal/replay"
 	"repro/internal/replay/fuzz"
 	"repro/internal/sim"
+	"repro/internal/sim/shard"
 )
 
-// Engine selects the execution substrate. All four engines implement the
+// Engine selects the execution substrate. All five engines implement the
 // same internal sim.Engine interface; this enum is the facade's stable way
 // to name them.
 type Engine int
@@ -21,8 +22,9 @@ type Engine int
 // Available engines.
 const (
 	// EngineSequential is the deterministic event-driven simulator with an
-	// adversarial delivery order (default). Only this engine honors the
-	// scheduler options (WithScheduler / WithOrder / WithSeed).
+	// adversarial delivery order (default). It honors the scheduler options
+	// (WithScheduler / WithOrder / WithSeed), as does EngineSharded — one
+	// scheduler instance per shard; the other engines ignore them.
 	EngineSequential Engine = iota
 	// EngineConcurrent runs one goroutine per vertex; interleaving comes
 	// from the Go scheduler.
@@ -35,7 +37,19 @@ const (
 	// listener and every edge as a real TCP connection; messages travel as
 	// actual wire-encoded bytes. Reported bits include the wire framing.
 	EngineTCP
+	// EngineSharded partitions the network (seeded multi-way edge-cut), runs
+	// one sequential delivery loop per shard on the worker pool, and merges
+	// cross-shard traffic deterministically — multi-core speedup for a single
+	// run, same schedule-independent outcome as the sequential engine, fully
+	// deterministic for a fixed (scheduler, seed, shard count). Configure the
+	// shard count with WithShards (default DefaultShards).
+	EngineSharded
 )
+
+// DefaultShards is the shard count EngineSharded uses when WithShards was
+// not given. A fixed default (rather than GOMAXPROCS) keeps results
+// reproducible across machines; tune it per host with WithShards.
+const DefaultShards = 4
 
 // String returns the engine's CLI name.
 func (e Engine) String() string {
@@ -48,12 +62,14 @@ func (e Engine) String() string {
 		return "sync"
 	case EngineTCP:
 		return "tcp"
+	case EngineSharded:
+		return "shard"
 	default:
 		return fmt.Sprintf("engine(%d)", int(e))
 	}
 }
 
-// EngineByName parses a CLI engine name (seq|concurrent|sync|tcp).
+// EngineByName parses a CLI engine name (seq|concurrent|sync|tcp|shard).
 func EngineByName(name string) (Engine, error) {
 	switch name {
 	case "seq", "sequential":
@@ -64,13 +80,15 @@ func EngineByName(name string) (Engine, error) {
 		return EngineSynchronous, nil
 	case "tcp":
 		return EngineTCP, nil
+	case "shard", "sharded":
+		return EngineSharded, nil
 	default:
-		return 0, fmt.Errorf("anonnet: unknown engine %q (have seq|concurrent|sync|tcp)", name)
+		return 0, fmt.Errorf("anonnet: unknown engine %q (have seq|concurrent|sync|tcp|shard)", name)
 	}
 }
 
 // EngineNames lists the selectable engines in CLI spelling.
-func EngineNames() []string { return []string{"seq", "concurrent", "sync", "tcp"} }
+func EngineNames() []string { return []string{"seq", "concurrent", "sync", "tcp", "shard"} }
 
 // Order selects one of the three classic adversarial delivery orders of the
 // sequential engine. WithScheduler supersedes it and exposes the full
@@ -115,6 +133,7 @@ type Option func(*runConfig)
 
 type runConfig struct {
 	engine   Engine
+	shards   int
 	order    Order
 	sched    string
 	seed     int64
@@ -129,6 +148,12 @@ type runConfig struct {
 
 // WithEngine selects the execution engine.
 func WithEngine(e Engine) Option { return func(c *runConfig) { c.engine = e } }
+
+// WithShards sets EngineSharded's shard count (default DefaultShards). The
+// other engines ignore it. Different shard counts are different (all valid)
+// schedules: verdicts and every schedule-independent quantity agree, exact
+// metrics may differ.
+func WithShards(n int) Option { return func(c *runConfig) { c.shards = n } }
 
 // WithOrder selects one of the classic adversarial delivery orders
 // (sequential engine). WithScheduler gives access to the full catalog.
@@ -319,6 +344,12 @@ func (c runConfig) engineImpl() (sim.Engine, error) {
 		return sim.Synchronous(), nil
 	case EngineTCP:
 		return netrun.Engine(core.Codec{}, netrun.Options{}), nil
+	case EngineSharded:
+		n := c.shards
+		if n == 0 {
+			n = DefaultShards
+		}
+		return shard.Engine(n), nil
 	default:
 		return nil, fmt.Errorf("anonnet: unknown engine %d", c.engine)
 	}
@@ -354,9 +385,11 @@ func (c runConfig) execute(g *graph.G, newProto func() protocol.Protocol) (*sim.
 			recorded = rec.Trace(g, src.Protocol, src.Scheduler, src.Seed)
 			recorded.Truncated = src.Truncated
 		}
-	case wantTrace && (c.engine == EngineConcurrent || c.engine == EngineTCP):
-		// Wild engines: capture the nondeterministic schedule through the
-		// engines' serialized observer and canonicalize it into a
+	case wantTrace && (c.engine == EngineConcurrent || c.engine == EngineTCP || c.engine == EngineSharded):
+		// Wild-capture engines: their schedule is not a sequential
+		// scheduler's output (nondeterministic for concurrent/tcp; a
+		// deterministic parallel composition for shard), so it is captured
+		// through the engines' serialized observer and canonicalized into a
 		// strict-mode trace with one sequential replay.
 		r, recorded, err = replay.RecordWild(eng, g, newProto, opts)
 	default:
