@@ -9,6 +9,7 @@
 //	anonbench [-only E5] [-quick] [-sched greedy] [-workers N] [-v]
 //	anonbench -bench [-quick] [-json BENCH.json] [-baseline BENCH_baseline.json]
 //	anonbench -trend BENCH_a.json BENCH_b.json [BENCH_c.json ...]
+//	anonbench -graph "torus:w=36,h=32" [-repeats 3]
 //
 // With -quick, reduced parameter sweeps are used (for smoke testing). With
 // -sched, every sequential run in the sweeps uses the named adversarial
@@ -27,6 +28,12 @@
 // per-metric trajectory table — ns/delivery, allocs/delivery, shard
 // speedup, tier wall-clocks — with deltas against the first file, so CI
 // bench artifacts chart the repository's speed across builds.
+//
+// Graph mode (-graph "family:param=value,...", same scenario-registry
+// syntax as anoncast and anontrace) times the sequential general broadcast
+// on one generated scenario and prints the per-delivery rate — a one-off
+// measurement outside the BENCH.json trajectory, whose per-family slice
+// bench mode records under scenario_broadcast.
 package main
 
 import (
@@ -50,6 +57,8 @@ func main() {
 	trend := flag.Bool("trend", false, "trend mode: read the BENCH*.json files given as arguments (oldest first) and print the per-metric trajectory")
 	jsonPath := flag.String("json", "", "bench mode: write BENCH.json here (\"-\" or empty = stdout)")
 	baseline := flag.String("baseline", "", "bench mode: compare against this baseline BENCH.json and fail on >25% regression (ns/delivery, shard speedup)")
+	graphSpec := flag.String("graph", "", "time one scenario registry spec \"family[:param=value,...]\" and exit")
+	repeats := flag.Int("repeats", 3, "graph mode: timed runs to average")
 	verbose := flag.Bool("v", false, "print per-experiment timing to stderr")
 	flag.Parse()
 	if err := experiments.SetScheduler(*sched); err != nil {
@@ -60,6 +69,8 @@ func main() {
 	switch {
 	case *trend:
 		err = runTrend(flag.Args())
+	case *graphSpec != "":
+		err = runScenario(*graphSpec, *repeats)
 	case *bench:
 		err = runBench(*quick, *jsonPath, *baseline)
 	default:
@@ -140,6 +151,17 @@ func runBench(quick bool, jsonPath, baseline string) error {
 	fmt.Fprintf(os.Stderr, "bench: within budget of baseline %s (%.1f ns/delivery vs %.1f, shard speedup %.2fx vs %.2fx)\n",
 		baseline, rep.Broadcast.NsPerDelivery, base.Broadcast.NsPerDelivery,
 		rep.ShardBroadcast.Speedup, base.ShardBroadcast.Speedup)
+	return nil
+}
+
+// runScenario times the general broadcast on one scenario spec.
+func runScenario(spec string, repeats int) error {
+	sb, err := experiments.BenchScenario(spec, repeats)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario %s: |V|=%d |E|=%d, %d deliveries/run, %.1f ns/delivery (%s scheduler, %d repeats)\n",
+		sb.Spec, sb.Vertices, sb.Edges, sb.Deliveries, sb.NsPerDelivery, sb.Scheduler, sb.Repeats)
 	return nil
 }
 

@@ -53,6 +53,8 @@ func main() {
 		save   = flag.String("save", "", "write the generated network to this file in the text format")
 		record = flag.String("record", "", "write the run's delivery schedule to this trace file (any engine; wild schedules are canonicalized)")
 		replay = flag.String("replay", "", "replay a recorded trace file (seq engine; overrides -topo/-file/-sched/-proto)")
+		graphF = flag.String("graph", "", "scenario registry spec \"family[:param=value,...]\" ("+strings.Join(anonnet.ScenarioFamilies(), "|")+"); overrides -topo")
+		faults = flag.String("faults", "", "fault plan \"drop=EDGE:K,loss=PCT,crash=VERTEX:K,seed=N\" (terms optional, drop/crash repeatable)")
 	)
 	flag.Parse()
 	if err := run(params{
@@ -60,6 +62,7 @@ func main() {
 		layers: *layers, width: *width, extra: *extra, seed: *seed,
 		msg: *msg, proto: *proto, engine: *engine, shards: *shards, sched: *sched,
 		dot: *dot, file: *file, save: *save, record: *record, replay: *replay,
+		graph: *graphF, faults: *faults,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "anoncast:", err)
 		os.Exit(1)
@@ -75,6 +78,7 @@ type params struct {
 	msg, proto, engine, sched        string
 	dot, file, save                  string
 	record, replay                   string
+	graph, faults                    string
 }
 
 func run(p params) error {
@@ -107,6 +111,8 @@ func run(p params) error {
 		}
 		net, err = anonnet.ParseNetwork(f)
 		f.Close()
+	case p.graph != "":
+		net, err = anonnet.ScenarioNetwork(p.graph)
 	default:
 		net, err = buildNetwork(p.topo, p.n, p.height, p.degree, p.layers, p.width, p.extra, p.seed)
 	}
@@ -134,6 +140,9 @@ func run(p params) error {
 	if replayTrace != nil {
 		opts = append(opts, anonnet.WithReplayTrace(replayTrace))
 	}
+	if p.faults != "" {
+		opts = append(opts, anonnet.WithFaults(p.faults))
+	}
 
 	rep, err := anonnet.Broadcast(net, []byte(p.msg), opts...)
 	if rep != nil {
@@ -146,6 +155,9 @@ func run(p params) error {
 		fmt.Printf("max message:     %d bits\n", rep.MaxMessageBits)
 		fmt.Printf("alphabet:        %d distinct symbols\n", rep.AlphabetSize)
 		fmt.Printf("delivery steps:  %d\n", rep.Steps)
+		if p.faults != "" {
+			fmt.Printf("dropped:         %d (by the fault plan)\n", rep.Dropped)
+		}
 	}
 	if err != nil {
 		return err

@@ -27,6 +27,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/protocol"
 	"repro/internal/replay"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -41,15 +42,16 @@ func main() {
 		summaryOnly = flag.Bool("summary-only", false, "omit the per-event timeline")
 		recordFile  = flag.String("record", "", "write the run's schedule to this trace file")
 		replayFile  = flag.String("replay", "", "replay a recorded trace file instead of generating a run (overrides -topo/-proto/-sched)")
+		graphSpec   = flag.String("graph", "", "scenario registry spec \"family[:param=value,...]\" ("+strings.Join(scenario.Names(), "|")+"); overrides -topo")
 	)
 	flag.Parse()
-	if err := run(*topo, *n, *seed, *proto, *sched, *summaryOnly, *recordFile, *replayFile); err != nil {
+	if err := run(*topo, *graphSpec, *n, *seed, *proto, *sched, *summaryOnly, *recordFile, *replayFile); err != nil {
 		fmt.Fprintln(os.Stderr, "anontrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topo string, n int, seed int64, proto, sched string, summaryOnly bool, recordFile, replayFile string) error {
+func run(topo, graphSpec string, n int, seed int64, proto, sched string, summaryOnly bool, recordFile, replayFile string) error {
 	var (
 		g   *graph.G
 		p   protocol.Protocol
@@ -60,7 +62,7 @@ func run(topo string, n int, seed int64, proto, sched string, summaryOnly bool, 
 	if replayFile != "" {
 		g, p, r, rec, err = replayRun(replayFile)
 	} else {
-		g, p, r, rec, err = liveRun(topo, n, seed, proto, sched, recordFile)
+		g, p, r, rec, err = liveRun(topo, graphSpec, n, seed, proto, sched, recordFile)
 	}
 	if err != nil {
 		return err
@@ -78,8 +80,14 @@ func run(topo string, n int, seed int64, proto, sched string, summaryOnly bool, 
 	return rec.WriteSummary(os.Stdout)
 }
 
-func liveRun(topo string, n int, seed int64, proto, sched, recordFile string) (*graph.G, protocol.Protocol, *sim.Result, *trace.Recorder, error) {
-	g, err := buildGraph(topo, n, seed)
+func liveRun(topo, graphSpec string, n int, seed int64, proto, sched, recordFile string) (*graph.G, protocol.Protocol, *sim.Result, *trace.Recorder, error) {
+	var g *graph.G
+	var err error
+	if graphSpec != "" {
+		g, err = scenario.Parse(graphSpec)
+	} else {
+		g, err = buildGraph(topo, n, seed)
+	}
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}

@@ -134,6 +134,46 @@ func TestArchitectureDocEngineMatrixInSync(t *testing.T) {
 	}
 }
 
+// TestArchitectureDocFaultColumnInSync drift-guards the fault-injection
+// column of the engine matrix: every engine row must state its fault
+// behavior. The engine set itself is guarded above; this guards the column —
+// sim.Options.Faults applies to every engine (the cross-engine conformance
+// suite enforces the semantics; this enforces the documentation).
+func TestArchitectureDocFaultColumnInSync(t *testing.T) {
+	data, err := os.ReadFile("docs/ARCHITECTURE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, col := false, -1
+	rows := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		switch {
+		case strings.Contains(line, "matrix:engines:begin"):
+			in = true
+		case strings.Contains(line, "matrix:engines:end"):
+			in = false
+		case in && strings.HasPrefix(line, "| engine"):
+			for i, cell := range strings.Split(line, "|") {
+				if strings.Contains(cell, "fault injection") {
+					col = i
+				}
+			}
+			if col < 0 {
+				t.Fatalf("engine matrix header lacks a fault-injection column: %q", line)
+			}
+		case in && strings.HasPrefix(line, "| `"):
+			rows++
+			cells := strings.Split(line, "|")
+			if col < 0 || col >= len(cells) || strings.TrimSpace(cells[col]) == "" {
+				t.Errorf("engine row lacks a fault-injection cell: %q", line)
+			}
+		}
+	}
+	if rows == 0 {
+		t.Fatal("no engine rows found between the matrix:engines markers")
+	}
+}
+
 // jsonTagsOf collects every `json` tag reachable from t, recursing through
 // nested structs, slices, and arrays — the full field vocabulary a marshaled
 // value can emit.

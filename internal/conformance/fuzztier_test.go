@@ -4,13 +4,16 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/protocol"
 	"repro/internal/replay"
 	"repro/internal/replay/fuzz"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -106,4 +109,71 @@ func saveFuzzRepro(t *testing.T, protoName string, g *graph.G, i int, v *fuzz.Vi
 		return
 	}
 	t.Logf("fuzz repro hook: saved %s", name)
+}
+
+// TestFuzzUnderFaults composes the differential schedule fuzzer with fault
+// plans — the tentpole's closing assertion. Seeds are recorded WITH the
+// plan active (crash-consumed deliveries are observed, so such traces stay
+// replayable), then every mutant runs under the same plan. Full outcome
+// invariance is not demanded: a Bernoulli coin is tied to an edge's k-th
+// send and mutation changes which message is the k-th, so the verdict is
+// legitimately schedule-dependent under loss. What must survive every
+// nearby schedule is the safety half of the theorems: the terminal never
+// declares termination unless the broadcast is complete, and no label or
+// topology invariant breaks. ANON_FUZZ_MUTATIONS scales the budget like
+// the corpus smoke tier.
+func TestFuzzUnderFaults(t *testing.T) {
+	mutations := 8
+	if s := os.Getenv("ANON_FUZZ_MUTATIONS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad ANON_FUZZ_MUTATIONS=%q", s)
+		}
+		mutations = n
+	}
+	for _, fam := range scenario.Families() {
+		g, err := scenario.Build(fam.Name, scenarioSizes[fam.Name], 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := &scenario.FaultPlan{LossPct: 25, Seed: 9}
+		faults, err := plan.Compile(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(fam.Name, func(t *testing.T) {
+			t.Parallel()
+			newProto := func() protocol.Protocol { return core.NewGeneralBroadcast([]byte("m")) }
+			var seeds []*replay.Trace
+			for _, schedName := range []string{"fifo", "random"} {
+				sched, err := sim.NewScheduler(schedName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec := replay.NewRecorder()
+				if _, err := sim.Run(g, newProto(), sim.Options{
+					Scheduler: sched, Seed: 23, Observer: rec, Faults: faults,
+				}); err != nil {
+					t.Fatalf("seed run %s: %v", schedName, err)
+				}
+				seeds = append(seeds, rec.Trace(g, newProto().Name(), schedName, 23))
+			}
+			rep, err := fuzz.CampaignOn(g, newProto, seeds, fuzz.Options{
+				Mutations:  mutations,
+				Seed:       11,
+				Faults:     faults,
+				SafetyOnly: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Log(rep)
+			if rep.Mutants == 0 {
+				t.Error("no mutants ran under the fault plan")
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("safety violation under %s with 25%% loss:\n got: %s\nwant: %s", v.Mutation, v.Got, v.Want)
+			}
+		})
+	}
 }

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/sim/shard"
 )
@@ -40,6 +42,10 @@ type BenchReport struct {
 	// broadcast on the sharded engine at 1 shard and at ShardBench.Shards
 	// shards, with the wall-clock speedup between them.
 	ShardBroadcast ShardBench `json:"shard_broadcast"`
+	// ScenarioBroadcast times the general broadcast on every family of the
+	// scenario registry (internal/scenario), one entry per family in name
+	// order — the topology-sensitivity slice of the trajectory.
+	ScenarioBroadcast []ScenarioBench `json:"scenario_broadcast"`
 	// Tiers is the wall-clock of each experiment sweep, registry order.
 	Tiers []TierBench `json:"tiers"`
 	// TotalWallMS is the wall-clock of the whole benchmark run.
@@ -102,6 +108,30 @@ type ShardBench struct {
 	Speedup float64 `json:"speedup"`
 }
 
+// ScenarioBench measures one scenario-registry family: the general
+// broadcast protocol (the only one sound on every graph class the registry
+// produces) on the sequential engine under the seeded random adversary.
+// Families differ wildly in fan-out and cycle structure, so these rows chart
+// how topology shape — not engine internals — moves the delivery rate.
+type ScenarioBench struct {
+	// Family is the registry name ("torus", "scalefree", ...).
+	Family string `json:"family"`
+	// Spec is the full replayable spec string the graph was built from,
+	// parameters and seed included.
+	Spec string `json:"spec"`
+	// Vertices and Edges describe the generated graph.
+	Vertices int `json:"vertices"`
+	Edges    int `json:"edges"`
+	// Scheduler names the adversary driving delivery order.
+	Scheduler string `json:"scheduler"`
+	// Repeats is the number of timed runs averaged below.
+	Repeats int `json:"repeats"`
+	// Deliveries is the per-run delivery count (schedule-independent).
+	Deliveries int `json:"deliveries"`
+	// NsPerDelivery is wall-clock nanoseconds per delivered message.
+	NsPerDelivery float64 `json:"ns_per_delivery"`
+}
+
 // TierBench is the wall-clock of one experiment sweep.
 type TierBench struct {
 	ID     string  `json:"id"`
@@ -109,8 +139,8 @@ type TierBench struct {
 }
 
 // benchSchemaVersion is the current BenchReport layout. v2 added
-// shard_broadcast.
-const benchSchemaVersion = 2
+// shard_broadcast; v3 added scenario_broadcast.
+const benchSchemaVersion = 3
 
 // RunBench produces the benchmark report: the broadcast microbenchmark
 // first, then every experiment tier, timed serially so tier wall-clocks are
@@ -139,6 +169,12 @@ func RunBench(quick bool) (*BenchReport, error) {
 		return nil, err
 	}
 	rep.ShardBroadcast = *sb
+
+	sc, err := benchScenarioBroadcast(quick, repeats)
+	if err != nil {
+		return nil, err
+	}
+	rep.ScenarioBroadcast = sc
 
 	for _, s := range Sweeps(quick) {
 		t0 := time.Now()
@@ -273,6 +309,123 @@ func benchShardBroadcast(vertices, repeats int) (*ShardBench, error) {
 	}, nil
 }
 
+// benchScenarioSizes parameterizes each registry family for the scenario
+// tier. Sizes are per family, not uniform: the general broadcast's traffic
+// grows roughly quadratically on the strongly connected families (torus,
+// regular, smallworld — every delivery can re-arm a cycle) and only
+// linearly on the DAGs, so comparable wall-clock means very different
+// vertex counts. Full sizes keep the whole tier in single-digit seconds.
+var benchScenarioSizes = map[string]map[string]int{
+	"layereddag": {"layers": 12, "width": 24},
+	"regular":    {"n": 100, "d": 3},
+	"scalefree":  {"n": 512, "m": 2},
+	"smallworld": {"n": 100, "k": 3},
+	"torus":      {"w": 10, "h": 10},
+}
+
+// benchScenarioSizesQuick is the reduced sweep for -quick.
+var benchScenarioSizesQuick = map[string]map[string]int{
+	"layereddag": {"layers": 6, "width": 10},
+	"regular":    {"n": 40, "d": 3},
+	"scalefree":  {"n": 128, "m": 2},
+	"smallworld": {"n": 40, "k": 3},
+	"torus":      {"w": 6, "h": 6},
+}
+
+// benchScenarioBroadcast runs the scenario tier: every registry family at
+// its bench size, in registry (name) order, seed 1.
+func benchScenarioBroadcast(quick bool, repeats int) ([]ScenarioBench, error) {
+	sizes := benchScenarioSizes
+	if quick {
+		sizes = benchScenarioSizesQuick
+	}
+	var out []ScenarioBench
+	for _, fam := range scenario.Families() {
+		params := sizes[fam.Name]
+		g, err := scenario.Build(fam.Name, params, 1)
+		if err != nil {
+			return nil, err
+		}
+		sb, err := timeScenario(fam.Name, scenarioSpec(fam, params, 1), g, repeats)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *sb)
+	}
+	return out, nil
+}
+
+// scenarioSpec renders the spec string the scenario tier ran, in the
+// family's declared parameter order so the string is deterministic.
+func scenarioSpec(fam scenario.Family, params map[string]int, seed int64) string {
+	var b strings.Builder
+	b.WriteString(fam.Name)
+	sep := ":"
+	for _, p := range fam.Params {
+		v, ok := params[p.Name]
+		if !ok {
+			v = p.Default
+		}
+		fmt.Fprintf(&b, "%s%s=%d", sep, p.Name, v)
+		sep = ","
+	}
+	fmt.Fprintf(&b, "%sseed=%d", sep, seed)
+	return b.String()
+}
+
+// BenchScenario times the sequential general broadcast on one scenario spec
+// — the measurement behind anonbench's -graph flag. The spec is recorded
+// verbatim in the result.
+func BenchScenario(spec string, repeats int) (*ScenarioBench, error) {
+	g, err := scenario.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	family, _, _ := strings.Cut(spec, ":")
+	return timeScenario(strings.TrimSpace(family), spec, g, repeats)
+}
+
+// timeScenario measures ns/delivery of the general broadcast on g: one
+// warm-up run, then repeats timed runs, mirroring benchBroadcast's protocol.
+func timeScenario(family, spec string, g *graph.G, repeats int) (*ScenarioBench, error) {
+	proto := core.NewGeneralBroadcast(nil)
+	opts := sim.Options{Order: sim.OrderRandom, Seed: 7}
+	run := func() (*sim.Result, error) {
+		r, err := sim.Run(g, proto, opts)
+		if err != nil {
+			return nil, err
+		}
+		if r.Verdict != sim.Terminated {
+			return nil, fmt.Errorf("scenario bench %s did not terminate on %s", spec, g)
+		}
+		return r, nil
+	}
+	warm, err := run()
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	deliveries := 0
+	for i := 0; i < repeats; i++ {
+		r, err := run()
+		if err != nil {
+			return nil, err
+		}
+		deliveries += r.Steps
+	}
+	elapsed := time.Since(t0)
+	return &ScenarioBench{
+		Family:        family,
+		Spec:          spec,
+		Vertices:      g.NumVertices(),
+		Edges:         g.NumEdges(),
+		Scheduler:     "random",
+		Repeats:       repeats,
+		Deliveries:    warm.Steps,
+		NsPerDelivery: float64(elapsed.Nanoseconds()) / float64(deliveries),
+	}, nil
+}
+
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
 // WriteBench serializes the report to path as indented JSON ("-" or empty
@@ -307,6 +460,13 @@ func ReadBench(path string) (*BenchReport, error) {
 // baseline's by more than this fraction fails the build.
 const MaxRegression = 0.25
 
+// MinShardSpeedup is the absolute scaling target of the sharding work:
+// a full-size (non-quick) run on a machine with at least benchShards cores
+// must deliver this 1-shard-vs-N-shard wall-clock ratio, independent of
+// what any baseline recorded. Quick runs are exempt — at 20k vertices the
+// superstep overhead dominates and the ratio is not meaningful.
+const MinShardSpeedup = 2.5
+
 // CompareBench gates cur against base: an error describes a hot-path
 // regression beyond MaxRegression, nil means within budget. Schema
 // mismatches are errors (the numbers would not be comparable), improvements
@@ -327,6 +487,17 @@ func CompareBench(cur, base *BenchReport) error {
 			cur.Broadcast.NsPerDelivery, base.Broadcast.NsPerDelivery, limit, int(MaxRegression*100))
 	}
 	if base.ShardBroadcast.Shards != 0 {
+		// The shard comparison is a function of available parallelism, so
+		// core-count drift between run and baseline is a hard failure here —
+		// not the stderr warning the single-threaded metrics get. A 1-core
+		// baseline would leave the speedup gate permanently unarmed (its
+		// speedup hovers near 1x and any multi-core run trivially clears the
+		// relative floor); CI regenerates the baseline on the gating runner
+		// when core counts differ (see .github/workflows/ci.yml).
+		if cur.Gomaxprocs != base.Gomaxprocs {
+			return fmt.Errorf("bench: shard_broadcast not comparable: baseline ran with GOMAXPROCS=%d, this run with %d — regenerate the baseline on this machine",
+				base.Gomaxprocs, cur.Gomaxprocs)
+		}
 		shardLimit := base.ShardBroadcast.NsPerDeliverySharded * (1 + MaxRegression)
 		if cur.ShardBroadcast.NsPerDeliverySharded > shardLimit {
 			return fmt.Errorf("bench: sharded ns/delivery regressed: %.1f vs baseline %.1f (limit %.1f, +%d%%)",
@@ -337,6 +508,11 @@ func CompareBench(cur, base *BenchReport) error {
 		if cur.ShardBroadcast.Speedup < floor {
 			return fmt.Errorf("bench: shard speedup regressed: %.2fx vs baseline %.2fx (floor %.2fx, -%d%%)",
 				cur.ShardBroadcast.Speedup, base.ShardBroadcast.Speedup, floor, int(MaxRegression*100))
+		}
+		if !cur.Quick && cur.Gomaxprocs >= cur.ShardBroadcast.Shards &&
+			cur.ShardBroadcast.Speedup < MinShardSpeedup {
+			return fmt.Errorf("bench: shard speedup %.2fx below the absolute %.2fx target (full-size run, GOMAXPROCS=%d >= %d shards)",
+				cur.ShardBroadcast.Speedup, MinShardSpeedup, cur.Gomaxprocs, cur.ShardBroadcast.Shards)
 		}
 	}
 	return nil

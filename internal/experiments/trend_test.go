@@ -111,6 +111,52 @@ func TestCompareBenchShardGate(t *testing.T) {
 	}
 }
 
+// TestCompareBenchGomaxprocsHardGate: core-count drift makes the shard
+// comparison a hard error (not a warning) — unless the baseline predates the
+// shard section, in which case there is no shard comparison to poison.
+func TestCompareBenchGomaxprocsHardGate(t *testing.T) {
+	base := benchReportFixture(800, 5.0, 400, 2.0)
+	cur := benchReportFixture(800, 5.0, 400, 2.0)
+	cur.Gomaxprocs = 1
+	if err := CompareBench(cur, base); err == nil || !strings.Contains(err.Error(), "GOMAXPROCS") {
+		t.Fatalf("core-count drift not rejected: %v", err)
+	}
+
+	oldBase := benchReportFixture(800, 5.0, 0, 0)
+	oldBase.ShardBroadcast = ShardBench{}
+	if err := CompareBench(cur, oldBase); err != nil {
+		t.Fatalf("v1 baseline must not arm the shard gate: %v", err)
+	}
+}
+
+// TestCompareBenchAbsoluteSpeedupFloor: a full-size run on a machine with at
+// least as many cores as shards must hit MinShardSpeedup regardless of the
+// baseline's level; quick runs and starved machines are exempt.
+func TestCompareBenchAbsoluteSpeedupFloor(t *testing.T) {
+	full := func(gomaxprocs int, speedup float64) *BenchReport {
+		r := benchReportFixture(800, 5.0, 400, speedup)
+		r.Quick = false
+		r.Gomaxprocs = gomaxprocs
+		return r
+	}
+
+	if err := CompareBench(full(4, 2.0), full(4, 2.0)); err == nil || !strings.Contains(err.Error(), "absolute") {
+		t.Fatalf("full-size multi-core run below %.1fx accepted: %v", MinShardSpeedup, err)
+	}
+	if err := CompareBench(full(4, 2.6), full(4, 2.6)); err != nil {
+		t.Fatalf("full-size run above the floor rejected: %v", err)
+	}
+	// Starved machine: fewer cores than shards, the floor does not apply.
+	if err := CompareBench(full(2, 0.9), full(2, 0.9)); err != nil {
+		t.Fatalf("starved machine must be exempt from the absolute floor: %v", err)
+	}
+	// Quick run: exempt even on a wide machine.
+	quick := benchReportFixture(800, 5.0, 400, 1.0)
+	if err := CompareBench(quick, quick); err != nil {
+		t.Fatalf("quick run must be exempt from the absolute floor: %v", err)
+	}
+}
+
 // TestStaleBaselineWarnings: toolchain or parallelism drift between run and
 // baseline must be reported, identical environments must not warn.
 func TestStaleBaselineWarnings(t *testing.T) {

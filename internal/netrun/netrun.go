@@ -56,6 +56,14 @@ func (e tcpEngine) Run(g *graph.G, p protocol.Protocol, simOpts sim.Options) (*s
 		// own Options keeps receiving events.
 		opts.Observer = sim.TeeObserver(opts.Observer, simOpts.Observer)
 	}
+	// Fault plans travel from the sim options into the socket tier, so no
+	// engine silently ignores them.
+	if simOpts.DropFirst != nil {
+		opts.DropFirst = simOpts.DropFirst
+	}
+	if simOpts.Faults != nil {
+		opts.Faults = simOpts.Faults
+	}
 	return Run(g, p, e.codec, opts)
 }
 
@@ -71,6 +79,13 @@ type Options struct {
 	// when the verdict is decided), exactly like the concurrent engine's
 	// observer stream.
 	Observer sim.Observer
+	// DropFirst and Faults are the deterministic fault plan of sim.Options,
+	// applied at the socket tier: a dropped send is metered and observed but
+	// its frame never hits the wire; a crashed vertex consumes frames
+	// without processing them. The engine adapter copies these from the sim
+	// options, so fault plans behave identically across all engines.
+	DropFirst map[graph.EdgeID]int
+	Faults    *sim.Faults
 }
 
 const (
@@ -131,6 +146,11 @@ func Run(g *graph.G, p protocol.Protocol, codec protocol.Codec, opts Options) (*
 		maxMsgs: opts.MaxMessages,
 		obs:     sim.NewSerializedObserver(opts.Observer),
 	}
+	faults, err := sim.NewFaultState(g, &sim.Options{DropFirst: opts.DropFirst, Faults: opts.Faults})
+	if err != nil {
+		return nil, err
+	}
+	r.faults = faults
 	r.res.Visited[g.Root()] = true
 
 	if err := r.listen(); err != nil {
@@ -167,6 +187,7 @@ func Run(g *graph.G, p protocol.Protocol, codec protocol.Codec, opts Options) (*
 	watcherWG.Wait()
 
 	r.res.Steps = int(r.steps.Load())
+	r.res.Dropped = r.faults.Dropped()
 	if r.err != nil {
 		return r.res, r.err
 	}
@@ -197,6 +218,7 @@ type runner struct {
 	steps    atomic.Int64
 	maxMsgs  int64
 	obs      *sim.SerializedObserver
+	faults   *sim.FaultState
 
 	metricsMu sync.Mutex
 	visitedMu sync.Mutex
@@ -388,7 +410,6 @@ func (r *runner) send(v graph.VertexID, j int, msg protocol.Message) error {
 		return fmt.Errorf("netrun: encode at vertex %d: %w", v, err)
 	}
 	e := r.g.OutEdge(v, j)
-	r.inFlight.Inc()
 	r.metricsMu.Lock()
 	r.res.Metrics.Messages++
 	r.res.Metrics.TotalBits += int64(bits)
@@ -407,6 +428,14 @@ func (r *runner) send(v graph.VertexID, j int, msg protocol.Message) error {
 		// deliver a message whose send was not yet linearized.
 		r.obs.OnSend(e.ID, msg)
 	}
+	// Fault plan: a dropped send is metered and observed (above) but its
+	// frame never hits the wire and it is never counted in flight. Only v's
+	// vertex loop (or the pre-worker injection) sends on v's out-edges, so
+	// the per-edge fault slots are race-free.
+	if r.faults.DropSend(e.ID) {
+		return nil
+	}
+	r.inFlight.Inc()
 
 	frame := make([]byte, 4+len(data))
 	binary.BigEndian.PutUint32(frame[:4], uint32(bits))
@@ -434,6 +463,12 @@ func (r *runner) vertexLoop(v graph.VertexID) {
 			// triggers are linearized after it. The observer renumbers steps
 			// in linearization order; our racy counter value is ignored.
 			r.obs.OnDeliver(0, r.g.InEdge(v, f.port).ID, f.msg)
+		}
+		if r.faults.CrashDelivery(v) {
+			// Crash-stopped vertex: consume the frame without processing it.
+			// Only this loop delivers to v, so the quota slot is race-free.
+			r.inFlight.Dec()
+			continue
 		}
 		r.visitedMu.Lock()
 		r.res.Visited[v] = true

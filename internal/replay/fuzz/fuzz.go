@@ -54,6 +54,21 @@ type Options struct {
 	// CampaignOn calls — with several seeds the reference is per-seed and
 	// must be recomputed.
 	Reference *sim.Result
+	// Faults, when non-nil, applies the fault plan to the reference replay
+	// and to every mutant run, composing the schedule fuzzer with fault
+	// injection. The plan's per-(edge, send-index) determinism keeps mutant
+	// runs reproducible. Campaigns under faults skip delta-debugging even
+	// when NoShrink is false: replay.Shrink replays candidates fault-free,
+	// so a shrunk trace would not witness the violation.
+	Faults *sim.Faults
+	// SafetyOnly relaxes the divergence oracle to the safety half of the
+	// theorems: a mutant violates only if its run errors, reports invariant
+	// problems (label collisions, broken topologies), or terminates without
+	// the broadcast complete. Use this with Faults: under loss, *which*
+	// verdict a schedule reaches is legitimately schedule-dependent (a
+	// Bernoulli coin is tied to an edge's k-th send, and mutation changes
+	// which message is the k-th), but termination must never lie.
+	SafetyOnly bool
 }
 
 // DefaultMutations is the per-seed mutant budget when Options.Mutations is 0.
@@ -124,7 +139,7 @@ func CampaignOn(g *graph.G, newProto func() protocol.Protocol, seeds []*replay.T
 		refR := opts.Reference
 		if refR == nil {
 			var err error
-			refR, err = replay.Run(g, newProto(), tr, sim.Options{})
+			refR, err = replay.Run(g, newProto(), tr, sim.Options{Faults: opts.Faults})
 			if err != nil {
 				return nil, fmt.Errorf("fuzz: seed %d reference replay: %w", si, err)
 			}
@@ -174,7 +189,9 @@ func runMutant(g *graph.G, newProto func() protocol.Protocol, seed *replay.Trace
 	}
 	comp := replay.NewCompletingReplayer(mut.Deliveries, fb)
 	rec := replay.NewRecorder()
-	r, runErr := sim.Run(g, newProto(), sim.Options{Scheduler: comp, Seed: seed.Seed, Observer: rec})
+	r, runErr := sim.Run(g, newProto(), sim.Options{
+		Scheduler: comp, Seed: seed.Seed, Observer: rec, Faults: opts.Faults,
+	})
 	skipped, completed := comp.Skipped(), comp.Completed()
 	var (
 		got      string
@@ -186,7 +203,11 @@ func runMutant(g *graph.G, newProto func() protocol.Protocol, seed *replay.Trace
 	} else {
 		o, problems := Compute(g, r)
 		got = outcomeString(o, problems)
-		diverged = o != refO || fmt.Sprint(problems) != fmt.Sprint(refProblems)
+		if opts.SafetyOnly {
+			diverged = len(problems) > 0 || (o.Verdict == sim.Terminated && !o.AllVisited)
+		} else {
+			diverged = o != refO || fmt.Sprint(problems) != fmt.Sprint(refProblems)
+		}
 	}
 	if !diverged {
 		return nil, skipped, completed, nil
@@ -196,7 +217,9 @@ func runMutant(g *graph.G, newProto func() protocol.Protocol, seed *replay.Trace
 	// Only an errored run's recording may be partial; a run that reached a
 	// verdict recorded its complete schedule, which stays strict-replayable.
 	v.Trace.Truncated = runErr != nil
-	if !opts.NoShrink {
+	// Shrinking replays candidates without the fault plan, so under faults
+	// the full trace is the evidence (see Options.Faults).
+	if !opts.NoShrink && opts.Faults == nil {
 		v.Shrunk = shrinkViolation(g, newProto, v.Trace, refO, refProblems, runErr, r)
 	}
 	return v, skipped, completed, nil

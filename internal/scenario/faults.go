@@ -1,0 +1,140 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// FaultPlan is the scenario-level fault description, generalizing the
+// engines' DropFirst shorthand: per-edge drop counts, a seeded Bernoulli
+// loss rate, and vertex crash-stops. Compile turns it into the sim layer's
+// deterministic fault mechanism (sim.Faults), so a plan composes with
+// replay, shrinking and the schedule fuzzer: the fate of the k-th message on
+// an edge is fixed regardless of schedule or engine.
+type FaultPlan struct {
+	// DropFirst[e] = k drops the first k messages sent on edge e.
+	DropFirst map[graph.EdgeID]int
+	// LossPct, in [0, 100], drops each remaining message with this percent
+	// probability, decided by a seeded hash per (edge, send index).
+	LossPct int
+	// Seed drives the Bernoulli loss decisions.
+	Seed int64
+	// CrashAfter[v] = k crash-stops vertex v after it processed k
+	// deliveries (k = 0: down from the start).
+	CrashAfter map[graph.VertexID]int
+}
+
+// Empty reports whether the plan injects no faults.
+func (p *FaultPlan) Empty() bool {
+	return p == nil || (len(p.DropFirst) == 0 && p.LossPct == 0 && len(p.CrashAfter) == 0)
+}
+
+// Compile validates the plan against g and lowers it to the sim layer's
+// fault mechanism. An empty plan compiles to nil (fault-free run).
+func (p *FaultPlan) Compile(g *graph.G) (*sim.Faults, error) {
+	if p.Empty() {
+		return nil, nil
+	}
+	if p.LossPct < 0 || p.LossPct > 100 {
+		return nil, fmt.Errorf("scenario: loss percentage %d outside [0, 100]", p.LossPct)
+	}
+	nE, nV := g.NumEdges(), g.NumVertices()
+	for e, k := range p.DropFirst {
+		if int(e) < 0 || int(e) >= nE {
+			return nil, fmt.Errorf("scenario: fault plan drops on edge %d, graph %s has %d edges", e, g, nE)
+		}
+		if k < 0 {
+			return nil, fmt.Errorf("scenario: negative drop count %d on edge %d", k, e)
+		}
+	}
+	for v, k := range p.CrashAfter {
+		if int(v) < 0 || int(v) >= nV {
+			return nil, fmt.Errorf("scenario: fault plan crashes vertex %d, graph %s has %d vertices", v, g, nV)
+		}
+		if k < 0 {
+			return nil, fmt.Errorf("scenario: negative crash quota %d on vertex %d", k, v)
+		}
+	}
+	return &sim.Faults{
+		DropFirst:  p.DropFirst,
+		LossRate:   float64(p.LossPct) / 100,
+		Seed:       p.Seed,
+		CrashAfter: p.CrashAfter,
+	}, nil
+}
+
+// ParseFaults reads a fault spec of the form
+//
+//	drop=EDGE:K,loss=PCT,crash=VERTEX:K,seed=N
+//
+// e.g. "drop=0:1" (drop the first message on edge 0), "loss=10,seed=7"
+// (10% seeded Bernoulli loss) or "crash=3:0" (vertex 3 down from the
+// start). drop= and crash= may repeat. An empty spec is the empty plan.
+func ParseFaults(spec string) (*FaultPlan, error) {
+	p := &FaultPlan{}
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return p, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		k, vs, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("scenario: bad fault term %q in %q (want key=value)", part, spec)
+		}
+		switch k {
+		case "drop":
+			id, cnt, err := parsePair(vs)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: bad drop term %q: %w (want drop=EDGE:K)", vs, err)
+			}
+			if p.DropFirst == nil {
+				p.DropFirst = make(map[graph.EdgeID]int)
+			}
+			p.DropFirst[graph.EdgeID(id)] += cnt
+		case "crash":
+			id, cnt, err := parsePair(vs)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: bad crash term %q: %w (want crash=VERTEX:K)", vs, err)
+			}
+			if p.CrashAfter == nil {
+				p.CrashAfter = make(map[graph.VertexID]int)
+			}
+			p.CrashAfter[graph.VertexID(id)] = cnt
+		case "loss":
+			pct, err := strconv.Atoi(vs)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: bad loss percentage %q", vs)
+			}
+			p.LossPct = pct
+		case "seed":
+			seed, err := strconv.ParseInt(vs, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: bad fault seed %q", vs)
+			}
+			p.Seed = seed
+		default:
+			return nil, fmt.Errorf("scenario: unknown fault term %q (have drop|loss|crash|seed)", k)
+		}
+	}
+	return p, nil
+}
+
+func parsePair(s string) (int, int, error) {
+	is, ks, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("missing ':'")
+	}
+	id, err := strconv.Atoi(is)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad id %q", is)
+	}
+	k, err := strconv.Atoi(ks)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad count %q", ks)
+	}
+	return id, k, nil
+}

@@ -1,0 +1,191 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// pinnedFingerprints locks every family at its default parameters and
+// seed 1. A change here means the generator is no longer the same pure
+// function of (family, params, seed) — old trace files and published
+// numbers would silently refer to different graphs.
+var pinnedFingerprints = map[string]uint64{
+	"layereddag": 0x0909ddba47d98117,
+	"regular":    0xad1c28ba69dd81ea,
+	"scalefree":  0x76fe5860d3441303,
+	"smallworld": 0xad96b040f868e701,
+	"torus":      0x7d2b07aca3ea0250,
+}
+
+// TestFamilyDeterminism: same (family, params, seed) — identical
+// fingerprint, pinned; different seed — a different graph (except torus,
+// which is deterministic by construction and ignores the seed).
+func TestFamilyDeterminism(t *testing.T) {
+	fams := Families()
+	if len(fams) != len(pinnedFingerprints) {
+		t.Fatalf("registry has %d families, pinned table has %d — pin the new family", len(fams), len(pinnedFingerprints))
+	}
+	for _, f := range fams {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			a, err := Build(f.Name, nil, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Build(f.Name, nil, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Fingerprint() != b.Fingerprint() {
+				t.Fatalf("two builds with seed 1 disagree: %016x vs %016x", a.Fingerprint(), b.Fingerprint())
+			}
+			want, ok := pinnedFingerprints[f.Name]
+			if !ok {
+				t.Fatalf("family %q not pinned", f.Name)
+			}
+			if a.Fingerprint() != want {
+				t.Fatalf("fingerprint %016x, pinned %016x — generator changed", a.Fingerprint(), want)
+			}
+			c, err := Build(f.Name, nil, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.Name != "torus" && c.Fingerprint() == a.Fingerprint() {
+				t.Fatalf("seed 2 reproduced seed 1's graph %016x — generator ignores the seed", a.Fingerprint())
+			}
+		})
+	}
+}
+
+// TestFamilyParams: parameters resize the graph and are validated.
+func TestFamilyParams(t *testing.T) {
+	g, err := Build("torus", map[string]int{"w": 5, "h": 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 5*4+2 {
+		t.Fatalf("torus w=5 h=4: %d vertices, want %d", g.NumVertices(), 5*4+2)
+	}
+	if _, err := Build("torus", map[string]int{"q": 3}, 1); err == nil || !strings.Contains(err.Error(), "no parameter") {
+		t.Fatalf("unknown parameter accepted: %v", err)
+	}
+	if _, err := Build("torus", map[string]int{"w": 1}, 1); err == nil || !strings.Contains(err.Error(), "below minimum") {
+		t.Fatalf("below-minimum parameter accepted: %v", err)
+	}
+	if _, err := Build("nope", nil, 1); err == nil || !strings.Contains(err.Error(), "unknown family") {
+		t.Fatalf("unknown family accepted: %v", err)
+	}
+}
+
+// TestParse: the CLI spec syntax round-trips into Build, including the
+// reserved seed key.
+func TestParse(t *testing.T) {
+	a, err := Parse("smallworld:n=12,k=2,p=30,seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build("smallworld", map[string]int{"n": 12, "k": 2, "p": 30}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("Parse and Build disagree: %016x vs %016x", a.Fingerprint(), b.Fingerprint())
+	}
+	if _, err := Parse("smallworld:k2"); err == nil {
+		t.Fatal("malformed parameter accepted")
+	}
+	if _, err := Parse(""); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	// Bare family name uses all defaults.
+	if _, err := Parse("torus"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseFaults: the fault spec syntax compiles down to sim.Faults.
+func TestParseFaults(t *testing.T) {
+	p, err := ParseFaults("drop=0:2,drop=1:1,loss=15,crash=3:0,seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DropFirst[0] != 2 || p.DropFirst[1] != 1 || p.LossPct != 15 || p.Seed != 42 || p.CrashAfter[3] != 0 {
+		t.Fatalf("parsed plan %+v", p)
+	}
+	if _, ok := p.CrashAfter[3]; !ok {
+		t.Fatal("crash entry missing")
+	}
+	g := graph.Chain(3)
+	f, err := p.Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.LossRate != 0.15 || f.Seed != 42 {
+		t.Fatalf("compiled faults %+v", f)
+	}
+
+	empty, err := ParseFaults("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !empty.Empty() {
+		t.Fatal("empty spec is not the empty plan")
+	}
+	if c, err := empty.Compile(g); err != nil || c != nil {
+		t.Fatalf("empty plan compiled to %v, %v", c, err)
+	}
+
+	for _, bad := range []string{"drop=0", "loss=pct", "crash=1", "warp=9", "loss=101,"} {
+		if _, err := ParseFaults(bad); err == nil {
+			t.Fatalf("bad spec %q accepted", bad)
+		}
+	}
+	// Out-of-range IDs are rejected at compile time against the graph.
+	oob, err := ParseFaults("drop=99:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oob.Compile(g); err == nil {
+		t.Fatal("out-of-range edge accepted by Compile")
+	}
+	if _, err := ParseFaults("loss=101"); err != nil {
+		t.Fatal("ParseFaults validates range lazily; Compile rejects it")
+	}
+	lossy, _ := ParseFaults("loss=101")
+	if _, err := lossy.Compile(g); err == nil {
+		t.Fatal("loss=101 accepted by Compile")
+	}
+}
+
+// TestCompiledPlanRuns: a compiled plan changes a real run the way the
+// sim layer promises — dropping the only initial message leaves the
+// network unvisited and the run quiescent.
+func TestCompiledPlanRuns(t *testing.T) {
+	g, err := Build("torus", nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootOut := g.OutEdgeIDs(g.Root())[0]
+	plan := &FaultPlan{DropFirst: map[graph.EdgeID]int{rootOut: 1}}
+	f, err := plan.Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sim.Run(g, core.NewGeneralBroadcast([]byte("x")), sim.Options{Faults: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != sim.Quiescent {
+		t.Fatalf("verdict %v, want quiescent after dropping sigma0", r.Verdict)
+	}
+	if r.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", r.Dropped)
+	}
+	if r.AllVisited() {
+		t.Fatal("all vertices visited although the only initial message was dropped")
+	}
+}

@@ -216,6 +216,69 @@ func TestBatchDrainScheduleEquivalence(t *testing.T) {
 	}
 }
 
+// TestBatchDrainRespectsFaultPlan extends the batch-drain equivalence to
+// fault-injected runs: with drops, Bernoulli loss or vertex crashes live,
+// the forced-choice batch drain must apply the fault plan message-for-
+// message exactly as the unbatched path does — byte-identical delivery
+// schedules and an identical drop count for every scheduler. The diamond's
+// reconvergence edge hosts both the forced run and the injected drop, so
+// the two mechanisms are exercised against each other.
+func TestBatchDrainRespectsFaultPlan(t *testing.T) {
+	g := diamondGraph()
+	c := graph.VertexID(4) // reconvergence vertex; its out-edge hosts the forced run
+	forcedEdge := g.OutEdgeIDs(c)[0]
+	plans := []*Faults{
+		{DropFirst: map[graph.EdgeID]int{forcedEdge: 1}},
+		{LossRate: 0.4, Seed: 3},
+		{CrashAfter: map[graph.VertexID]int{c: 1}},
+	}
+	for pi, plan := range plans {
+		for _, name := range SchedulerNames() {
+			t.Run(fmt.Sprintf("plan%d/%s", pi, name), func(t *testing.T) {
+				var logs [2]*scheduleLog
+				var results [2]*Result
+				for i, noBatch := range []bool{false, true} {
+					sched, err := NewScheduler(name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					log := &scheduleLog{}
+					r, err := Run(g, echoProto{ttl: 7, need: 2}, Options{
+						Scheduler:    sched,
+						Seed:         9,
+						Observer:     log,
+						NoBatchDrain: noBatch,
+						Faults:       plan,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					logs[i], results[i] = log, r
+				}
+				if !logs[0].equal(logs[1]) {
+					t.Fatalf("batched schedule diverges from unbatched under faults (%d vs %d deliveries)",
+						len(logs[0].edges), len(logs[1].edges))
+				}
+				if results[0].Dropped != results[1].Dropped {
+					t.Fatalf("batched run dropped %d messages, unbatched %d — drain bypasses the fault plan",
+						results[0].Dropped, results[1].Dropped)
+				}
+				if results[0].Dropped == 0 {
+					t.Fatalf("fault plan %d never engaged — the equivalence was vacuous", pi)
+				}
+				if results[0].Steps != results[1].Steps ||
+					results[0].Metrics.Messages != results[1].Metrics.Messages ||
+					results[0].Verdict != results[1].Verdict {
+					t.Fatalf("batched result diverges under faults: steps %d/%d msgs %d/%d verdict %s/%s",
+						results[0].Steps, results[1].Steps,
+						results[0].Metrics.Messages, results[1].Metrics.Messages,
+						results[0].Verdict, results[1].Verdict)
+				}
+			})
+		}
+	}
+}
+
 // TestBatchDrainDiamondForcedRun pins the minimal forced run exactly: under
 // fifo on the diamond, the reconvergence vertex's out-edge queues two
 // messages and nothing else is pending, so exactly one delivery is forced.

@@ -61,6 +61,10 @@ func RunConcurrent(g *graph.G, p protocol.Protocol, opts Options) (*Result, erro
 		maxSteps = DefaultMaxSteps
 	}
 
+	faults, err := NewFaultState(g, &opts)
+	if err != nil {
+		return nil, err
+	}
 	run := &concurrentRun{
 		g:         g,
 		nodes:     nodes,
@@ -68,6 +72,7 @@ func RunConcurrent(g *graph.G, p protocol.Protocol, opts Options) (*Result, erro
 		res:       res,
 		opts:      &opts,
 		obs:       NewSerializedObserver(opts.Observer),
+		faults:    faults,
 		maxSteps:  int64(maxSteps),
 		boxes:     make([]*mailbox, nV),
 		stopCh:    make(chan struct{}),
@@ -87,8 +92,11 @@ func RunConcurrent(g *graph.G, p protocol.Protocol, opts Options) (*Result, erro
 			continue
 		}
 		rootEdge := g.OutEdge(g.Root(), j)
-		run.inFlight.Add(1)
 		run.recordSend(rootEdge.ID, init)
+		if run.faults.DropSend(rootEdge.ID) {
+			continue
+		}
+		run.inFlight.Add(1)
 		run.boxes[rootEdge.To].push(delivery{port: rootEdge.ToPort, msg: init})
 	}
 
@@ -122,6 +130,7 @@ func RunConcurrent(g *graph.G, p protocol.Protocol, opts Options) (*Result, erro
 	watcherWG.Wait()
 
 	res.Steps = int(run.steps.Load())
+	res.Dropped = run.faults.Dropped()
 	// The quiescence counter already tracks in-flight-plus-processing
 	// messages O(1) per event; its high-water mark is the peak.
 	res.Metrics.PeakInFlight = int(run.inFlight.peak)
@@ -142,12 +151,13 @@ type delivery struct {
 }
 
 type concurrentRun struct {
-	g     *graph.G
-	nodes []protocol.Node
-	term  protocol.Terminal
-	res   *Result
-	opts  *Options
-	obs   *SerializedObserver
+	g      *graph.G
+	nodes  []protocol.Node
+	term   protocol.Terminal
+	res    *Result
+	opts   *Options
+	obs    *SerializedObserver
+	faults *FaultState
 
 	maxSteps int64
 	steps    atomic.Int64
@@ -209,6 +219,12 @@ func (r *concurrentRun) worker(v graph.VertexID) {
 			// in linearization order; our racy counter value is ignored.
 			r.obs.OnDeliver(0, r.g.InEdge(v, d.port).ID, d.msg)
 		}
+		if r.faults.CrashDelivery(v) {
+			// Crash-stopped vertex: consume without processing. Only this
+			// worker touches v's crash quota, so the check is race-free.
+			r.inFlight.dec()
+			continue
+		}
 		r.visitedMu[v].Lock()
 		r.res.Visited[v] = true
 		r.visitedMu[v].Unlock()
@@ -231,8 +247,14 @@ func (r *concurrentRun) worker(v graph.VertexID) {
 				continue
 			}
 			oe := r.g.Edge(outIDs[j])
-			r.inFlight.inc()
 			r.recordSend(oe.ID, out)
+			// Only this worker sends on v's out-edges, so the per-edge fault
+			// slots are race-free. A dropped send is metered and observed but
+			// never counted in flight or enqueued.
+			if r.faults.DropSend(oe.ID) {
+				continue
+			}
+			r.inFlight.inc()
 			r.boxes[oe.To].push(delivery{port: oe.ToPort, msg: out})
 		}
 		if v == r.g.Terminal() && r.term.Done() {

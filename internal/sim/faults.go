@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// Faults is a first-class, deterministic fault plan, generalizing the legacy
+// Options.DropFirst shorthand. The paper's model has reliable links; this
+// adversary exists to check the safety half of the theorems under faults — a
+// lost message or a crashed vertex may cost liveness (the protocol hangs,
+// correctly refusing to terminate) but must never let the terminal declare
+// termination before everyone got the broadcast.
+//
+// All fault decisions are pure functions of per-edge send indices and
+// per-vertex delivery counts, never of wall-clock or scheduler state. The
+// k-th message sent on an edge is dropped (or not) identically under every
+// schedule and on every engine, which is what keeps recorded traces
+// replayable, shrinkable and fuzzable with the plan applied.
+type Faults struct {
+	// DropFirst[e] = k discards the first k messages sent on edge e. Dropped
+	// messages are metered as traffic (Metrics.record, Observer.OnSend) but
+	// are never put in flight or delivered — exactly the semantics the
+	// sequential engine has always given Options.DropFirst.
+	DropFirst map[graph.EdgeID]int
+	// LossRate, in [0, 1], drops each message surviving DropFirst with this
+	// probability, decided by a hash of (Seed, edge, per-edge send index) —
+	// seeded Bernoulli loss that is reproducible across engines and
+	// schedules.
+	LossRate float64
+	// Seed drives the Bernoulli loss decisions. Independent of Options.Seed
+	// so the same loss pattern can be replayed under different schedules.
+	Seed int64
+	// CrashAfter[v] = k crash-stops vertex v after it has processed k
+	// deliveries: later messages addressed to v are consumed off the link
+	// (metered as delivered) but never processed — no state change, no
+	// outputs, and v does not count as having received the broadcast for
+	// deliveries past the quota. k = 0 means v is down from the start.
+	CrashAfter map[graph.VertexID]int
+}
+
+// empty reports whether the plan injects no faults at all. A negative
+// LossRate is NOT empty: it must reach validation and be rejected rather
+// than silently disabling the plan.
+func (f *Faults) empty() bool {
+	return f == nil || (len(f.DropFirst) == 0 && f.LossRate == 0 && len(f.CrashAfter) == 0)
+}
+
+// FaultState is the per-run compiled form of a fault plan. A nil *FaultState
+// is valid and injects nothing, so engines call its methods unconditionally.
+//
+// Concurrency contract: DropSend(e) may only be called by e's single sender
+// (every engine here has exactly one sending goroutine or owning shard per
+// edge) and CrashDelivery(v) only by v's single delivery consumer — the
+// per-edge and per-vertex slots then have one owner each and need no locks.
+// The aggregate dropped counter is atomic, so Dropped is safe anywhere.
+type FaultState struct {
+	drops    []int32  // remaining first-k drops, per edge
+	sendIdx  []uint32 // messages sent so far, per edge (drives Bernoulli loss)
+	lossRate float64
+	lossSeed int64
+	crash    []int32 // deliveries v may still process; -1 = never crashes
+	dropped  atomic.Int64
+}
+
+// NewFaultState compiles opts' fault plan (Options.Faults plus the legacy
+// Options.DropFirst shorthand, which is merged in) against g. It returns
+// (nil, nil) when no faults are configured and an error when the plan names
+// an edge or vertex g does not have, or carries an invalid rate or count.
+func NewFaultState(g *graph.G, opts *Options) (*FaultState, error) {
+	f := opts.Faults
+	if f.empty() && len(opts.DropFirst) == 0 {
+		return nil, nil
+	}
+	nE, nV := g.NumEdges(), g.NumVertices()
+	fs := &FaultState{
+		drops:   make([]int32, nE),
+		sendIdx: make([]uint32, nE),
+	}
+	addDrops := func(m map[graph.EdgeID]int) error {
+		for e, k := range m {
+			if int(e) < 0 || int(e) >= nE {
+				return fmt.Errorf("sim: fault plan drops on edge %d, graph has %d edges", e, nE)
+			}
+			if k < 0 {
+				return fmt.Errorf("sim: fault plan drop count %d on edge %d is negative", k, e)
+			}
+			fs.drops[e] += int32(k)
+		}
+		return nil
+	}
+	if err := addDrops(opts.DropFirst); err != nil {
+		return nil, err
+	}
+	if f != nil {
+		if err := addDrops(f.DropFirst); err != nil {
+			return nil, err
+		}
+		if f.LossRate < 0 || f.LossRate > 1 {
+			return nil, fmt.Errorf("sim: fault plan loss rate %v outside [0, 1]", f.LossRate)
+		}
+		fs.lossRate = f.LossRate
+		fs.lossSeed = f.Seed
+		if len(f.CrashAfter) > 0 {
+			fs.crash = make([]int32, nV)
+			for i := range fs.crash {
+				fs.crash[i] = -1
+			}
+			for v, k := range f.CrashAfter {
+				if int(v) < 0 || int(v) >= nV {
+					return nil, fmt.Errorf("sim: fault plan crashes vertex %d, graph has %d vertices", v, nV)
+				}
+				if k < 0 {
+					return nil, fmt.Errorf("sim: fault plan crash quota %d on vertex %d is negative", k, v)
+				}
+				fs.crash[v] = int32(k)
+			}
+		}
+	}
+	return fs, nil
+}
+
+// DropSend decides the fate of the next message sent on e: true means the
+// engine must discard it after metering (no queueing, no in-flight count).
+// Callable only by e's single sender; see the type comment.
+func (fs *FaultState) DropSend(e graph.EdgeID) bool {
+	if fs == nil {
+		return false
+	}
+	idx := fs.sendIdx[e]
+	fs.sendIdx[e] = idx + 1
+	if fs.drops[e] > 0 {
+		fs.drops[e]--
+		fs.dropped.Add(1)
+		return true
+	}
+	if fs.lossRate > 0 && bernoulli(fs.lossSeed, e, idx, fs.lossRate) {
+		fs.dropped.Add(1)
+		return true
+	}
+	return false
+}
+
+// CrashDelivery decides the fate of the next delivery to v: true means v has
+// crash-stopped and the engine must consume the message without processing
+// it. Callable only by v's single delivery consumer; see the type comment.
+func (fs *FaultState) CrashDelivery(v graph.VertexID) bool {
+	if fs == nil || fs.crash == nil {
+		return false
+	}
+	q := fs.crash[v]
+	if q < 0 {
+		return false
+	}
+	if q == 0 {
+		fs.dropped.Add(1)
+		return true
+	}
+	fs.crash[v] = q - 1
+	return false
+}
+
+// Dropped returns the number of messages the plan discarded so far: sends
+// dropped by DropFirst or Bernoulli loss plus deliveries consumed unprocessed
+// by crashed vertices.
+func (fs *FaultState) Dropped() int {
+	if fs == nil {
+		return 0
+	}
+	return int(fs.dropped.Load())
+}
+
+// bernoulli hashes (seed, edge, per-edge send index) through splitmix64 and
+// compares the top 53 bits against rate — a schedule-independent coin flip
+// for each individual message.
+func bernoulli(seed int64, e graph.EdgeID, idx uint32, rate float64) bool {
+	x := uint64(seed) ^ (uint64(e)+1)*0x9e3779b97f4a7c15 ^ (uint64(idx)+1)*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11)/(1<<53) < rate
+}

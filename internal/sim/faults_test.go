@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// The fault tests run floodProto (sim_test.go) on graph.Line, where the
+// message count per edge is exactly predictable: each edge carries exactly
+// one message, so drop and crash quotas have unambiguous effects.
+func lineGraph(n int) *graph.G { return graph.Line(n) }
+
+// TestFaultStateDropSemantics: DropFirst drops exactly the first k sends on
+// an edge, LossRate 1 drops everything, and the decisions are deterministic.
+func TestFaultStateDropSemantics(t *testing.T) {
+	g := lineGraph(3)
+	e := g.OutEdgeIDs(g.Root())[0]
+
+	fs, err := NewFaultState(g, &Options{DropFirst: map[graph.EdgeID]int{e: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fs.DropSend(e) || !fs.DropSend(e) {
+		t.Fatal("first two sends not dropped")
+	}
+	if fs.DropSend(e) {
+		t.Fatal("third send dropped, quota was 2")
+	}
+	if fs.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", fs.Dropped())
+	}
+
+	all, err := NewFaultState(g, &Options{Faults: &Faults{LossRate: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if !all.DropSend(e) {
+			t.Fatalf("send %d survived LossRate 1", i)
+		}
+	}
+
+	none, err := NewFaultState(g, &Options{Faults: &Faults{LossRate: 0, CrashAfter: map[graph.VertexID]int{1: 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if none.DropSend(e) {
+			t.Fatalf("send %d dropped with no send faults configured", i)
+		}
+	}
+}
+
+// TestFaultStateBernoulliDeterminism: the per-message loss decision is a
+// pure function of (seed, edge, send index) — two states with the same plan
+// agree on every message, a different seed disagrees somewhere, and the
+// empirical rate is in the right ballpark.
+func TestFaultStateBernoulliDeterminism(t *testing.T) {
+	g := lineGraph(3)
+	e := g.OutEdgeIDs(g.Root())[0]
+	mk := func(seed int64) *FaultState {
+		fs, err := NewFaultState(g, &Options{Faults: &Faults{LossRate: 0.3, Seed: seed}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	}
+	const n = 2000
+	a, b, c := mk(7), mk(7), mk(8)
+	dropsA, differ := 0, false
+	for i := 0; i < n; i++ {
+		da, db, dc := a.DropSend(e), b.DropSend(e), c.DropSend(e)
+		if da != db {
+			t.Fatalf("same plan disagrees at send %d", i)
+		}
+		if da != dc {
+			differ = true
+		}
+		if da {
+			dropsA++
+		}
+	}
+	if !differ {
+		t.Fatal("seeds 7 and 8 produced identical loss patterns over 2000 sends")
+	}
+	if dropsA < n*20/100 || dropsA > n*40/100 {
+		t.Fatalf("LossRate 0.3 dropped %d of %d", dropsA, n)
+	}
+}
+
+// TestFaultStateValidation: plans naming nonexistent edges or vertices, or
+// out-of-range rates, are rejected; an empty plan compiles to nil.
+func TestFaultStateValidation(t *testing.T) {
+	g := lineGraph(2)
+	if fs, err := NewFaultState(g, &Options{}); err != nil || fs != nil {
+		t.Fatalf("empty plan: %v, %v", fs, err)
+	}
+	bad := []Options{
+		{DropFirst: map[graph.EdgeID]int{graph.EdgeID(99): 1}},
+		{DropFirst: map[graph.EdgeID]int{0: -1}},
+		{Faults: &Faults{LossRate: 1.5}},
+		{Faults: &Faults{LossRate: -0.1}},
+		{Faults: &Faults{CrashAfter: map[graph.VertexID]int{99: 0}}},
+		{Faults: &Faults{CrashAfter: map[graph.VertexID]int{1: -2}}},
+	}
+	for i := range bad {
+		if _, err := NewFaultState(g, &bad[i]); err == nil {
+			t.Fatalf("plan %d accepted: %+v", i, bad[i])
+		}
+	}
+}
+
+// TestFaultStateCrash: CrashAfter lets exactly k deliveries through, then
+// swallows the rest; unconfigured vertices never crash.
+func TestFaultStateCrash(t *testing.T) {
+	g := lineGraph(3)
+	fs, err := NewFaultState(g, &Options{Faults: &Faults{CrashAfter: map[graph.VertexID]int{2: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := graph.VertexID(2)
+	if fs.CrashDelivery(v) || fs.CrashDelivery(v) {
+		t.Fatal("delivery within the quota swallowed")
+	}
+	if !fs.CrashDelivery(v) || !fs.CrashDelivery(v) {
+		t.Fatal("delivery past the quota processed")
+	}
+	if fs.CrashDelivery(graph.VertexID(1)) {
+		t.Fatal("unconfigured vertex crashed")
+	}
+	if fs.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", fs.Dropped())
+	}
+}
+
+// TestDropMeteringSemantics: on the sequential engine, a dropped message is
+// recorded as traffic and observed as a send, but never counted in flight,
+// queued, or delivered — the metering contract DropFirst has always had,
+// now restated over the generalized plan.
+func TestDropMeteringSemantics(t *testing.T) {
+	g := lineGraph(2) // s -> v1 -> v2 -> t
+	e0 := g.OutEdgeIDs(g.Root())[0]
+	obs := &scheduleLog{}
+	r, err := Run(g, floodProto{need: g.InDegree(g.Terminal())}, Options{
+		Observer: obs,
+		Faults:   &Faults{DropFirst: map[graph.EdgeID]int{e0: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != Quiescent {
+		t.Fatalf("verdict %v, want quiescent: sigma0 was dropped", r.Verdict)
+	}
+	if r.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", r.Dropped)
+	}
+	if r.Metrics.Messages != 1 {
+		t.Fatalf("Messages = %d, want 1 (the dropped send is still metered)", r.Metrics.Messages)
+	}
+	if r.Steps != 0 {
+		t.Fatalf("Steps = %d, want 0 (nothing was deliverable)", r.Steps)
+	}
+	if r.Metrics.PeakInFlight != 0 {
+		t.Fatalf("PeakInFlight = %d, want 0 (dropped sends are never in flight)", r.Metrics.PeakInFlight)
+	}
+	for v := 1; v < g.NumVertices(); v++ {
+		if r.Visited[v] {
+			t.Fatalf("vertex %d visited although sigma0 was dropped", v)
+		}
+	}
+}
+
+// TestCrashedVertexRun: a crash-stopped vertex blocks the broadcast behind
+// it — the run goes quiescent (the protocol correctly refuses to terminate)
+// and downstream vertices stay unvisited.
+func TestCrashedVertexRun(t *testing.T) {
+	g := lineGraph(3) // s=0 -> 1 -> 2 -> 3 -> t=4
+	r, err := Run(g, floodProto{need: g.InDegree(g.Terminal())}, Options{
+		Faults: &Faults{CrashAfter: map[graph.VertexID]int{2: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != Quiescent {
+		t.Fatalf("verdict %v, want quiescent behind the crash", r.Verdict)
+	}
+	if r.Visited[2] || r.Visited[3] {
+		t.Fatalf("crashed vertex or its downstream marked visited: %v", r.Visited)
+	}
+	if !r.Visited[1] {
+		t.Fatal("vertex before the crash should be visited")
+	}
+	if r.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1 swallowed delivery", r.Dropped)
+	}
+}

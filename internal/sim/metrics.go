@@ -215,7 +215,12 @@ type Result struct {
 	ForcedSteps int
 	// Rounds is the number of synchronous rounds (RunSynchronous only; the
 	// asynchronous engines leave it 0 — time is undefined for them).
-	Rounds  int
+	Rounds int
+	// Dropped counts messages discarded by the run's fault plan
+	// (Options.DropFirst / Options.Faults): sends dropped at the link plus
+	// deliveries consumed unprocessed by crashed vertices. Always 0 on a
+	// fault-free run.
+	Dropped int
 	Metrics Metrics
 	// Nodes holds the final protocol state of every vertex, indexed by
 	// vertex ID. The protocols themselves never see vertex identities; this
@@ -319,14 +324,20 @@ type Options struct {
 	// batch tests assert); this switch exists for those tests and for
 	// isolating the optimization when profiling.
 	NoBatchDrain bool
-	// DropFirst is a fault-injection plan for the deterministic engine Run:
+	// DropFirst is the legacy fault-injection shorthand, honored by every
+	// engine (sequential, concurrent, synchronous, TCP, sharded):
 	// DropFirst[e] = k silently discards the first k messages sent on edge
-	// e (they are metered as sent, never delivered). The paper's model has
-	// reliable links; this adversary exists to check the safety half of the
-	// theorems under faults — a lost message may cost liveness (the
-	// protocol hangs, correctly refusing to terminate) but must never let
-	// the terminal declare termination before everyone got the broadcast.
+	// e (they are metered as sent, never delivered). It is merged into the
+	// full fault plan; new code should set Faults directly.
 	DropFirst map[graph.EdgeID]int
+	// Faults is the full deterministic fault plan — per-edge first-k drops,
+	// seeded Bernoulli loss, vertex crash-stops — applied by every engine;
+	// see the Faults type. The paper's model has reliable links; faults
+	// exist to check the safety half of the theorems — a lost message may
+	// cost liveness (the protocol hangs, correctly refusing to terminate)
+	// but must never let the terminal declare termination before everyone
+	// got the broadcast.
+	Faults *Faults
 }
 
 // Observer receives the event stream of a deterministic run: protocol

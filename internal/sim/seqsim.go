@@ -93,13 +93,13 @@ func Run(g *graph.G, p protocol.Protocol, opts Options) (*Result, error) {
 	}()
 	var sendSeq uint64 // global send-sequence number, drives HeadSeq
 	var newPushes int  // scheduler registrations since the last delivery began
-	drops := make(map[graph.EdgeID]int, len(opts.DropFirst))
-	for e, k := range opts.DropFirst {
-		drops[e] = k
+	faults, err := NewFaultState(g, &opts)
+	if err != nil {
+		return nil, err
 	}
+	defer func() { res.Dropped = faults.Dropped() }()
 	push := func(e graph.EdgeID, msg protocol.Message) {
-		if drops[e] > 0 {
-			drops[e]--
+		if faults.DropSend(e) {
 			return
 		}
 		res.Metrics.sent()
@@ -161,34 +161,44 @@ func Run(g *graph.G, p protocol.Protocol, opts Options) (*Result, error) {
 			newPushes = 0
 
 			edge := g.Edge(e)
-			res.Visited[edge.To] = true
-			if opts.Observer != nil {
-				opts.Observer.OnDeliver(res.Steps, e, msg)
-			}
-			outs, err := nodes[edge.To].Receive(msg, edge.ToPort)
-			if err != nil {
-				return res, fmt.Errorf("sim: vertex %d receive: %w", edge.To, err)
-			}
-			if outs != nil && len(outs) != g.OutDegree(edge.To) {
-				return res, fmt.Errorf("sim: vertex %d returned %d outputs, out-degree is %d",
-					edge.To, len(outs), g.OutDegree(edge.To))
-			}
-			outIDs := g.OutEdgeIDs(edge.To)
-			for j, out := range outs {
-				if out == nil {
-					continue
-				}
-				oe := outIDs[j]
-				res.Metrics.record(oe, out)
+			if faults.CrashDelivery(edge.To) {
+				// Crash-stopped vertex: the message is consumed off the link
+				// (the delivery stays in the schedule, so recorded traces
+				// replay) but never processed — no state change, no outputs,
+				// and the vertex does not count as reached.
 				if opts.Observer != nil {
-					opts.Observer.OnSend(oe, out)
+					opts.Observer.OnDeliver(res.Steps, e, msg)
 				}
-				push(oe, out)
-			}
-			if edge.To == g.Terminal() && term.Done() {
-				res.Verdict = Terminated
-				res.Output = term.Output()
-				return res, nil
+			} else {
+				res.Visited[edge.To] = true
+				if opts.Observer != nil {
+					opts.Observer.OnDeliver(res.Steps, e, msg)
+				}
+				outs, err := nodes[edge.To].Receive(msg, edge.ToPort)
+				if err != nil {
+					return res, fmt.Errorf("sim: vertex %d receive: %w", edge.To, err)
+				}
+				if outs != nil && len(outs) != g.OutDegree(edge.To) {
+					return res, fmt.Errorf("sim: vertex %d returned %d outputs, out-degree is %d",
+						edge.To, len(outs), g.OutDegree(edge.To))
+				}
+				outIDs := g.OutEdgeIDs(edge.To)
+				for j, out := range outs {
+					if out == nil {
+						continue
+					}
+					oe := outIDs[j]
+					res.Metrics.record(oe, out)
+					if opts.Observer != nil {
+						opts.Observer.OnSend(oe, out)
+					}
+					push(oe, out)
+				}
+				if edge.To == g.Terminal() && term.Done() {
+					res.Verdict = Terminated
+					res.Output = term.Output()
+					return res, nil
+				}
 			}
 
 			if !pendingHere || !batchOn {

@@ -95,10 +95,11 @@ type shardState struct {
 }
 
 // shardRun is the state shared across shards. Every mutable slice is indexed
-// by edge or vertex and each index has exactly one owning shard: queues and
-// visited belong to the shard of the edge's head / the vertex, per-edge
-// metric slots and drop counters to the shard of the edge's tail (the only
-// sender). The race detector runs over this engine in the conformance suite.
+// by edge or vertex and each index has exactly one owning shard: queues,
+// visited and crash quotas belong to the shard of the edge's head / the
+// vertex, per-edge metric slots and send-fault counters to the shard of the
+// edge's tail (the only sender). The race detector runs over this engine in
+// the conformance suite.
 type shardRun struct {
 	g      *graph.G
 	part   *graph.Partition
@@ -109,7 +110,7 @@ type shardRun struct {
 
 	queues  []msgq.Queue
 	visited []bool
-	drops   []int32
+	faults  *sim.FaultState
 
 	perEdgeBits []int64
 	perEdgeMsgs []int
@@ -151,6 +152,10 @@ func run(g *graph.G, p protocol.Protocol, opts sim.Options, shards int) (*sim.Re
 		nodes[v] = n
 	}
 
+	faults, err := sim.NewFaultState(g, &opts)
+	if err != nil {
+		return nil, err
+	}
 	part := graph.PartitionGraph(g, shards, opts.Seed)
 	run := &shardRun{
 		g:             g,
@@ -161,7 +166,7 @@ func run(g *graph.G, p protocol.Protocol, opts sim.Options, shards int) (*sim.Re
 		obs:           sim.NewSerializedObserver(opts.Observer),
 		queues:        make([]msgq.Queue, nE),
 		visited:       make([]bool, nV),
-		drops:         make([]int32, nE),
+		faults:        faults,
 		perEdgeBits:   make([]int64, nE),
 		perEdgeMsgs:   make([]int, nE),
 		trackAlphabet: opts.TrackAlphabet,
@@ -176,9 +181,6 @@ func run(g *graph.G, p protocol.Protocol, opts sim.Options, shards int) (*sim.Re
 	}()
 	if run.trackFirstSym {
 		run.firstSym = make([]uint32, nE)
-	}
-	for e, k := range opts.DropFirst {
-		run.drops[e] = int32(k)
 	}
 	for s := 0; s < part.K; s++ {
 		sched, err := sim.NewScheduler(schedName)
@@ -235,8 +237,7 @@ func run(g *graph.G, p protocol.Protocol, opts sim.Options, shards int) (*sim.Re
 		if run.obs != nil {
 			run.obs.OnSend(rootEdge.ID, init)
 		}
-		if run.drops[rootEdge.ID] > 0 {
-			run.drops[rootEdge.ID]--
+		if run.faults.DropSend(rootEdge.ID) {
 			continue
 		}
 		rootShard.aliveSent++
@@ -378,54 +379,62 @@ func (st *shardState) drain(run *shardRun, budget int) {
 			newPushes := 0
 
 			edge := run.g.Edge(e)
-			run.visited[edge.To] = true
-			if run.obs != nil {
-				run.obs.OnDeliver(0, e, msg)
-			}
-			outs, err := run.nodes[edge.To].Receive(msg, edge.ToPort)
-			if err != nil {
-				st.err = fmt.Errorf("shard: vertex %d receive: %w", edge.To, err)
-				st.steps += n
-				return
-			}
-			if outs != nil && len(outs) != run.g.OutDegree(edge.To) {
-				st.err = fmt.Errorf("shard: vertex %d returned %d outputs, out-degree is %d",
-					edge.To, len(outs), run.g.OutDegree(edge.To))
-				st.steps += n
-				return
-			}
-			outIDs := run.g.OutEdgeIDs(edge.To)
-			for j, out := range outs {
-				if out == nil {
-					continue
-				}
-				oe := outIDs[j]
-				st.record(run, oe, out)
+			if run.faults.CrashDelivery(edge.To) {
+				// Crash-stopped vertex: consume without processing. The crash
+				// quota slot is owned by this shard (edge.To's owner — the
+				// only shard that delivers to it), so the check is race-free.
 				if run.obs != nil {
-					run.obs.OnSend(oe, out)
+					run.obs.OnDeliver(0, e, msg)
 				}
-				if run.drops[oe] > 0 {
-					run.drops[oe]--
-					continue
+			} else {
+				run.visited[edge.To] = true
+				if run.obs != nil {
+					run.obs.OnDeliver(0, e, msg)
 				}
-				st.aliveSent++
-				dst := run.part.Of[run.g.Edge(oe).To]
-				if dst == st.id {
-					seq := st.sendSeq
-					st.sendSeq++
-					run.queues[oe].Push(out, seq)
-					if run.queues[oe].Len() == 1 {
-						sched.Push(sim.PendingEdge{Edge: oe, HeadSeq: seq})
-						newPushes++
+				outs, err := run.nodes[edge.To].Receive(msg, edge.ToPort)
+				if err != nil {
+					st.err = fmt.Errorf("shard: vertex %d receive: %w", edge.To, err)
+					st.steps += n
+					return
+				}
+				if outs != nil && len(outs) != run.g.OutDegree(edge.To) {
+					st.err = fmt.Errorf("shard: vertex %d returned %d outputs, out-degree is %d",
+						edge.To, len(outs), run.g.OutDegree(edge.To))
+					st.steps += n
+					return
+				}
+				outIDs := run.g.OutEdgeIDs(edge.To)
+				for j, out := range outs {
+					if out == nil {
+						continue
 					}
-				} else {
-					st.out[dst] = append(st.out[dst], outMsg{edge: oe, msg: out})
+					oe := outIDs[j]
+					st.record(run, oe, out)
+					if run.obs != nil {
+						run.obs.OnSend(oe, out)
+					}
+					if run.faults.DropSend(oe) {
+						continue
+					}
+					st.aliveSent++
+					dst := run.part.Of[run.g.Edge(oe).To]
+					if dst == st.id {
+						seq := st.sendSeq
+						st.sendSeq++
+						run.queues[oe].Push(out, seq)
+						if run.queues[oe].Len() == 1 {
+							sched.Push(sim.PendingEdge{Edge: oe, HeadSeq: seq})
+							newPushes++
+						}
+					} else {
+						st.out[dst] = append(st.out[dst], outMsg{edge: oe, msg: out})
+					}
 				}
-			}
-			if edge.To == run.g.Terminal() && run.term.Done() {
-				st.terminated = true
-				st.steps += n
-				return
+				if edge.To == run.g.Terminal() && run.term.Done() {
+					st.terminated = true
+					st.steps += n
+					return
+				}
 			}
 
 			if !pendingHere || !st.batchOn {
@@ -491,6 +500,7 @@ func (run *shardRun) finalize(res *sim.Result, peak int) {
 	m.PerEdgeBits = run.perEdgeBits
 	m.PerEdgeMsgs = run.perEdgeMsgs
 	m.PeakInFlight = peak
+	res.Dropped = run.faults.Dropped()
 	for _, st := range run.states {
 		m.Messages += st.messages
 		m.TotalBits += st.totalBits

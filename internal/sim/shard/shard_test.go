@@ -288,3 +288,86 @@ func (fakeSched) Reset(sim.SchedContext) {}
 func (fakeSched) Push(sim.PendingEdge)   {}
 func (fakeSched) Pop() graph.EdgeID      { return 0 }
 func (fakeSched) Len() int               { return 0 }
+
+// shardScheduleLog records the linearized delivery sequence the engine's
+// SerializedObserver emits — the object the batch-drain/fault equivalence
+// below quantifies over.
+type shardScheduleLog struct {
+	edges []graph.EdgeID
+	keys  []string
+}
+
+func (l *shardScheduleLog) OnSend(graph.EdgeID, protocol.Message) {}
+func (l *shardScheduleLog) OnDeliver(_ int, e graph.EdgeID, msg protocol.Message) {
+	l.edges = append(l.edges, e)
+	l.keys = append(l.keys, msg.Key())
+}
+
+func (l *shardScheduleLog) equal(o *shardScheduleLog) bool {
+	if len(l.edges) != len(o.edges) {
+		return false
+	}
+	for i := range l.edges {
+		if l.edges[i] != o.edges[i] || l.keys[i] != o.keys[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShardBatchDrainRespectsFaultPlan: the sharded engine's forced-choice
+// batch drain must apply fault plans message-for-message like its unbatched
+// path. With one shard the engine is fully deterministic, so the delivery
+// schedule must be byte-identical with batching on and off; with several
+// shards the linearization is thread-timing dependent, but every
+// deterministic aggregate — steps, messages, drop count, verdict, visited
+// set — must agree between the batched and unbatched runs.
+func TestShardBatchDrainRespectsFaultPlan(t *testing.T) {
+	g := graph.Chain(5)
+	midEdge := g.OutEdge(graph.VertexID(2), 0)
+	plans := []*sim.Faults{
+		{DropFirst: map[graph.EdgeID]int{midEdge.ID: 1}},
+		{CrashAfter: map[graph.VertexID]int{3: 0}},
+	}
+	for pi, plan := range plans {
+		// shards = 1: byte-identical schedules.
+		var logs [2]*shardScheduleLog
+		var results [2]*sim.Result
+		for i, noBatch := range []bool{false, true} {
+			log := &shardScheduleLog{}
+			r, err := Engine(1).Run(g, core.NewGeneralBroadcast([]byte("m")), sim.Options{
+				Observer: log, NoBatchDrain: noBatch, Faults: plan,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			logs[i], results[i] = log, r
+		}
+		if !logs[0].equal(logs[1]) {
+			t.Fatalf("plan %d: one-shard batched schedule diverges from unbatched (%d vs %d deliveries)",
+				pi, len(logs[0].edges), len(logs[1].edges))
+		}
+		if results[0].Dropped != results[1].Dropped || results[0].Dropped == 0 {
+			t.Fatalf("plan %d: batched run dropped %d, unbatched %d (want equal and nonzero)",
+				pi, results[0].Dropped, results[1].Dropped)
+		}
+
+		// shards = 4: deterministic aggregates.
+		for i, noBatch := range []bool{false, true} {
+			r, err := Engine(4).Run(g, core.NewGeneralBroadcast([]byte("m")), sim.Options{
+				NoBatchDrain: noBatch, Faults: plan,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := results[i]
+			if r.Steps != ref.Steps || r.Metrics.Messages != ref.Metrics.Messages ||
+				r.Dropped != ref.Dropped || r.Verdict != ref.Verdict ||
+				!reflect.DeepEqual(r.Visited, ref.Visited) {
+				t.Fatalf("plan %d noBatch=%v: four-shard aggregates diverge from one-shard: steps %d/%d msgs %d/%d dropped %d/%d verdict %s/%s",
+					pi, noBatch, r.Steps, ref.Steps, r.Metrics.Messages, ref.Metrics.Messages,
+					r.Dropped, ref.Dropped, r.Verdict, ref.Verdict)
+			}
+		}
+	}
+}

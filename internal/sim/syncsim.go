@@ -47,6 +47,12 @@ func RunSynchronous(g *graph.G, p protocol.Protocol, opts Options) (*Result, err
 	defer res.Metrics.finalize()
 	res.Visited[g.Root()] = true
 
+	faults, err := NewFaultState(g, &opts)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { res.Dropped = faults.Dropped() }()
+
 	maxSteps := opts.MaxSteps
 	if maxSteps <= 0 {
 		maxSteps = DefaultMaxSteps
@@ -67,10 +73,13 @@ func RunSynchronous(g *graph.G, p protocol.Protocol, opts Options) (*Result, err
 		}
 		rootEdge := g.OutEdge(g.Root(), j)
 		res.Metrics.record(rootEdge.ID, init)
-		res.Metrics.sent()
 		if opts.Observer != nil {
 			opts.Observer.OnSend(rootEdge.ID, init)
 		}
+		if faults.DropSend(rootEdge.ID) {
+			continue
+		}
+		res.Metrics.sent()
 		current = append(current, flight{edge: rootEdge.ID, msg: init})
 	}
 
@@ -84,6 +93,14 @@ func RunSynchronous(g *graph.G, p protocol.Protocol, opts Options) (*Result, err
 			res.Steps++
 			res.Metrics.delivered()
 			edge := g.Edge(f.edge)
+			if faults.CrashDelivery(edge.To) {
+				// Crash-stopped vertex: consume without processing (see the
+				// sequential engine's crash hook for the semantics).
+				if opts.Observer != nil {
+					opts.Observer.OnDeliver(res.Steps, f.edge, f.msg)
+				}
+				continue
+			}
 			res.Visited[edge.To] = true
 			if opts.Observer != nil {
 				opts.Observer.OnDeliver(res.Steps, f.edge, f.msg)
@@ -103,10 +120,13 @@ func RunSynchronous(g *graph.G, p protocol.Protocol, opts Options) (*Result, err
 				}
 				oe := outIDs[j]
 				res.Metrics.record(oe, out)
-				res.Metrics.sent()
 				if opts.Observer != nil {
 					opts.Observer.OnSend(oe, out)
 				}
+				if faults.DropSend(oe) {
+					continue
+				}
+				res.Metrics.sent()
 				next = append(next, flight{edge: oe, msg: out})
 			}
 			if edge.To == g.Terminal() && term.Done() {

@@ -2,6 +2,7 @@ package anonnet
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/replay"
 	"repro/internal/replay/fuzz"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/sim/shard"
 )
@@ -144,6 +146,8 @@ type runConfig struct {
 	replayTr *TraceData
 	fuzzN    int
 	fuzzDst  **FuzzReport
+	scenario string
+	faults   string
 }
 
 // WithEngine selects the execution engine.
@@ -202,6 +206,83 @@ func WithScheduleFuzz(mutations int, dst **FuzzReport) Option {
 // network, the protocol, or the engine's behavior no longer matches the
 // recording.
 func WithReplayTrace(t *TraceData) Option { return func(c *runConfig) { c.replayTr = t } }
+
+// WithScenario builds the run's network from a scenario registry spec
+// instead of an explicit Network: "family[:param=value,...]" with the
+// reserved key seed, e.g. "smallworld:n=32,p=25,seed=7". ScenarioFamilies
+// lists the families; every graph is a pure function of (family, params,
+// seed). Pass a nil Network to Broadcast / AssignLabels / ExtractTopology
+// when this option is set — a non-nil Network alongside it is an error.
+// A fault spec may ride along after '@' ("torus:w=4@loss=10,seed=3"),
+// equivalent to WithFaults.
+func WithScenario(spec string) Option { return func(c *runConfig) { c.scenario = spec } }
+
+// WithFaults injects a deterministic fault plan, compiled against the run's
+// network: "drop=EDGE:K,loss=PCT,crash=VERTEX:K,seed=N" (terms optional and
+// repeatable; see internal/scenario.ParseFaults). Dropped messages are
+// metered but never delivered; crashed vertices consume deliveries without
+// processing them. Report.Dropped counts the plan's effect. The fate of the
+// k-th message on an edge is fixed by the plan alone, so fault runs compose
+// with trace record/replay and the schedule fuzzer.
+func WithFaults(spec string) Option { return func(c *runConfig) { c.faults = spec } }
+
+// ScenarioFamilies lists the scenario registry's family names, sorted.
+func ScenarioFamilies() []string { return scenario.Names() }
+
+// ScenarioNetwork builds a Network from a scenario spec
+// ("family[:param=value,...]"), the same syntax WithScenario and the CLIs'
+// -graph flags accept.
+func ScenarioNetwork(spec string) (*Network, error) {
+	g, err := scenario.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(g), nil
+}
+
+// splitScenarioSpec separates "family:params@faultspec" into its graph and
+// fault halves.
+func splitScenarioSpec(spec string) (graphSpec, faultSpec string) {
+	graphSpec, faultSpec, _ = strings.Cut(spec, "@")
+	return graphSpec, faultSpec
+}
+
+// resolveNetwork applies WithScenario: it builds the scenario network, or
+// passes the explicit one through, rejecting ambiguous calls that give both.
+func (c runConfig) resolveNetwork(n *Network) (*Network, error) {
+	graphSpec, _ := splitScenarioSpec(c.scenario)
+	if graphSpec == "" {
+		if n == nil {
+			return nil, fmt.Errorf("anonnet: nil network (pass one, or select a generated family via WithScenario)")
+		}
+		return n, nil
+	}
+	if n != nil {
+		return nil, fmt.Errorf("anonnet: WithScenario(%q) conflicts with an explicitly passed network", c.scenario)
+	}
+	return ScenarioNetwork(graphSpec)
+}
+
+// faultOptions compiles the configured fault spec (WithFaults, or the
+// '@'-suffix of WithScenario) against the resolved graph.
+func (c runConfig) faultOptions(g *graph.G) (*sim.Faults, error) {
+	_, fromScenario := splitScenarioSpec(c.scenario)
+	spec := c.faults
+	if fromScenario != "" {
+		if spec != "" {
+			return nil, fmt.Errorf("anonnet: fault plans given both via WithFaults(%q) and WithScenario(%q)", c.faults, c.scenario)
+		}
+		spec = fromScenario
+	}
+	if spec == "" {
+		return nil, nil
+	}
+	plan, err := scenario.ParseFaults(spec)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Compile(g)
+}
 
 // TraceData is a recorded delivery schedule with its provenance header (see
 // internal/replay for the format). It is self-contained: the network it was
@@ -304,6 +385,10 @@ type Report struct {
 	PeakInFlight int
 	// MaxStateBits is the largest per-vertex memory footprint observed.
 	MaxStateBits int
+	// Dropped counts messages discarded by the run's fault plan (WithFaults
+	// or WithScenario's '@'-suffix): dropped sends plus deliveries consumed
+	// by crashed vertices. Always 0 on a fault-free run.
+	Dropped int
 }
 
 func buildConfig(opts []Option) runConfig {
@@ -361,6 +446,10 @@ func (c runConfig) execute(g *graph.G, newProto func() protocol.Protocol) (*sim.
 		return nil, err
 	}
 	opts, err := c.simOptions()
+	if err != nil {
+		return nil, err
+	}
+	opts.Faults, err = c.faultOptions(g)
 	if err != nil {
 		return nil, err
 	}
@@ -467,6 +556,7 @@ func report(p protocol.Protocol, r *sim.Result) *Report {
 		Rounds:         r.Rounds,
 		PeakInFlight:   r.Metrics.PeakInFlight,
 		MaxStateBits:   r.MaxStateBits(),
+		Dropped:        r.Dropped,
 	}
 }
 
@@ -500,6 +590,10 @@ func selectProtocol(n *Network, kind ProtocolKind, m []byte) (protocol.Protocol,
 // the report of the quiesced run.
 func Broadcast(n *Network, m []byte, opts ...Option) (*Report, error) {
 	c := buildConfig(opts)
+	n, err := c.resolveNetwork(n)
+	if err != nil {
+		return nil, err
+	}
 	p, err := selectProtocol(n, c.kind, m)
 	if err != nil {
 		return nil, err
@@ -544,6 +638,10 @@ func (l Label) Equal(o Label) bool { return l.union.Equal(o.union) }
 // and receive none).
 func AssignLabels(n *Network, opts ...Option) (map[VertexID]Label, *Report, error) {
 	c := buildConfig(opts)
+	n, err := c.resolveNetwork(n)
+	if err != nil {
+		return nil, nil, err
+	}
 	p := core.NewLabelAssign(nil)
 	r, err := c.execute(n.graphHandle(), func() protocol.Protocol { return core.NewLabelAssign(nil) })
 	if err != nil {
@@ -606,6 +704,10 @@ func (t *Topology) IsomorphicTo(n *Network) (bool, error) {
 // topology.
 func ExtractTopology(n *Network, opts ...Option) (*Topology, *Report, error) {
 	c := buildConfig(opts)
+	n, err := c.resolveNetwork(n)
+	if err != nil {
+		return nil, nil, err
+	}
 	p := core.NewMapExtract(nil)
 	r, err := c.execute(n.graphHandle(), func() protocol.Protocol { return core.NewMapExtract(nil) })
 	if err != nil {
