@@ -7,9 +7,16 @@
 // Usage:
 //
 //	anonbench [-only E5] [-quick] [-sched greedy] [-workers N] [-v]
-//	anonbench -bench [-quick] [-json BENCH.json] [-baseline BENCH_baseline.json]
+//	anonbench -bench [-quick] [-json BENCH.json] [-baseline BENCH_baseline.json] [-obs TIMELINE.json]
 //	anonbench -trend BENCH_a.json BENCH_b.json [BENCH_c.json ...]
 //	anonbench -graph "torus:w=36,h=32" [-repeats 3]
+//
+// Profiling: -cpuprofile FILE captures a CPU profile of the selected mode,
+// -memprofile FILE a heap snapshot at exit; both load into `go tool pprof`.
+// In bench mode -obs FILE additionally writes TIMELINE.json — the benchmark
+// workload's run-telemetry report (docs/OBSERVABILITY.md), captured in an
+// untimed extra run so the measured numbers stay undistorted; -obs-every N
+// sets its sampling stride.
 //
 // With -quick, reduced parameter sweeps are used (for smoke testing). With
 // -sched, every sequential run in the sweeps uses the named adversarial
@@ -40,6 +47,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -59,11 +68,27 @@ func main() {
 	baseline := flag.String("baseline", "", "bench mode: compare against this baseline BENCH.json and fail on >25% regression (ns/delivery, shard speedup)")
 	graphSpec := flag.String("graph", "", "time one scenario registry spec \"family[:param=value,...]\" and exit")
 	repeats := flag.Int("repeats", 3, "graph mode: timed runs to average")
+	obsPath := flag.String("obs", "", "bench mode: write the benchmark workload's run-telemetry report (TIMELINE.json) here after the timed runs")
+	obsEvery := flag.Int("obs-every", 0, "telemetry sampling stride in deliveries (0 = default)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected mode to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	verbose := flag.Bool("v", false, "print per-experiment timing to stderr")
 	flag.Parse()
 	if err := experiments.SetScheduler(*sched); err != nil {
 		fmt.Fprintln(os.Stderr, "anonbench:", err)
 		os.Exit(1)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "anonbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "anonbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 	var err error
 	switch {
@@ -72,14 +97,29 @@ func main() {
 	case *graphSpec != "":
 		err = runScenario(*graphSpec, *repeats)
 	case *bench:
-		err = runBench(*quick, *jsonPath, *baseline)
+		err = runBench(*quick, *jsonPath, *baseline, *obsPath, *obsEvery)
 	default:
 		err = run(*only, *quick, *workers, *verbose)
+	}
+	if err == nil && *memProfile != "" {
+		err = writeHeapProfile(*memProfile)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "anonbench:", err)
 		os.Exit(1)
 	}
+}
+
+// writeHeapProfile snapshots the heap after a final GC, the form pprof's
+// allocation analysis expects.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }
 
 // run executes the selected sweeps through the worker pool and prints the
@@ -119,13 +159,30 @@ func run(only string, quick bool, workers int, verbose bool) error {
 }
 
 // runBench produces BENCH.json and optionally gates it against a baseline.
-func runBench(quick bool, jsonPath, baseline string) error {
+// With obsPath, an untimed telemetry capture of the benchmark workload runs
+// after the measurements (never during — telemetry must not distort them) and
+// its report is written as TIMELINE.json.
+func runBench(quick bool, jsonPath, baseline, obsPath string, obsEvery int) error {
 	rep, err := experiments.RunBench(quick)
 	if err != nil {
 		return err
 	}
 	if err := experiments.WriteBench(rep, jsonPath); err != nil {
 		return err
+	}
+	if obsPath != "" {
+		obsRep, err := experiments.CaptureObs(quick, obsEvery)
+		if err != nil {
+			return err
+		}
+		data, err := obsRep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(obsPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bench: telemetry -> %s\n", obsPath)
 	}
 	if jsonPath != "" && jsonPath != "-" {
 		fmt.Fprintf(os.Stderr, "bench: %.1f ns/delivery, %.3f allocs/delivery, peak in-flight %d, shard speedup %.2fx (%d shards), total %.0f ms -> %s\n",

@@ -55,6 +55,9 @@ func main() {
 		replay = flag.String("replay", "", "replay a recorded trace file (seq engine; overrides -topo/-file/-sched/-proto)")
 		graphF = flag.String("graph", "", "scenario registry spec \"family[:param=value,...]\" ("+strings.Join(anonnet.ScenarioFamilies(), "|")+"); overrides -topo")
 		faults = flag.String("faults", "", "fault plan \"drop=EDGE:K,loss=PCT,crash=VERTEX:K,seed=N\" (terms optional, drop/crash repeatable)")
+		obsF   = flag.String("obs", "", "capture run telemetry and write it to this file (\"-\" = stdout); see docs/OBSERVABILITY.md")
+		obsEv  = flag.Int("obs-every", 0, "telemetry sampling stride in deliveries (0 = default)")
+		obsFmt = flag.String("obs-format", "json", "telemetry output format: json|table|prom")
 	)
 	flag.Parse()
 	if err := run(params{
@@ -63,6 +66,7 @@ func main() {
 		msg: *msg, proto: *proto, engine: *engine, shards: *shards, sched: *sched,
 		dot: *dot, file: *file, save: *save, record: *record, replay: *replay,
 		graph: *graphF, faults: *faults,
+		obs: *obsF, obsEvery: *obsEv, obsFormat: *obsFmt,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "anoncast:", err)
 		os.Exit(1)
@@ -79,6 +83,8 @@ type params struct {
 	dot, file, save                  string
 	record, replay                   string
 	graph, faults                    string
+	obs, obsFormat                   string
+	obsEvery                         int
 }
 
 func run(p params) error {
@@ -143,6 +149,9 @@ func run(p params) error {
 	if p.faults != "" {
 		opts = append(opts, anonnet.WithFaults(p.faults))
 	}
+	if p.obs != "" {
+		opts = append(opts, anonnet.WithObservability(p.obsEvery))
+	}
 
 	rep, err := anonnet.Broadcast(net, []byte(p.msg), opts...)
 	if rep != nil {
@@ -162,6 +171,11 @@ func run(p params) error {
 	if err != nil {
 		return err
 	}
+	if rep != nil && rep.Timeline != nil {
+		if err := writeObs(rep.Timeline, p.obs, p.obsFormat); err != nil {
+			return err
+		}
+	}
 	if recorded != nil {
 		if err := os.WriteFile(p.record, recorded.Encode(), 0o644); err != nil {
 			return err
@@ -179,6 +193,35 @@ func run(p params) error {
 		}
 		fmt.Printf("wrote %s\n", p.dot)
 	}
+	return nil
+}
+
+// writeObs renders the run telemetry in the requested format and writes it to
+// path ("-" = stdout).
+func writeObs(t *anonnet.Timeline, path, format string) error {
+	var out []byte
+	switch format {
+	case "json":
+		data, err := t.JSON()
+		if err != nil {
+			return err
+		}
+		out = append(data, '\n')
+	case "table":
+		out = []byte(t.Table())
+	case "prom":
+		out = []byte(t.Prometheus())
+	default:
+		return fmt.Errorf("unknown -obs-format %q (json|table|prom)", format)
+	}
+	if path == "-" {
+		_, err := os.Stdout.Write(out)
+		return err
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("telemetry:       %s (%s)\n", path, format)
 	return nil
 }
 

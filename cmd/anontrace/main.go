@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/replay"
 	"repro/internal/scenario"
@@ -43,15 +44,17 @@ func main() {
 		recordFile  = flag.String("record", "", "write the run's schedule to this trace file")
 		replayFile  = flag.String("replay", "", "replay a recorded trace file instead of generating a run (overrides -topo/-proto/-sched)")
 		graphSpec   = flag.String("graph", "", "scenario registry spec \"family[:param=value,...]\" ("+strings.Join(scenario.Names(), "|")+"); overrides -topo")
+		obsFile     = flag.String("obs", "", "capture run telemetry and write the report JSON to this file (\"-\" = stdout); see docs/OBSERVABILITY.md")
+		obsEvery    = flag.Int("obs-every", 0, "telemetry sampling stride in deliveries (0 = default)")
 	)
 	flag.Parse()
-	if err := run(*topo, *graphSpec, *n, *seed, *proto, *sched, *summaryOnly, *recordFile, *replayFile); err != nil {
+	if err := run(*topo, *graphSpec, *n, *seed, *proto, *sched, *summaryOnly, *recordFile, *replayFile, *obsFile, *obsEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "anontrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topo, graphSpec string, n int, seed int64, proto, sched string, summaryOnly bool, recordFile, replayFile string) error {
+func run(topo, graphSpec string, n int, seed int64, proto, sched string, summaryOnly bool, recordFile, replayFile, obsFile string, obsEvery int) error {
 	var (
 		g   *graph.G
 		p   protocol.Protocol
@@ -59,10 +62,14 @@ func run(topo, graphSpec string, n int, seed int64, proto, sched string, summary
 		rec *trace.Recorder
 		err error
 	)
+	var obsRec *obs.Recorder
+	if obsFile != "" {
+		obsRec = obs.NewRecorder(obsEvery)
+	}
 	if replayFile != "" {
-		g, p, r, rec, err = replayRun(replayFile)
+		g, p, r, rec, err = replayRun(replayFile, obsRec)
 	} else {
-		g, p, r, rec, err = liveRun(topo, graphSpec, n, seed, proto, sched, recordFile)
+		g, p, r, rec, err = liveRun(topo, graphSpec, n, seed, proto, sched, recordFile, obsRec)
 	}
 	if err != nil {
 		return err
@@ -77,10 +84,29 @@ func run(topo, graphSpec string, n int, seed int64, proto, sched string, summary
 		fmt.Println()
 	}
 	fmt.Println("per-vertex summary:")
-	return rec.WriteSummary(os.Stdout)
+	if err := rec.WriteSummary(os.Stdout); err != nil {
+		return err
+	}
+	if obsRec != nil {
+		data, err := obsRec.Report().JSON()
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if obsFile == "-" {
+			fmt.Println()
+			_, err = os.Stdout.Write(data)
+			return err
+		}
+		if err := os.WriteFile(obsFile, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\ntelemetry: %s\n", obsFile)
+	}
+	return nil
 }
 
-func liveRun(topo, graphSpec string, n int, seed int64, proto, sched, recordFile string) (*graph.G, protocol.Protocol, *sim.Result, *trace.Recorder, error) {
+func liveRun(topo, graphSpec string, n int, seed int64, proto, sched, recordFile string, obsRec *obs.Recorder) (*graph.G, protocol.Protocol, *sim.Result, *trace.Recorder, error) {
 	var g *graph.G
 	var err error
 	if graphSpec != "" {
@@ -101,7 +127,7 @@ func liveRun(topo, graphSpec string, n int, seed int64, proto, sched, recordFile
 	}
 	rec := trace.New(g)
 	pin := replay.NewRecorder()
-	r, err := sim.Run(g, p, sim.Options{Observer: sim.TeeObserver(rec, pin), Scheduler: adversary, Seed: seed})
+	r, err := sim.Run(g, p, sim.Options{Observer: sim.TeeObserver(rec, pin), Scheduler: adversary, Seed: seed, Obs: obsRec})
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
@@ -115,7 +141,7 @@ func liveRun(topo, graphSpec string, n int, seed int64, proto, sched, recordFile
 	return g, p, r, rec, nil
 }
 
-func replayRun(replayFile string) (*graph.G, protocol.Protocol, *sim.Result, *trace.Recorder, error) {
+func replayRun(replayFile string, obsRec *obs.Recorder) (*graph.G, protocol.Protocol, *sim.Result, *trace.Recorder, error) {
 	data, err := os.ReadFile(replayFile)
 	if err != nil {
 		return nil, nil, nil, nil, err
@@ -134,7 +160,7 @@ func replayRun(replayFile string) (*graph.G, protocol.Protocol, *sim.Result, *tr
 	}
 	p := newProto()
 	rec := trace.New(g)
-	r, err := replay.Run(g, p, tr, sim.Options{Observer: rec})
+	r, err := replay.Run(g, p, tr, sim.Options{Observer: rec, Obs: obsRec})
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/replay"
 	"repro/internal/sim"
 )
@@ -215,6 +216,81 @@ func TestBenchJSONFieldsDocumented(t *testing.T) {
 	if strings.Join(documented, " ") != strings.Join(want, " ") {
 		t.Fatalf("docs/BENCHMARKS.md schema table out of sync with experiments.BenchReport\n doc:    %v\n struct: %v",
 			documented, want)
+	}
+}
+
+// TestObsJSONFieldsDocumented drift-guards the telemetry schema table in
+// docs/OBSERVABILITY.md against obs.Report: every JSON field a report can
+// emit must be documented, and nothing else — same contract as the
+// BENCH.json table above.
+func TestObsJSONFieldsDocumented(t *testing.T) {
+	documented := markedTableNames(t, "docs/OBSERVABILITY.md",
+		"obs:fields:begin", "obs:fields:end")
+	sort.Strings(documented)
+
+	tags := map[string]bool{}
+	jsonTagsOf(reflect.TypeOf(obs.Report{}), tags)
+	var want []string
+	for tag := range tags {
+		want = append(want, tag)
+	}
+	sort.Strings(want)
+
+	if strings.Join(documented, " ") != strings.Join(want, " ") {
+		t.Fatalf("docs/OBSERVABILITY.md schema table out of sync with obs.Report\n doc:    %v\n struct: %v",
+			documented, want)
+	}
+}
+
+// TestObsDocSchemaVersionInSync: the doc must state the exact current
+// timeline schema version, so a schema bump cannot ship with a stale spec.
+func TestObsDocSchemaVersionInSync(t *testing.T) {
+	data, err := os.ReadFile("docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("`schema_version` is currently **%d**", obs.TimelineSchemaVersion)
+	if !strings.Contains(string(data), want) {
+		t.Fatalf("docs/OBSERVABILITY.md does not state the current schema version; expected %q", want)
+	}
+}
+
+// TestArchitectureDocObservabilityColumnInSync drift-guards the telemetry
+// column of the engine matrix: every engine row must state how it fills the
+// obs layer (sim.Options.Obs reaches every engine; the conformance obs tests
+// enforce the semantics, this enforces the documentation).
+func TestArchitectureDocObservabilityColumnInSync(t *testing.T) {
+	data, err := os.ReadFile("docs/ARCHITECTURE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, col := false, -1
+	rows := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		switch {
+		case strings.Contains(line, "matrix:engines:begin"):
+			in = true
+		case strings.Contains(line, "matrix:engines:end"):
+			in = false
+		case in && strings.HasPrefix(line, "| engine"):
+			for i, cell := range strings.Split(line, "|") {
+				if strings.Contains(cell, "telemetry") {
+					col = i
+				}
+			}
+			if col < 0 {
+				t.Fatalf("engine matrix header lacks a telemetry column: %q", line)
+			}
+		case in && strings.HasPrefix(line, "| `"):
+			rows++
+			cells := strings.Split(line, "|")
+			if col < 0 || col >= len(cells) || strings.TrimSpace(cells[col]) == "" {
+				t.Errorf("engine row lacks a telemetry cell: %q", line)
+			}
+		}
+	}
+	if rows == 0 {
+		t.Fatal("no engine rows found between the matrix:engines markers")
 	}
 }
 

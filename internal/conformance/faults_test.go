@@ -107,6 +107,33 @@ func TestCrossEngineFaultConformance(t *testing.T) {
 	}
 }
 
+// TestPeakInFlightReportedOnEveryEngine: wherever the sequential engine
+// reports a nonzero Metrics.PeakInFlight, every other engine must too. This
+// is the regression gate for the tcp tier, which used to leave the field
+// silently zero (the runner counted in-flight messages for its quiescence
+// detector but never surfaced the high-water mark).
+func TestPeakInFlightReportedOnEveryEngine(t *testing.T) {
+	g := graph.Line(5)
+	seq, err := sim.Sequential().Run(g, core.NewGeneralBroadcast([]byte("m")), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Metrics.PeakInFlight == 0 {
+		t.Fatal("sequential PeakInFlight == 0 on a line graph — the cross-engine assertion below is vacuous")
+	}
+	for _, eng := range faultEngines(t) {
+		t.Run(eng.Name(), func(t *testing.T) {
+			r, err := eng.Run(g, core.NewGeneralBroadcast([]byte("m")), sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Metrics.PeakInFlight == 0 {
+				t.Errorf("%s: PeakInFlight == 0 where sequential reports %d", eng.Name(), seq.Metrics.PeakInFlight)
+			}
+		})
+	}
+}
+
 // TestFaultPlanRejectedUniformly: an invalid plan (edge out of range) must
 // be rejected by every engine up front, not half-applied.
 func TestFaultPlanRejectedUniformly(t *testing.T) {

@@ -1,0 +1,145 @@
+package conformance
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/sim/shard"
+)
+
+// obsFamilies are the scenario families the timeline determinism contract is
+// asserted over: one grounded tree under treecast, one general digraph with a
+// cycle under generalcast. Protocols are rebuilt per run (they are stateful).
+var obsFamilies = []struct {
+	name  string
+	graph *graph.G
+	proto func() protocol.Protocol
+}{
+	{"tree", graph.RandomGroundedTree(9, 0.3, 5),
+		func() protocol.Protocol { return core.NewTreeBroadcast([]byte("m"), core.RulePow2) }},
+	{"general", graph.RandomDigraph(8, 11, graph.RandomDigraphOpts{ExtraEdges: 9, TerminalFrac: 0.25}),
+		func() protocol.Protocol { return core.NewGeneralBroadcast([]byte("m")) }},
+}
+
+// timelineJSON runs the engine with a fresh recorder attached and returns the
+// canonical timeline bytes. The stride is small so sample rows participate in
+// the comparison, not just the totals.
+func timelineJSON(t *testing.T, eng sim.Engine, fam int, schedName string, seed int64) []byte {
+	t.Helper()
+	sched, err := sim.NewScheduler(schedName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder(4)
+	if _, err := eng.Run(obsFamilies[fam].graph, obsFamilies[fam].proto(),
+		sim.Options{Scheduler: sched, Seed: seed, Obs: rec}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := rec.Timeline().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestTimelineDeterminismSeqVsShard is the determinism contract of the
+// telemetry layer: the sequential engine and the sharded engine at one shard
+// execute the identical schedule, so for every scheduler and scenario family
+// the same (graph, protocol, scheduler, seed) tuple must produce
+// byte-identical Timeline JSON on both engines. Any drift in hook placement
+// on either hot path breaks this test.
+func TestTimelineDeterminismSeqVsShard(t *testing.T) {
+	for fam, f := range obsFamilies {
+		for _, schedName := range sim.SchedulerNames() {
+			t.Run(f.name+"/"+schedName, func(t *testing.T) {
+				seq := timelineJSON(t, sim.Sequential(), fam, schedName, 7)
+				sh := timelineJSON(t, shard.Engine(1), fam, schedName, 7)
+				if !bytes.Equal(seq, sh) {
+					t.Errorf("seq and shard(1) timelines differ:\n--- seq ---\n%s\n--- shard(1) ---\n%s", seq, sh)
+				}
+				// And the timeline is a pure function of the tuple: a second
+				// sequential run reproduces it bit-for-bit.
+				if again := timelineJSON(t, sim.Sequential(), fam, schedName, 7); !bytes.Equal(seq, again) {
+					t.Error("sequential timeline not reproducible across runs")
+				}
+			})
+		}
+	}
+}
+
+// TestTimelineShardRunToRun: at shard counts > 1 the merge order is fixed by
+// shard ID, so the timeline must be byte-identical across runs regardless of
+// how the drain goroutines interleave in wall time.
+func TestTimelineShardRunToRun(t *testing.T) {
+	for fam, f := range obsFamilies {
+		for _, schedName := range sim.SchedulerNames() {
+			t.Run(f.name+"/"+schedName, func(t *testing.T) {
+				a := timelineJSON(t, shard.Engine(3), fam, schedName, 7)
+				b := timelineJSON(t, shard.Engine(3), fam, schedName, 7)
+				if !bytes.Equal(a, b) {
+					t.Errorf("shard(3) timeline differs across runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+				}
+			})
+		}
+	}
+}
+
+// TestTimelineFaultDeterminism: the determinism contract holds with a fault
+// plan armed — drops and crashes are part of the deterministic schedule, so
+// their counters must agree byte-for-byte between seq and shard(1) too. A
+// line has a single path, so whichever fault fires first starves the rest;
+// each plan therefore arms one fault on a vertex the broadcast reaches and
+// asserts its own counter landed in the timeline.
+func TestTimelineFaultDeterminism(t *testing.T) {
+	g := graph.Line(5)
+	plans := []struct {
+		name    string
+		faults  func() *sim.Faults
+		counter func(obs.Totals) int64
+	}{
+		{"drop-mid-line",
+			func() *sim.Faults { return &sim.Faults{DropFirst: map[graph.EdgeID]int{g.OutEdge(3, 0).ID: 1}} },
+			func(t obs.Totals) int64 { return t.Drops }},
+		{"crash-mid-line",
+			func() *sim.Faults { return &sim.Faults{CrashAfter: map[graph.VertexID]int{3: 0}} },
+			func(t obs.Totals) int64 { return t.Crashes }},
+	}
+	for _, plan := range plans {
+		t.Run(plan.name, func(t *testing.T) {
+			run := func(eng sim.Engine) []byte {
+				sched, err := sim.NewScheduler("fifo")
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec := obs.NewRecorder(2)
+				if _, err := eng.Run(g, core.NewGeneralBroadcast([]byte("m")),
+					sim.Options{Scheduler: sched, Seed: 5, Faults: plan.faults(), Obs: rec}); err != nil {
+					t.Fatal(err)
+				}
+				data, err := rec.Timeline().JSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return data
+			}
+			seq := run(sim.Sequential())
+			sh := run(shard.Engine(1))
+			if !bytes.Equal(seq, sh) {
+				t.Errorf("faulted timelines differ:\n--- seq ---\n%s\n--- shard(1) ---\n%s", seq, sh)
+			}
+			var tl obs.Timeline
+			if err := json.Unmarshal(seq, &tl); err != nil {
+				t.Fatal(err)
+			}
+			if plan.counter(tl.Totals) == 0 {
+				t.Errorf("fault plan armed but its timeline counter is zero — the test is vacuous:\n%s", seq)
+			}
+		})
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/sim/shard"
@@ -238,6 +239,30 @@ func benchBroadcast(vertices, repeats int) (*BroadcastBench, error) {
 		AllocsPerDelivery: float64(after.Mallocs-before.Mallocs) / float64(deliveries),
 		PeakInFlight:      warm.Metrics.PeakInFlight,
 	}, nil
+}
+
+// CaptureObs re-runs the broadcast microbenchmark's workload once with run
+// telemetry attached and returns the two-plane report — the TIMELINE.json
+// artifact CI uploads alongside BENCH.json. The run is untimed (telemetry on
+// the hot path is never mixed into the measured numbers) and uses the same
+// seeded graph and adversary as the benchmark, so its deterministic plane is
+// byte-stable across builds on the same commit.
+func CaptureObs(quick bool, sampleEvery int) (*obs.Report, error) {
+	vertices := 100_000
+	if quick {
+		vertices = 20_000
+	}
+	g := graph.RandomGroundedTree(vertices, 0.2, 1)
+	proto := core.NewTreeBroadcast(nil, core.RulePow2)
+	rec := obs.NewRecorder(sampleEvery)
+	r, err := sim.Run(g, proto, sim.Options{Order: sim.OrderRandom, Seed: benchSeed, TrackAlphabet: true, Obs: rec})
+	if err != nil {
+		return nil, err
+	}
+	if r.Verdict != sim.Terminated {
+		return nil, fmt.Errorf("obs capture broadcast did not terminate on %s", g)
+	}
+	return rec.Report(), nil
 }
 
 // benchShards is the multi-shard configuration of the shard benchmark and

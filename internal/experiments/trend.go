@@ -3,7 +3,8 @@ package experiments
 import (
 	"fmt"
 	"path/filepath"
-	"strings"
+
+	"repro/internal/obs"
 )
 
 // TrendTable renders the performance trajectory across several BENCH.json
@@ -13,9 +14,13 @@ import (
 // Reports from an older schema that lack a metric render "-" for it. This is
 // the offline half of the CI bench artifact: download a few builds'
 // BENCH.json files and see where the trajectory moved.
+//
+// A trajectory needs at least two points: fewer than two reports is an error
+// (a one-column "trend" with every delta vacuously +0.0% reads like a
+// measurement and is worse than refusing).
 func TrendTable(names []string, reports []*BenchReport) (string, error) {
-	if len(reports) == 0 {
-		return "", fmt.Errorf("trend: no reports")
+	if len(reports) < 2 {
+		return "", fmt.Errorf("trend: need at least two reports to chart a trajectory, have %d", len(reports))
 	}
 	if len(names) != len(reports) {
 		return "", fmt.Errorf("trend: %d names for %d reports", len(names), len(reports))
@@ -91,32 +96,5 @@ func TrendTable(names []string, reports []*BenchReport) (string, error) {
 		table = append(table, cells)
 	}
 
-	widths := make([]int, len(header))
-	for _, r := range table {
-		for i, c := range r {
-			if len(c) > widths[i] {
-				widths[i] = len(c)
-			}
-		}
-	}
-	var b strings.Builder
-	for ri, r := range table {
-		for i, c := range r {
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
-		}
-		b.WriteString("\n")
-		if ri == 0 {
-			for i, w := range widths {
-				if i > 0 {
-					b.WriteString("  ")
-				}
-				b.WriteString(strings.Repeat("-", w))
-			}
-			b.WriteString("\n")
-		}
-	}
-	return b.String(), nil
+	return obs.RenderTable(table), nil
 }

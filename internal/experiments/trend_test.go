@@ -80,6 +80,15 @@ func TestTrendTableErrors(t *testing.T) {
 	if _, err := TrendTable([]string{"a"}, []*BenchReport{benchReportFixture(1, 1, 1, 1), benchReportFixture(1, 1, 1, 1)}); err == nil {
 		t.Error("mismatched names/reports accepted")
 	}
+	// A single report is not a trajectory: the error must say so explicitly
+	// instead of rendering a one-column table of vacuous +0.0% deltas.
+	_, err := TrendTable([]string{"only.json"}, []*BenchReport{benchReportFixture(1, 1, 1, 1)})
+	if err == nil {
+		t.Fatal("single report accepted")
+	}
+	if !strings.Contains(err.Error(), "at least two") || !strings.Contains(err.Error(), "have 1") {
+		t.Errorf("single-report error lacks the requirement and the actual count: %v", err)
+	}
 }
 
 // TestCompareBenchShardGate: the shard tier is regression-gated exactly like

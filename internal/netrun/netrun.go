@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/sim"
 )
@@ -64,6 +65,9 @@ func (e tcpEngine) Run(g *graph.G, p protocol.Protocol, simOpts sim.Options) (*s
 	if simOpts.Faults != nil {
 		opts.Faults = simOpts.Faults
 	}
+	if simOpts.Obs != nil {
+		opts.Obs = simOpts.Obs
+	}
 	return Run(g, p, e.codec, opts)
 }
 
@@ -86,6 +90,11 @@ type Options struct {
 	// options, so fault plans behave identically across all engines.
 	DropFirst map[graph.EdgeID]int
 	Faults    *sim.Faults
+	// Obs, when non-nil, receives run telemetry (counter totals and the
+	// wall-clock setup/io-loop phases). Like the concurrent engine, the
+	// timeline here is wild — the kernel's schedule, not the seed's. The
+	// engine adapter copies this from sim.Options.Obs.
+	Obs *obs.Recorder
 }
 
 const (
@@ -153,6 +162,15 @@ func Run(g *graph.G, p protocol.Protocol, codec protocol.Codec, opts Options) (*
 	r.faults = faults
 	r.res.Visited[g.Root()] = true
 
+	// Telemetry: one track behind an engine-owned mutex (reader goroutines
+	// and vertex loops race). The seed reported is 0 — the kernel's schedule
+	// is not seeded.
+	if opts.Obs != nil {
+		opts.Obs.Configure(p.Name(), "wild-tcp", 0, 1)
+		r.tr = opts.Obs.Tracks(1)[0]
+	}
+
+	setupDone := obsStart(opts.Obs, "setup")
 	if err := r.listen(); err != nil {
 		r.closeAll()
 		return nil, err
@@ -165,6 +183,7 @@ func Run(g *graph.G, p protocol.Protocol, codec protocol.Codec, opts Options) (*
 		r.closeAll()
 		return nil, err
 	}
+	setupDone()
 
 	// Quiescence watcher.
 	var watcherWG sync.WaitGroup
@@ -176,6 +195,7 @@ func Run(g *graph.G, p protocol.Protocol, codec protocol.Codec, opts Options) (*
 		}
 	}()
 
+	ioDone := obsStart(opts.Obs, "io-loop")
 	select {
 	case <-r.stopCh:
 	case <-time.After(opts.Timeout):
@@ -185,8 +205,13 @@ func Run(g *graph.G, p protocol.Protocol, codec protocol.Codec, opts Options) (*
 	r.wg.Wait()
 	r.inFlight.Release()
 	watcherWG.Wait()
+	ioDone()
 
 	r.res.Steps = int(r.steps.Load())
+	// The quiescence counter's high-water mark is the socket tier's peak of
+	// in-flight-plus-processing messages — same O(1) accounting as the
+	// concurrent engine, so this tier no longer reports a silent zero.
+	r.res.Metrics.PeakInFlight = int(r.inFlight.Peak())
 	r.res.Dropped = r.faults.Dropped()
 	if r.err != nil {
 		return r.res, r.err
@@ -223,6 +248,11 @@ type runner struct {
 	metricsMu sync.Mutex
 	visitedMu sync.Mutex
 
+	// tr is the telemetry track (nil when off); all calls go through obsMu —
+	// one dedicated mutex, never shared with metricsMu.
+	tr    *obs.Track
+	obsMu sync.Mutex
+
 	wg       sync.WaitGroup
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -244,6 +274,39 @@ func (r *runner) finish(v sim.Verdict, err error) {
 		r.err = err
 		close(r.stopCh)
 	})
+}
+
+// obsStart opens a wall-clock phase on rec; safe on a nil recorder.
+func obsStart(rec *obs.Recorder, name string) func() {
+	if rec == nil {
+		return func() {}
+	}
+	return rec.StartPhase(name)
+}
+
+// obsSend meters a send on the telemetry track; dropped marks fault drops.
+func (r *runner) obsSend(dropped bool) {
+	if r.tr == nil {
+		return
+	}
+	r.obsMu.Lock()
+	r.tr.Send()
+	if dropped {
+		r.tr.Dropped()
+	} else {
+		r.tr.Enqueued()
+	}
+	r.obsMu.Unlock()
+}
+
+// obsDeliver closes out one delivery step on the telemetry track.
+func (r *runner) obsDeliver(crashed bool) {
+	if r.tr == nil {
+		return
+	}
+	r.obsMu.Lock()
+	r.tr.Delivered(false, crashed)
+	r.obsMu.Unlock()
 }
 
 func (r *runner) stopped() bool {
@@ -433,8 +496,10 @@ func (r *runner) send(v graph.VertexID, j int, msg protocol.Message) error {
 	// vertex loop (or the pre-worker injection) sends on v's out-edges, so
 	// the per-edge fault slots are race-free.
 	if r.faults.DropSend(e.ID) {
+		r.obsSend(true)
 		return nil
 	}
+	r.obsSend(false)
 	r.inFlight.Inc()
 
 	frame := make([]byte, 4+len(data))
@@ -467,6 +532,7 @@ func (r *runner) vertexLoop(v graph.VertexID) {
 		if r.faults.CrashDelivery(v) {
 			// Crash-stopped vertex: consume the frame without processing it.
 			// Only this loop delivers to v, so the quota slot is race-free.
+			r.obsDeliver(true)
 			r.inFlight.Dec()
 			continue
 		}
@@ -495,6 +561,7 @@ func (r *runner) vertexLoop(v graph.VertexID) {
 				return
 			}
 		}
+		r.obsDeliver(false)
 		if v == r.g.Terminal() && r.term.Done() {
 			r.finish(sim.Terminated, nil)
 			r.inFlight.Dec()
@@ -574,11 +641,13 @@ func (ib *inbox) close() {
 // Counter is an in-flight counter with wait-for-zero, shared with the
 // concurrent engine's semantics: a message is counted from the moment it is
 // sent until its processing (including the counting of its own sends) ends,
-// so zero means global silence.
+// so zero means global silence. The high-water mark is tracked in the same
+// O(1) update and feeds Metrics.PeakInFlight.
 type Counter struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
 	n        int64
+	peak     int64
 	released bool
 }
 
@@ -599,9 +668,19 @@ func (c *Counter) add(d int64) {
 	defer c.mu.Unlock()
 	c.lazyInit()
 	c.n += d
+	if c.n > c.peak {
+		c.peak = c.n
+	}
 	if c.n == 0 {
 		c.cond.Broadcast()
 	}
+}
+
+// Peak returns the counter's high-water mark.
+func (c *Counter) Peak() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peak
 }
 
 // WaitZero blocks until zero (true) or release (false).

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
@@ -78,6 +79,15 @@ func RunConcurrent(g *graph.G, p protocol.Protocol, opts Options) (*Result, erro
 		stopCh:    make(chan struct{}),
 		visitedMu: make([]sync.Mutex, nV),
 	}
+	// Telemetry: one track, serialized through an engine-owned mutex because
+	// workers race. This engine's timelines are wild — a function of the Go
+	// scheduler, not the seed — so only this run's own totals are meaningful.
+	if opts.Obs != nil {
+		opts.Obs.Configure(p.Name(), "wild-concurrent", opts.Seed, 1)
+		run.tr = opts.Obs.Tracks(1)[0]
+		stop := opts.Obs.StartPhase("run")
+		defer stop()
+	}
 	for v := range run.boxes {
 		run.boxes[v] = newMailbox()
 	}
@@ -94,8 +104,10 @@ func RunConcurrent(g *graph.G, p protocol.Protocol, opts Options) (*Result, erro
 		rootEdge := g.OutEdge(g.Root(), j)
 		run.recordSend(rootEdge.ID, init)
 		if run.faults.DropSend(rootEdge.ID) {
+			run.obsSend(true)
 			continue
 		}
+		run.obsSend(false)
 		run.inFlight.Add(1)
 		run.boxes[rootEdge.To].push(delivery{port: rootEdge.ToPort, msg: init})
 	}
@@ -170,6 +182,12 @@ type concurrentRun struct {
 	metricsMu sync.Mutex
 	visitedMu []sync.Mutex
 
+	// tr is the telemetry track (nil when off). Track methods are not
+	// thread-safe, so every call goes through obsMu — one dedicated mutex,
+	// never shared with metricsMu, so send and deliver hooks cannot deadlock.
+	tr    *obs.Track
+	obsMu sync.Mutex
+
 	stopOnce sync.Once
 	stopCh   chan struct{}
 	verdict  Verdict
@@ -199,6 +217,32 @@ func (r *concurrentRun) recordSend(e graph.EdgeID, msg protocol.Message) {
 	}
 }
 
+// obsSend meters a send on the telemetry track; dropped marks fault drops.
+// A surviving send is enqueued the instant it is counted in flight.
+func (r *concurrentRun) obsSend(dropped bool) {
+	if r.tr == nil {
+		return
+	}
+	r.obsMu.Lock()
+	r.tr.Send()
+	if dropped {
+		r.tr.Dropped()
+	} else {
+		r.tr.Enqueued()
+	}
+	r.obsMu.Unlock()
+}
+
+// obsDeliver closes out one delivery step on the telemetry track.
+func (r *concurrentRun) obsDeliver(crashed bool) {
+	if r.tr == nil {
+		return
+	}
+	r.obsMu.Lock()
+	r.tr.Delivered(false, crashed)
+	r.obsMu.Unlock()
+}
+
 func (r *concurrentRun) worker(v graph.VertexID) {
 	mb := r.boxes[v]
 	node := r.nodes[v]
@@ -222,6 +266,7 @@ func (r *concurrentRun) worker(v graph.VertexID) {
 		if r.faults.CrashDelivery(v) {
 			// Crash-stopped vertex: consume without processing. Only this
 			// worker touches v's crash quota, so the check is race-free.
+			r.obsDeliver(true)
 			r.inFlight.dec()
 			continue
 		}
@@ -252,11 +297,14 @@ func (r *concurrentRun) worker(v graph.VertexID) {
 			// slots are race-free. A dropped send is metered and observed but
 			// never counted in flight or enqueued.
 			if r.faults.DropSend(oe.ID) {
+				r.obsSend(true)
 				continue
 			}
+			r.obsSend(false)
 			r.inFlight.inc()
 			r.boxes[oe.To].push(delivery{port: oe.ToPort, msg: out})
 		}
+		r.obsDeliver(false)
 		if v == r.g.Terminal() && r.term.Done() {
 			r.finish(Terminated, nil)
 			r.inFlight.dec()

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
@@ -68,8 +69,10 @@ type Metrics struct {
 	// PeakInFlight is the maximum number of messages simultaneously in
 	// flight at any point of the run, maintained as an O(1) running counter
 	// on every send and delivery (never by walking queues). For the
-	// concurrent engine a message being processed still counts as in flight
-	// (it is what the quiescence counter counts); the TCP tier leaves it 0.
+	// concurrent engine and the TCP tier a message being processed still
+	// counts as in flight (both report the high-water mark of their
+	// quiescence counter); the sharded engine samples the global count at
+	// superstep barriers, the only points where it is well defined.
 	PeakInFlight int
 	// Alphabet holds the distinct symbols transmitted (Sigma_G of
 	// Theorem 3.2), keyed by Message.Key. Populated only when requested.
@@ -338,6 +341,12 @@ type Options struct {
 	// but must never let the terminal declare termination before everyone
 	// got the broadcast.
 	Faults *Faults
+	// Obs, when non-nil, collects the run's telemetry: the deterministic
+	// timeline plane (logical-clock samples, per-shard tracks, superstep
+	// occupancy) and the wall-clock phase plane — see package obs. Every
+	// engine honors it. When nil the hooks are nil-receiver no-ops, so the
+	// steady-state delivery path keeps its zero-allocation guarantee.
+	Obs *obs.Recorder
 }
 
 // Observer receives the event stream of a deterministic run: protocol

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/msgq"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
@@ -61,6 +62,22 @@ func Run(g *graph.G, p protocol.Protocol, opts Options) (*Result, error) {
 	if sched == nil {
 		sched = schedulerForOrder(opts.Order)
 	}
+
+	// Telemetry: one track (this engine is the one-shard schedule), hooked
+	// at the same loop positions as a shard's drain so the timeline of a
+	// run here is byte-identical to the sharded engine's at one shard. The
+	// whole run is a single superstep; recording it is deferred so error
+	// exits keep their partial row. All hooks are nil-receiver no-ops when
+	// telemetry is off.
+	var tr *obs.Track
+	if opts.Obs != nil {
+		opts.Obs.Configure(p.Name(), sched.Name(), opts.Seed, 1)
+		tr = opts.Obs.Tracks(1)[0]
+		stop := opts.Obs.StartPhase("deliver")
+		defer stop()
+		defer func() { opts.Obs.Superstep([]int64{int64(res.Steps)}) }()
+	}
+
 	sched.Reset(SchedContext{
 		Graph:   g,
 		Seed:    opts.Seed,
@@ -99,10 +116,13 @@ func Run(g *graph.G, p protocol.Protocol, opts Options) (*Result, error) {
 	}
 	defer func() { res.Dropped = faults.Dropped() }()
 	push := func(e graph.EdgeID, msg protocol.Message) {
+		tr.Send()
 		if faults.DropSend(e) {
+			tr.Dropped()
 			return
 		}
 		res.Metrics.sent()
+		tr.Enqueued()
 		seq := sendSeq
 		sendSeq++
 		queues[e].Push(msg, seq)
@@ -139,6 +159,7 @@ func Run(g *graph.G, p protocol.Protocol, opts Options) (*Result, error) {
 		// message (links are FIFO). The inner loop batch-drains forced
 		// follow-up choices on the same edge.
 		e := sched.Pop()
+		tr.Popped()
 		forced := false
 		for {
 			if res.Steps >= maxSteps {
@@ -169,6 +190,7 @@ func Run(g *graph.G, p protocol.Protocol, opts Options) (*Result, error) {
 				if opts.Observer != nil {
 					opts.Observer.OnDeliver(res.Steps, e, msg)
 				}
+				tr.Delivered(forced, true)
 			} else {
 				res.Visited[edge.To] = true
 				if opts.Observer != nil {
@@ -194,6 +216,7 @@ func Run(g *graph.G, p protocol.Protocol, opts Options) (*Result, error) {
 					}
 					push(oe, out)
 				}
+				tr.Delivered(forced, false)
 				if edge.To == g.Terminal() && term.Done() {
 					res.Verdict = Terminated
 					res.Output = term.Output()

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/msgq"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/protocol"
 	"repro/internal/sim"
@@ -70,6 +71,12 @@ type outMsg struct {
 type shardState struct {
 	id    int
 	sched sim.Scheduler
+
+	// tr is this shard's telemetry track (nil when telemetry is off — all
+	// Track methods are nil-receiver no-ops). Only the owning worker calls
+	// into it during a drain; the merge, which also enqueues into this
+	// shard, runs under the barrier with exclusive ownership.
+	tr *obs.Track
 
 	// Batch plan (mirrors the sequential engine's forced-choice drain).
 	batchOn bool
@@ -156,7 +163,10 @@ func run(g *graph.G, p protocol.Protocol, opts sim.Options, shards int) (*sim.Re
 	if err != nil {
 		return nil, err
 	}
+	rec := opts.Obs
+	partStop := obsStart(rec, "partition")
 	part := graph.PartitionGraph(g, shards, opts.Seed)
+	partStop()
 	run := &shardRun{
 		g:             g,
 		part:          part,
@@ -182,12 +192,24 @@ func run(g *graph.G, p protocol.Protocol, opts sim.Options, shards int) (*sim.Re
 	if run.trackFirstSym {
 		run.firstSym = make([]uint32, nE)
 	}
+	// Telemetry: one track per shard, each sampled on the shard's own local
+	// delivery count — a pure function of the deterministic shard schedule,
+	// never of thread timing. At one shard the schedule (and therefore the
+	// timeline) is byte-identical to the sequential engine's.
+	var tracks []*obs.Track
+	if rec != nil {
+		rec.Configure(p.Name(), schedName, opts.Seed, part.K)
+		tracks = rec.Tracks(part.K)
+	}
 	for s := 0; s < part.K; s++ {
 		sched, err := sim.NewScheduler(schedName)
 		if err != nil {
 			return nil, fmt.Errorf("shard: cannot instantiate per-shard schedulers: %w", err)
 		}
 		st := &shardState{id: s, sched: sched, out: make([][]outMsg, part.K)}
+		if tracks != nil {
+			st.tr = tracks[s]
+		}
 		// Per-shard seeds are decorrelated so seeded adversaries (random,
 		// latency, ...) don't mirror each other across shards; the mix is a
 		// fixed function of (run seed, shard ID), keeping the whole run
@@ -237,7 +259,9 @@ func run(g *graph.G, p protocol.Protocol, opts sim.Options, shards int) (*sim.Re
 		if run.obs != nil {
 			run.obs.OnSend(rootEdge.ID, init)
 		}
+		rootShard.tr.Send()
 		if run.faults.DropSend(rootEdge.ID) {
+			rootShard.tr.Dropped()
 			continue
 		}
 		rootShard.aliveSent++
@@ -245,6 +269,7 @@ func run(g *graph.G, p protocol.Protocol, opts sim.Options, shards int) (*sim.Re
 		seq := dst.sendSeq
 		dst.sendSeq++
 		run.queues[rootEdge.ID].Push(init, seq)
+		dst.tr.Enqueued()
 		if run.queues[rootEdge.ID].Len() == 1 {
 			dst.sched.Push(sim.PendingEdge{Edge: rootEdge.ID, HeadSeq: seq})
 		}
@@ -252,6 +277,7 @@ func run(g *graph.G, p protocol.Protocol, opts sim.Options, shards int) (*sim.Re
 
 	peak := run.inFlight()
 	totalSteps := 0
+	prevSteps := make([]int64, part.K)
 	for {
 		// Drain phase: every shard delivers its pending local traffic, in
 		// parallel, each against its own scheduler. The remaining global
@@ -260,7 +286,9 @@ func run(g *graph.G, p protocol.Protocol, opts sim.Options, shards int) (*sim.Re
 		// engine overshoots by 0); crossing the limit surfaces as
 		// ErrStepLimit below.
 		budget := (maxSteps - totalSteps + part.K - 1) / part.K
+		drainStop := obsStart(rec, "drain")
 		par.Map(0, part.K, func(s int) { run.states[s].drain(run, budget) })
+		drainStop()
 
 		totalSteps = 0
 		forced := 0
@@ -272,6 +300,16 @@ func run(g *graph.G, p protocol.Protocol, opts sim.Options, shards int) (*sim.Re
 		res.ForcedSteps = forced
 		if f := run.inFlight(); f > peak {
 			peak = f
+		}
+		if rec != nil {
+			// Superstep occupancy: per-shard delivery deltas, recorded before
+			// the error/termination exits so the final superstep keeps its row.
+			row := make([]int64, part.K)
+			for s, st := range run.states {
+				row[s] = int64(st.steps) - prevSteps[s]
+				prevSteps[s] = int64(st.steps)
+			}
+			rec.Superstep(row)
 		}
 
 		for _, st := range run.states {
@@ -294,7 +332,9 @@ func run(g *graph.G, p protocol.Protocol, opts sim.Options, shards int) (*sim.Re
 		// Merge phase: destination shards ingest cross-shard traffic in
 		// (source shard ID, source-local send order) — the deterministic
 		// tie-break that makes the whole run thread-timing independent.
+		mergeStop := obsStart(rec, "merge")
 		par.Map(0, part.K, func(dst int) { run.mergeInto(dst) })
+		mergeStop()
 		for _, sts := range run.states {
 			for d := range sts.out {
 				sts.out[d] = sts.out[d][:0]
@@ -317,6 +357,15 @@ func run(g *graph.G, p protocol.Protocol, opts sim.Options, shards int) (*sim.Re
 			return res, fmt.Errorf("%w (%d steps, graph %s, protocol %s)", sim.ErrStepLimit, totalSteps, g, p.Name())
 		}
 	}
+}
+
+// obsStart opens a wall-clock phase on rec; safe on a nil recorder. The
+// drain/merge phases accumulate across supersteps under one name each.
+func obsStart(rec *obs.Recorder, name string) func() {
+	if rec == nil {
+		return func() {}
+	}
+	return rec.StartPhase(name)
 }
 
 // record meters one send: shared per-edge slots are owned by this shard (the
@@ -356,6 +405,7 @@ func (st *shardState) drain(run *shardRun, budget int) {
 			return
 		}
 		e := sched.Pop()
+		st.tr.Popped()
 		forced := false
 		for {
 			if n >= budget {
@@ -386,6 +436,7 @@ func (st *shardState) drain(run *shardRun, budget int) {
 				if run.obs != nil {
 					run.obs.OnDeliver(0, e, msg)
 				}
+				st.tr.Delivered(forced, true)
 			} else {
 				run.visited[edge.To] = true
 				if run.obs != nil {
@@ -413,7 +464,9 @@ func (st *shardState) drain(run *shardRun, budget int) {
 					if run.obs != nil {
 						run.obs.OnSend(oe, out)
 					}
+					st.tr.Send()
 					if run.faults.DropSend(oe) {
+						st.tr.Dropped()
 						continue
 					}
 					st.aliveSent++
@@ -422,14 +475,18 @@ func (st *shardState) drain(run *shardRun, budget int) {
 						seq := st.sendSeq
 						st.sendSeq++
 						run.queues[oe].Push(out, seq)
+						st.tr.Enqueued()
 						if run.queues[oe].Len() == 1 {
 							sched.Push(sim.PendingEdge{Edge: oe, HeadSeq: seq})
 							newPushes++
 						}
 					} else {
+						// Cut-edge send: the destination shard counts the
+						// enqueue when its merge ingests the outbox.
 						st.out[dst] = append(st.out[dst], outMsg{edge: oe, msg: out})
 					}
 				}
+				st.tr.Delivered(forced, false)
 				if edge.To == run.g.Terminal() && run.term.Done() {
 					st.terminated = true
 					st.steps += n
@@ -473,6 +530,7 @@ func (run *shardRun) mergeInto(dst int) {
 			seq := st.sendSeq
 			st.sendSeq++
 			run.queues[m.edge].Push(m.msg, seq)
+			st.tr.Enqueued()
 			if run.queues[m.edge].Len() == 1 {
 				st.sched.Push(sim.PendingEdge{Edge: m.edge, HeadSeq: seq})
 			}

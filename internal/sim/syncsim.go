@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
@@ -53,6 +54,17 @@ func RunSynchronous(g *graph.G, p protocol.Protocol, opts Options) (*Result, err
 	}
 	defer func() { res.Dropped = faults.Dropped() }()
 
+	// Telemetry: one track; each global round is one superstep row, so the
+	// timeline charts queue growth round by round. "sync" matches the
+	// scheduler name recorded traces carry for this engine.
+	var tr *obs.Track
+	if opts.Obs != nil {
+		opts.Obs.Configure(p.Name(), "sync", opts.Seed, 1)
+		tr = opts.Obs.Tracks(1)[0]
+		stop := opts.Obs.StartPhase("rounds")
+		defer stop()
+	}
+
 	maxSteps := opts.MaxSteps
 	if maxSteps <= 0 {
 		maxSteps = DefaultMaxSteps
@@ -76,15 +88,19 @@ func RunSynchronous(g *graph.G, p protocol.Protocol, opts Options) (*Result, err
 		if opts.Observer != nil {
 			opts.Observer.OnSend(rootEdge.ID, init)
 		}
+		tr.Send()
 		if faults.DropSend(rootEdge.ID) {
+			tr.Dropped()
 			continue
 		}
 		res.Metrics.sent()
+		tr.Enqueued()
 		current = append(current, flight{edge: rootEdge.ID, msg: init})
 	}
 
 	for len(current) > 0 {
 		res.Rounds++
+		roundStart := res.Steps
 		var next []flight
 		for _, f := range current {
 			if res.Steps >= maxSteps {
@@ -99,6 +115,7 @@ func RunSynchronous(g *graph.G, p protocol.Protocol, opts Options) (*Result, err
 				if opts.Observer != nil {
 					opts.Observer.OnDeliver(res.Steps, f.edge, f.msg)
 				}
+				tr.Delivered(false, true)
 				continue
 			}
 			res.Visited[edge.To] = true
@@ -123,17 +140,27 @@ func RunSynchronous(g *graph.G, p protocol.Protocol, opts Options) (*Result, err
 				if opts.Observer != nil {
 					opts.Observer.OnSend(oe, out)
 				}
+				tr.Send()
 				if faults.DropSend(oe) {
+					tr.Dropped()
 					continue
 				}
 				res.Metrics.sent()
+				tr.Enqueued()
 				next = append(next, flight{edge: oe, msg: out})
 			}
+			tr.Delivered(false, false)
 			if edge.To == g.Terminal() && term.Done() {
 				res.Verdict = Terminated
 				res.Output = term.Output()
+				if opts.Obs != nil {
+					opts.Obs.Superstep([]int64{int64(res.Steps - roundStart)})
+				}
 				return res, nil
 			}
+		}
+		if opts.Obs != nil {
+			opts.Obs.Superstep([]int64{int64(res.Steps - roundStart)})
 		}
 		current = next
 	}

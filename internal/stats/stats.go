@@ -130,3 +130,87 @@ func Max(xs []float64) float64 {
 	}
 	return m
 }
+
+// Percentile returns the p-th percentile (p in [0, 100]) of xs by linear
+// interpolation between closest ranks. NaN inputs are ignored; an empty or
+// all-NaN series returns NaN; a single sample is every percentile of itself;
+// p is clamped into [0, 100]. The run-telemetry timeline summaries
+// (in-flight p50/p90 over the sampled series) lean on these guarantees.
+func Percentile(xs []float64, p float64) float64 {
+	clean := dropNaN(xs)
+	if len(clean) == 0 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	sort.Float64s(clean)
+	if p <= 0 {
+		return clean[0]
+	}
+	if p >= 100 {
+		return clean[len(clean)-1]
+	}
+	rank := p / 100 * float64(len(clean)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return clean[lo]
+	}
+	frac := rank - float64(lo)
+	return clean[lo]*(1-frac) + clean[hi]*frac
+}
+
+// HistBucket is one bucket of a Histogram: the half-open value range
+// [Lo, Hi) — the last bucket is closed on the right — and the number of
+// samples that fell into it.
+type HistBucket struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Histogram bins xs into at most buckets equal-width buckets spanning
+// [min, max]. NaN inputs are ignored; an empty or all-NaN series returns
+// nil; a series with a single distinct value returns one degenerate bucket
+// holding everything. buckets < 1 is treated as 1.
+func Histogram(xs []float64, buckets int) []HistBucket {
+	clean := dropNaN(xs)
+	if len(clean) == 0 {
+		return nil
+	}
+	if buckets < 1 {
+		buckets = 1
+	}
+	lo, hi := Max(clean), Max(clean)
+	for _, x := range clean {
+		if x < lo {
+			lo = x
+		}
+	}
+	if lo == hi {
+		return []HistBucket{{Lo: lo, Hi: hi, Count: len(clean)}}
+	}
+	out := make([]HistBucket, buckets)
+	width := (hi - lo) / float64(buckets)
+	for i := range out {
+		out[i].Lo = lo + float64(i)*width
+		out[i].Hi = lo + float64(i+1)*width
+	}
+	out[buckets-1].Hi = hi // exact, immune to rounding drift
+	for _, x := range clean {
+		i := int((x - lo) / width)
+		if i >= buckets {
+			i = buckets - 1 // x == hi lands in the closed last bucket
+		}
+		out[i].Count++
+	}
+	return out
+}
+
+// dropNaN returns a copy of xs with NaN values removed.
+func dropNaN(xs []float64) []float64 {
+	clean := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			clean = append(clean, x)
+		}
+	}
+	return clean
+}

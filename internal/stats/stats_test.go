@@ -72,6 +72,85 @@ func TestQuickFitRecoversConstant(t *testing.T) {
 	}
 }
 
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if p := Percentile(xs, 0); p != 10 {
+		t.Errorf("p0 = %g, want 10", p)
+	}
+	if p := Percentile(xs, 100); p != 40 {
+		t.Errorf("p100 = %g, want 40", p)
+	}
+	if p := Percentile(xs, 50); p != 25 {
+		t.Errorf("p50 = %g, want 25 (linear interpolation)", p)
+	}
+	// Input order must not matter.
+	if p := Percentile([]float64{40, 10, 30, 20}, 50); p != 25 {
+		t.Errorf("unsorted p50 = %g, want 25", p)
+	}
+	// Single sample: every percentile is that sample.
+	if p := Percentile([]float64{7}, 90); p != 7 {
+		t.Errorf("single-sample p90 = %g, want 7", p)
+	}
+	// Out-of-range p clamps instead of indexing out of bounds.
+	if p := Percentile(xs, -10); p != 10 {
+		t.Errorf("p-10 = %g, want 10 (clamped)", p)
+	}
+	if p := Percentile(xs, 200); p != 40 {
+		t.Errorf("p200 = %g, want 40 (clamped)", p)
+	}
+}
+
+func TestPercentileNaNGuards(t *testing.T) {
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty series: want NaN")
+	}
+	if !math.IsNaN(Percentile([]float64{math.NaN(), math.NaN()}, 50)) {
+		t.Error("all-NaN series: want NaN")
+	}
+	// NaN samples are dropped, not propagated.
+	if p := Percentile([]float64{math.NaN(), 5, math.NaN()}, 50); p != 5 {
+		t.Errorf("NaN-polluted p50 = %g, want 5", p)
+	}
+	if !math.IsNaN(Percentile([]float64{1, 2}, math.NaN())) {
+		t.Error("NaN percentile rank: want NaN")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	if Histogram(nil, 4) != nil {
+		t.Error("empty series: want nil")
+	}
+	// Single distinct value: one degenerate bucket holding everything.
+	hb := Histogram([]float64{3, 3, 3}, 4)
+	if len(hb) != 1 || hb[0].Lo != 3 || hb[0].Hi != 3 || hb[0].Count != 3 {
+		t.Errorf("degenerate histogram = %+v", hb)
+	}
+	// Every sample lands in exactly one bucket; the max lands in the last.
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7}
+	hb = Histogram(xs, 4)
+	if len(hb) != 4 {
+		t.Fatalf("buckets = %d, want 4", len(hb))
+	}
+	total := 0
+	for _, b := range hb {
+		total += b.Count
+	}
+	if total != len(xs) {
+		t.Errorf("histogram counts sum to %d, want %d (%+v)", total, len(xs), hb)
+	}
+	if hb[0].Lo != 0 || hb[len(hb)-1].Hi != 7 {
+		t.Errorf("histogram range [%g, %g], want [0, 7]", hb[0].Lo, hb[len(hb)-1].Hi)
+	}
+	if hb[len(hb)-1].Count == 0 {
+		t.Errorf("max sample missing from the last bucket: %+v", hb)
+	}
+	// buckets < 1 clamps to one bucket; NaN samples are dropped.
+	hb = Histogram([]float64{1, math.NaN(), 2}, 0)
+	if len(hb) != 1 || hb[0].Count != 2 {
+		t.Errorf("clamped histogram = %+v, want one bucket of 2", hb)
+	}
+}
+
 func TestMeanMax(t *testing.T) {
 	xs := []float64{1, 2, 3, 10}
 	if Mean(xs) != 4 {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/interval"
 	"repro/internal/netrun"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/replay"
 	"repro/internal/replay/fuzz"
@@ -148,6 +149,8 @@ type runConfig struct {
 	fuzzDst  **FuzzReport
 	scenario string
 	faults   string
+	obsOn    bool
+	obsEvery int
 }
 
 // WithEngine selects the execution engine.
@@ -216,6 +219,19 @@ func WithReplayTrace(t *TraceData) Option { return func(c *runConfig) { c.replay
 // A fault spec may ride along after '@' ("torus:w=4@loss=10,seed=3"),
 // equivalent to WithFaults.
 func WithScenario(spec string) Option { return func(c *runConfig) { c.scenario = spec } }
+
+// WithObservability enables run telemetry: Report.Timeline carries a
+// deterministic logical-clock timeline (sampled every sampleEvery deliveries;
+// <= 0 means the default stride) plus the run's wall-clock phase timings.
+// The deterministic plane is a pure function of (graph, protocol, scheduler,
+// seed, shards) on the deterministic engines — the sequential engine and the
+// sharded engine at one shard emit byte-identical timeline JSON — while the
+// wild engines (concurrent, TCP) report one linearization of their
+// nondeterministic schedule. When this option is absent the engines' telemetry
+// hooks are no-ops and the steady-state delivery path allocates nothing.
+func WithObservability(sampleEvery int) Option {
+	return func(c *runConfig) { c.obsOn = true; c.obsEvery = sampleEvery }
+}
 
 // WithFaults injects a deterministic fault plan, compiled against the run's
 // network: "drop=EDGE:K,loss=PCT,crash=VERTEX:K,seed=N" (terms optional and
@@ -381,7 +397,9 @@ type Report struct {
 	// Rounds is the synchronous time complexity (EngineSynchronous only).
 	Rounds int
 	// PeakInFlight is the maximum number of messages simultaneously in
-	// flight (0 on the TCP engine, which does not track it).
+	// flight. The concurrent and TCP engines report their quiescence
+	// counter's high-water mark; the sharded engine samples at superstep
+	// barriers.
 	PeakInFlight int
 	// MaxStateBits is the largest per-vertex memory footprint observed.
 	MaxStateBits int
@@ -389,7 +407,35 @@ type Report struct {
 	// or WithScenario's '@'-suffix): dropped sends plus deliveries consumed
 	// by crashed vertices. Always 0 on a fault-free run.
 	Dropped int
+	// Timeline is the run's telemetry (nil unless WithObservability was
+	// given): the deterministic logical-clock timeline plus wall-clock phase
+	// timings.
+	Timeline *Timeline
 }
+
+// Timeline is the telemetry of one observed run (WithObservability). It has
+// two strictly separated planes: the deterministic timeline — logical-clock
+// samples, per-shard counter totals and superstep occupancy, a pure function
+// of (graph, protocol, scheduler, seed, shards) on the deterministic engines
+// — and wall-clock phase timings, which legitimately vary between runs.
+type Timeline struct {
+	report *obs.Report
+}
+
+// JSON renders both planes (timeline + phases) as indented JSON.
+func (t *Timeline) JSON() ([]byte, error) { return t.report.JSON() }
+
+// TimelineJSON renders only the deterministic plane — the byte layout the
+// determinism contract is stated over: equal (graph, protocol, scheduler,
+// seed, shards) tuples yield byte-identical output on the deterministic
+// engines.
+func (t *Timeline) TimelineJSON() ([]byte, error) { return t.report.Timeline.JSON() }
+
+// Table renders the telemetry as human-readable text tables.
+func (t *Timeline) Table() string { return t.report.Table() }
+
+// Prometheus renders the telemetry in the Prometheus text exposition format.
+func (t *Timeline) Prometheus() string { return t.report.Prometheus() }
 
 func buildConfig(opts []Option) runConfig {
 	var c runConfig
@@ -440,18 +486,23 @@ func (c runConfig) engineImpl() (sim.Engine, error) {
 	}
 }
 
-func (c runConfig) execute(g *graph.G, newProto func() protocol.Protocol) (*sim.Result, error) {
+func (c runConfig) execute(g *graph.G, newProto func() protocol.Protocol) (*sim.Result, *obs.Recorder, error) {
 	eng, err := c.engineImpl()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	opts, err := c.simOptions()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	opts.Faults, err = c.faultOptions(g)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	var rec *obs.Recorder
+	if c.obsOn {
+		rec = obs.NewRecorder(c.obsEvery)
+		opts.Obs = rec
 	}
 	// Both recording and fuzzing need the run's schedule pinned to a trace.
 	wantTrace := c.record != nil || c.fuzzDst != nil
@@ -461,17 +512,17 @@ func (c runConfig) execute(g *graph.G, newProto func() protocol.Protocol) (*sim.
 	switch {
 	case c.replayTr != nil:
 		if c.engine != EngineSequential {
-			return nil, fmt.Errorf("anonnet: WithReplayTrace requires the sequential engine, have %s", c.engine)
+			return nil, nil, fmt.Errorf("anonnet: WithReplayTrace requires the sequential engine, have %s", c.engine)
 		}
 		src := c.replayTr.tr
-		var rec *replay.Recorder
+		var trRec *replay.Recorder
 		if wantTrace {
-			rec = replay.NewRecorder()
-			opts.Observer = rec
+			trRec = replay.NewRecorder()
+			opts.Observer = trRec
 		}
 		r, err = replay.Run(g, newProto(), src, opts)
-		if rec != nil && err == nil {
-			recorded = rec.Trace(g, src.Protocol, src.Scheduler, src.Seed)
+		if trRec != nil && err == nil {
+			recorded = trRec.Trace(g, src.Protocol, src.Scheduler, src.Seed)
 			recorded.Truncated = src.Truncated
 		}
 	case wantTrace && (c.engine == EngineConcurrent || c.engine == EngineTCP || c.engine == EngineSharded):
@@ -482,13 +533,13 @@ func (c runConfig) execute(g *graph.G, newProto func() protocol.Protocol) (*sim.
 		// strict-mode trace with one sequential replay.
 		r, recorded, err = replay.RecordWild(eng, g, newProto, opts)
 	default:
-		var rec *replay.Recorder
+		var trRec *replay.Recorder
 		if wantTrace {
-			rec = replay.NewRecorder()
-			opts.Observer = rec
+			trRec = replay.NewRecorder()
+			opts.Observer = trRec
 		}
 		r, err = eng.Run(g, newProto(), opts)
-		if rec != nil && err == nil {
+		if trRec != nil && err == nil {
 			schedName := "sync"
 			if c.engine == EngineSequential {
 				if opts.Scheduler != nil {
@@ -497,11 +548,11 @@ func (c runConfig) execute(g *graph.G, newProto func() protocol.Protocol) (*sim.
 					schedName = sim.Order(c.order).String()
 				}
 			}
-			recorded = rec.Trace(g, newProto().Name(), schedName, c.seed)
+			recorded = trRec.Trace(g, newProto().Name(), schedName, c.seed)
 		}
 	}
 	if err != nil {
-		return r, err
+		return r, rec, err
 	}
 	if c.record != nil && recorded != nil {
 		*c.record = &TraceData{tr: recorded}
@@ -509,11 +560,11 @@ func (c runConfig) execute(g *graph.G, newProto func() protocol.Protocol) (*sim.
 	if c.fuzzDst != nil && recorded != nil {
 		fr, err := c.fuzzSchedule(g, newProto, recorded, r)
 		if err != nil {
-			return r, err
+			return r, rec, err
 		}
 		*c.fuzzDst = fr
 	}
-	return r, nil
+	return r, rec, nil
 }
 
 // fuzzSchedule runs the WithScheduleFuzz campaign over the recorded trace.
@@ -542,8 +593,13 @@ func (c runConfig) fuzzSchedule(g *graph.G, newProto func() protocol.Protocol, t
 	return out, nil
 }
 
-func report(p protocol.Protocol, r *sim.Result) *Report {
+func report(p protocol.Protocol, r *sim.Result, rec *obs.Recorder) *Report {
+	var tl *Timeline
+	if rec != nil {
+		tl = &Timeline{report: rec.Report()}
+	}
 	return &Report{
+		Timeline:       tl,
 		Protocol:       p.Name(),
 		Terminated:     r.Verdict == sim.Terminated,
 		AllReceived:    r.AllVisited(),
@@ -602,11 +658,11 @@ func Broadcast(n *Network, m []byte, opts ...Option) (*Report, error) {
 		fresh, _ := selectProtocol(n, c.kind, m) // selection already validated
 		return fresh
 	}
-	r, err := c.execute(n.graphHandle(), newProto)
+	r, rec, err := c.execute(n.graphHandle(), newProto)
 	if err != nil {
 		return nil, err
 	}
-	rep := report(p, r)
+	rep := report(p, r, rec)
 	if !rep.Terminated {
 		return rep, ErrNotTerminated
 	}
@@ -643,11 +699,11 @@ func AssignLabels(n *Network, opts ...Option) (map[VertexID]Label, *Report, erro
 		return nil, nil, err
 	}
 	p := core.NewLabelAssign(nil)
-	r, err := c.execute(n.graphHandle(), func() protocol.Protocol { return core.NewLabelAssign(nil) })
+	r, rec, err := c.execute(n.graphHandle(), func() protocol.Protocol { return core.NewLabelAssign(nil) })
 	if err != nil {
 		return nil, nil, err
 	}
-	rep := report(p, r)
+	rep := report(p, r, rec)
 	if !rep.Terminated {
 		return nil, rep, ErrNotTerminated
 	}
@@ -709,11 +765,11 @@ func ExtractTopology(n *Network, opts ...Option) (*Topology, *Report, error) {
 		return nil, nil, err
 	}
 	p := core.NewMapExtract(nil)
-	r, err := c.execute(n.graphHandle(), func() protocol.Protocol { return core.NewMapExtract(nil) })
+	r, rec, err := c.execute(n.graphHandle(), func() protocol.Protocol { return core.NewMapExtract(nil) })
 	if err != nil {
 		return nil, nil, err
 	}
-	rep := report(p, r)
+	rep := report(p, r, rec)
 	if !rep.Terminated {
 		return nil, rep, ErrNotTerminated
 	}
