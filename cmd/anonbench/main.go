@@ -10,6 +10,7 @@
 //	anonbench -bench [-quick] [-json BENCH.json] [-baseline BENCH_baseline.json] [-obs TIMELINE.json]
 //	anonbench -trend BENCH_a.json BENCH_b.json [BENCH_c.json ...]
 //	anonbench -graph "torus:w=36,h=32" [-repeats 3]
+//	anonbench -server http://127.0.0.1:8080 [-clients 16] [-requests 32] [-distinct 8]
 //
 // Profiling: -cpuprofile FILE captures a CPU profile of the selected mode,
 // -memprofile FILE a heap snapshot at exit; both load into `go tool pprof`.
@@ -41,6 +42,11 @@
 // on one generated scenario and prints the per-delivery rate — a one-off
 // measurement outside the BENCH.json trajectory, whose per-family slice
 // bench mode records under scenario_broadcast.
+//
+// Server mode (-server URL) drives the standard server load against a live
+// anonserved daemon (see docs/SERVER.md) and prints throughput and the
+// cache hit rate; bench mode measures the same workload in-process and
+// records it under server_throughput.
 package main
 
 import (
@@ -54,6 +60,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/par"
+	"repro/internal/serve"
 	"repro/internal/sim"
 )
 
@@ -68,6 +75,10 @@ func main() {
 	baseline := flag.String("baseline", "", "bench mode: compare against this baseline BENCH.json and fail on >25% regression (ns/delivery, shard speedup)")
 	graphSpec := flag.String("graph", "", "time one scenario registry spec \"family[:param=value,...]\" and exit")
 	repeats := flag.Int("repeats", 3, "graph mode: timed runs to average")
+	serverURL := flag.String("server", "", "drive the server load against a live anonserved at this base URL and exit")
+	clients := flag.Int("clients", 16, "server mode: concurrent clients")
+	perClient := flag.Int("requests", 32, "server mode: requests per client")
+	distinct := flag.Int("distinct", 8, "server mode: distinct cache keys in the workload")
 	obsPath := flag.String("obs", "", "bench mode: write the benchmark workload's run-telemetry report (TIMELINE.json) here after the timed runs")
 	obsEvery := flag.Int("obs-every", 0, "telemetry sampling stride in deliveries (0 = default)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected mode to this file")
@@ -96,6 +107,8 @@ func main() {
 		err = runTrend(flag.Args())
 	case *graphSpec != "":
 		err = runScenario(*graphSpec, *repeats)
+	case *serverURL != "":
+		err = runServer(*serverURL, *clients, *perClient, *distinct)
 	case *bench:
 		err = runBench(*quick, *jsonPath, *baseline, *obsPath, *obsEvery)
 	default:
@@ -163,7 +176,7 @@ func run(only string, quick bool, workers int, verbose bool) error {
 // after the measurements (never during — telemetry must not distort them) and
 // its report is written as TIMELINE.json.
 func runBench(quick bool, jsonPath, baseline, obsPath string, obsEvery int) error {
-	rep, err := experiments.RunBench(quick)
+	rep, err := experiments.RunBench(quick, serve.BenchThroughput)
 	if err != nil {
 		return err
 	}
@@ -208,6 +221,25 @@ func runBench(quick bool, jsonPath, baseline, obsPath string, obsEvery int) erro
 	fmt.Fprintf(os.Stderr, "bench: within budget of baseline %s (%.1f ns/delivery vs %.1f, shard speedup %.2fx vs %.2fx)\n",
 		baseline, rep.Broadcast.NsPerDelivery, base.Broadcast.NsPerDelivery,
 		rep.ShardBroadcast.Speedup, base.ShardBroadcast.Speedup)
+	return nil
+}
+
+// runServer drives the server load against a live daemon and prints the
+// measurement — the smoke CI runs against a freshly spawned anonserved.
+func runServer(baseURL string, clients, perClient, distinct int) error {
+	sb, err := serve.RunLoad(baseURL, serve.Load{Clients: clients, PerClient: perClient, Distinct: distinct})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("server %s: %d requests (%d clients x %d), %d distinct keys, %.0f runs/sec, cache hit rate %.4f, %d executions\n",
+		baseURL, sb.Requests, sb.Clients, sb.RequestsPerClient, sb.DistinctKeys,
+		sb.RunsPerSec, sb.CacheHitRate, sb.Executions)
+	// A daemon that served this workload before answers some keys from its
+	// warm cache, so fewer fresh executions than distinct keys is fine —
+	// more is a dedup bug.
+	if sb.Executions > int64(sb.DistinctKeys) {
+		return fmt.Errorf("server performed %d executions for %d distinct keys — dedup is broken", sb.Executions, sb.DistinctKeys)
+	}
 	return nil
 }
 

@@ -266,26 +266,21 @@ func buildNetwork(topo string, n, height, degree, layers, width, extra int, seed
 	}
 }
 
+// buildOptions lowers the CLI flags through the facade's shared name
+// resolution — the same ProtocolByName/EngineByName vocabulary the run
+// server's request validation uses, so the CLI and the API cannot drift.
 func buildOptions(proto, engine, sched string, seed int64, shards int) ([]anonnet.Option, error) {
-	var opts []anonnet.Option
-	switch proto {
-	case "auto":
-	case "tree":
-		opts = append(opts, anonnet.WithProtocol(anonnet.ProtoTreePow2))
-	case "tree-naive":
-		opts = append(opts, anonnet.WithProtocol(anonnet.ProtoTreeNaive))
-	case "dag":
-		opts = append(opts, anonnet.WithProtocol(anonnet.ProtoDAG))
-	case "general":
-		opts = append(opts, anonnet.WithProtocol(anonnet.ProtoGeneral))
-	default:
-		return nil, fmt.Errorf("unknown protocol %q", proto)
+	kind, err := anonnet.ProtocolByName(proto)
+	if err != nil {
+		return nil, err
 	}
 	eng, err := anonnet.EngineByName(engine)
 	if err != nil {
 		return nil, err
 	}
-	opts = append(opts, anonnet.WithEngine(eng), anonnet.WithShards(shards))
-	opts = append(opts, anonnet.WithScheduler(sched), anonnet.WithSeed(seed))
-	return opts, nil
+	return []anonnet.Option{
+		anonnet.WithProtocol(kind), anonnet.WithEngine(eng),
+		anonnet.WithShards(shards), anonnet.WithScheduler(sched),
+		anonnet.WithSeed(seed),
+	}, nil
 }

@@ -1,0 +1,74 @@
+// Command anonserved is the long-lived run server: an HTTP daemon that
+// executes anonnet run requests on the deterministic engines behind a
+// memoized verdict cache (internal/serve, docs/SERVER.md).
+//
+// Usage:
+//
+//	anonserved [-addr 127.0.0.1:8080] [-workers N] [-queue-depth N]
+//	           [-cache-entries N] [-cache-bytes N] [-max-body-bytes N]
+//	           [-max-vertices N]
+//
+// Endpoints: POST /v1/run (execute or replay a run), GET /metrics
+// (Prometheus text format), GET /healthz. Identical concurrent requests are
+// deduplicated to one execution; per-tenant admission (X-Anon-Tenant
+// header) refuses beyond -queue-depth pending runs per tenant with 429 +
+// Retry-After. SIGINT/SIGTERM drain in-flight runs before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	workers := flag.Int("workers", 0, "execution concurrency (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 0, "pending runs admitted per tenant before 429 (0 = 64)")
+	cacheEntries := flag.Int("cache-entries", 0, "verdict cache entry bound (0 = 1024)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "verdict cache payload byte bound (0 = 64 MiB)")
+	maxBodyBytes := flag.Int64("max-body-bytes", 0, "request body byte bound (0 = 1 MiB)")
+	maxVertices := flag.Int("max-vertices", 0, "largest admitted network (0 = 4096)")
+	flag.Parse()
+
+	srv := serve.NewServer(serve.Config{
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		CacheEntries: *cacheEntries,
+		CacheBytes:   *cacheBytes,
+		MaxBodyBytes: *maxBodyBytes,
+		MaxVertices:  *maxVertices,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "anonserved: listening on %s\n", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "anonserved: %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "anonserved: shutdown:", err)
+		}
+		srv.Close()
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "anonserved:", err)
+		os.Exit(1)
+	}
+}

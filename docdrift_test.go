@@ -1,4 +1,8 @@
-package anonnet
+// This file is an external test package (anonnet_test, not anonnet) on
+// purpose: it drift-guards documentation against internal/serve, which
+// imports the facade — an internal test file could not import it without a
+// cycle through the facade's own test binary.
+package anonnet_test
 
 import (
 	"bufio"
@@ -9,9 +13,11 @@ import (
 	"strings"
 	"testing"
 
+	anonnet "repro"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/replay"
+	"repro/internal/serve"
 	"repro/internal/sim"
 )
 
@@ -126,7 +132,7 @@ func TestArchitectureDocSchedulerMatrixInSync(t *testing.T) {
 func TestArchitectureDocEngineMatrixInSync(t *testing.T) {
 	documented := markedTableNames(t, "docs/ARCHITECTURE.md",
 		"matrix:engines:begin", "matrix:engines:end")
-	registered := append([]string(nil), EngineNames()...)
+	registered := append([]string(nil), anonnet.EngineNames()...)
 	sort.Strings(documented)
 	sort.Strings(registered)
 	if strings.Join(documented, " ") != strings.Join(registered, " ") {
@@ -291,6 +297,44 @@ func TestArchitectureDocObservabilityColumnInSync(t *testing.T) {
 	}
 	if rows == 0 {
 		t.Fatal("no engine rows found between the matrix:engines markers")
+	}
+}
+
+// TestServerDocKeyFieldsInSync drift-guards the cache-key tuple table of
+// docs/SERVER.md against serve.Key itself: every field of the purity tuple
+// must be documented, and nothing else. Together with the key-completeness
+// property test (internal/serve), this closes the loop request field →
+// cache key → documentation.
+func TestServerDocKeyFieldsInSync(t *testing.T) {
+	documented := markedTableNames(t, "docs/SERVER.md",
+		"server:key:begin", "server:key:end")
+	sort.Strings(documented)
+
+	rt := reflect.TypeOf(serve.Key{})
+	var want []string
+	for i := 0; i < rt.NumField(); i++ {
+		want = append(want, rt.Field(i).Name)
+	}
+	sort.Strings(want)
+
+	if strings.Join(documented, " ") != strings.Join(want, " ") {
+		t.Fatalf("docs/SERVER.md cache-key table out of sync with serve.Key\n doc:    %v\n struct: %v",
+			documented, want)
+	}
+}
+
+// TestServerDocErrorCodesInSync drift-guards the error-code table of
+// docs/SERVER.md against serve.ErrorCodes(): every code the API can return
+// must be documented with its status, and nothing else.
+func TestServerDocErrorCodesInSync(t *testing.T) {
+	documented := markedTableNames(t, "docs/SERVER.md",
+		"server:errors:begin", "server:errors:end")
+	sort.Strings(documented)
+	registered := append([]string(nil), serve.ErrorCodes()...)
+	sort.Strings(registered)
+	if strings.Join(documented, " ") != strings.Join(registered, " ") {
+		t.Fatalf("docs/SERVER.md error-code table out of sync with serve.ErrorCodes\n doc:   %v\n codes: %v",
+			documented, registered)
 	}
 }
 

@@ -1,0 +1,125 @@
+package conformance
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// serveResult POSTs body to a server and returns (cache status, result
+// bytes). Any non-200 fails the test.
+func serveResult(t *testing.T, ts *httptest.Server, body string) (string, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out struct {
+		Cache struct {
+			Status string `json:"status"`
+			Key    string `json:"key"`
+		} `json:"cache"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("bad response %q: %v", data, err)
+	}
+	return out.Cache.Status, out.Result
+}
+
+// TestServeCachedVsFresh is the cache's conformance contract: a cache hit
+// must return result bytes identical to the cold execution it memoized —
+// and to a cold execution on a brand-new server, which is the stronger
+// statement that the cached bytes are a pure function of the request, not
+// of server history. The matrix crosses the servable engines with the three
+// ops, timeline and alphabet on (the widest deterministic surface: report,
+// labels, topology, and the full timeline plane all have to replay
+// byte-for-byte).
+func TestServeCachedVsFresh(t *testing.T) {
+	engines := []struct {
+		name   string
+		fields string
+	}{
+		{"seq", `"engine":"seq","scheduler":"random","seed":11`},
+		{"shard", `"engine":"shard","shards":2,"scheduler":"random","seed":11`},
+	}
+	ops := []struct {
+		name string
+		body string
+	}{
+		{"broadcast", `"op":"broadcast","message":"conformance","alphabet":true`},
+		{"labels", `"op":"labels"`},
+		{"topology", `"op":"topology"`},
+	}
+	for _, eng := range engines {
+		for _, op := range ops {
+			t.Run(eng.name+"/"+op.name, func(t *testing.T) {
+				body := fmt.Sprintf(`{"scenario":"layereddag:layers=3,width=3,seed=5",%s,%s,"timeline":true,"timeline_every":8}`,
+					op.body, eng.fields)
+
+				warm := serve.NewServer(serve.Config{Workers: 2, QueueDepth: 8})
+				defer warm.Close()
+				tsWarm := httptest.NewServer(warm.Handler())
+				defer tsWarm.Close()
+
+				status, cold := serveResult(t, tsWarm, body)
+				if status != "miss" {
+					t.Fatalf("first request: cache status %q, want miss", status)
+				}
+				status, hit := serveResult(t, tsWarm, body)
+				if status != "hit" {
+					t.Fatalf("second request: cache status %q, want hit", status)
+				}
+				if !bytes.Equal(cold, hit) {
+					t.Fatalf("cache hit diverges from the cold run it memoized:\ncold %s\nhit  %s", cold, hit)
+				}
+
+				fresh := serve.NewServer(serve.Config{Workers: 2, QueueDepth: 8})
+				defer fresh.Close()
+				tsFresh := httptest.NewServer(fresh.Handler())
+				defer tsFresh.Close()
+				status, independent := serveResult(t, tsFresh, body)
+				if status != "miss" {
+					t.Fatalf("fresh server: cache status %q, want miss", status)
+				}
+				if !bytes.Equal(cold, independent) {
+					t.Fatalf("independent cold run diverges — the cached bytes are not a pure function of the request:\nwarm  %s\nfresh %s", cold, independent)
+				}
+
+				// The payload actually carries the advertised surface.
+				var parsed struct {
+					Report   map[string]any  `json:"report"`
+					Labels   map[string]any  `json:"labels"`
+					Topology map[string]any  `json:"topology"`
+					Timeline json.RawMessage `json:"timeline"`
+				}
+				if err := json.Unmarshal(cold, &parsed); err != nil {
+					t.Fatalf("result not parseable: %v", err)
+				}
+				if parsed.Report == nil || len(parsed.Timeline) == 0 {
+					t.Fatalf("result missing report or timeline: %s", cold)
+				}
+				if op.name == "labels" && len(parsed.Labels) == 0 {
+					t.Fatalf("labels op returned no labels: %s", cold)
+				}
+				if op.name == "topology" && parsed.Topology == nil {
+					t.Fatalf("topology op returned no topology: %s", cold)
+				}
+			})
+		}
+	}
+}

@@ -47,11 +47,49 @@ type BenchReport struct {
 	// scenario registry (internal/scenario), one entry per family in name
 	// order — the topology-sensitivity slice of the trajectory.
 	ScenarioBroadcast []ScenarioBench `json:"scenario_broadcast"`
+	// ServerThroughput is the run-server tier: a concurrent client load
+	// against an in-process anonserved instance, measuring end-to-end
+	// request throughput and the verdict cache's deduplication. Nil when
+	// the producing binary had no server bench wired in (the hook keeps
+	// internal/experiments import-cycle-free of the facade).
+	ServerThroughput *ServerBench `json:"server_throughput,omitempty"`
 	// Tiers is the wall-clock of each experiment sweep, registry order.
 	Tiers []TierBench `json:"tiers"`
 	// TotalWallMS is the wall-clock of the whole benchmark run.
 	TotalWallMS float64 `json:"total_wall_ms"`
 }
+
+// ServerBench measures the run server end to end: Clients concurrent
+// clients each issue RequestsPerClient POSTs drawn round-robin from
+// DistinctKeys distinct cache keys, so the expected hit+dedup rate is
+// exactly 1 - DistinctKeys/Requests — the singleflight group guarantees
+// Executions == DistinctKeys regardless of interleaving, which is what lets
+// the CI gate check the cache absolutely rather than against a baseline.
+type ServerBench struct {
+	// Clients is the number of concurrent load-generating clients.
+	Clients int `json:"clients"`
+	// RequestsPerClient is each client's request count.
+	RequestsPerClient int `json:"requests_per_client"`
+	// DistinctKeys is the number of distinct cache keys in the workload.
+	DistinctKeys int `json:"distinct_keys"`
+	// Requests is the total request count (Clients * RequestsPerClient).
+	Requests int `json:"requests"`
+	// Workers is the server's execution concurrency.
+	Workers int `json:"workers"`
+	// RunsPerSec is end-to-end request throughput (requests / wall-clock).
+	RunsPerSec float64 `json:"runs_per_sec"`
+	// CacheHitRate is the fraction of requests answered without a fresh
+	// execution (cache hits plus singleflight joins, over Requests).
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// Executions is the number of engine runs actually performed; equals
+	// DistinctKeys on a correct server.
+	Executions int64 `json:"executions"`
+}
+
+// ServerBenchFunc produces the server tier. It is injected by the caller
+// (cmd/anonbench wires internal/serve's implementation) because experiments
+// cannot import the facade: the facade's own test files import experiments.
+type ServerBenchFunc func(quick bool) (*ServerBench, error)
 
 // BroadcastBench measures the delivery hot path: a large sequential
 // broadcast under the seeded random adversary with alphabet metering on —
@@ -140,13 +178,14 @@ type TierBench struct {
 }
 
 // benchSchemaVersion is the current BenchReport layout. v2 added
-// shard_broadcast; v3 added scenario_broadcast.
-const benchSchemaVersion = 3
+// shard_broadcast; v3 added scenario_broadcast; v4 added server_throughput.
+const benchSchemaVersion = 4
 
 // RunBench produces the benchmark report: the broadcast microbenchmark
 // first, then every experiment tier, timed serially so tier wall-clocks are
-// not distorted by each other's load.
-func RunBench(quick bool) (*BenchReport, error) {
+// not distorted by each other's load. server is the injected run-server
+// tier (nil skips it and leaves ServerThroughput unset).
+func RunBench(quick bool, server ServerBenchFunc) (*BenchReport, error) {
 	start := time.Now()
 	rep := &BenchReport{
 		SchemaVersion: benchSchemaVersion,
@@ -176,6 +215,14 @@ func RunBench(quick bool) (*BenchReport, error) {
 		return nil, err
 	}
 	rep.ScenarioBroadcast = sc
+
+	if server != nil {
+		sv, err := server(quick)
+		if err != nil {
+			return nil, fmt.Errorf("bench server tier: %w", err)
+		}
+		rep.ServerThroughput = sv
+	}
 
 	for _, s := range Sweeps(quick) {
 		t0 := time.Now()
@@ -485,6 +532,12 @@ func ReadBench(path string) (*BenchReport, error) {
 // baseline's by more than this fraction fails the build.
 const MaxRegression = 0.25
 
+// MaxServerRegression is the CI gate on the run server's end-to-end
+// throughput. It is looser than MaxRegression on purpose: runs/sec crosses
+// the HTTP loopback stack, so its variance is dominated by the kernel and
+// the Go net poller, not by the delivery hot path the tighter gate guards.
+const MaxServerRegression = 0.4
+
 // MinShardSpeedup is the absolute scaling target of the sharding work:
 // a full-size (non-quick) run on a machine with at least benchShards cores
 // must deliver this 1-shard-vs-N-shard wall-clock ratio, independent of
@@ -538,6 +591,24 @@ func CompareBench(cur, base *BenchReport) error {
 			cur.ShardBroadcast.Speedup < MinShardSpeedup {
 			return fmt.Errorf("bench: shard speedup %.2fx below the absolute %.2fx target (full-size run, GOMAXPROCS=%d >= %d shards)",
 				cur.ShardBroadcast.Speedup, MinShardSpeedup, cur.Gomaxprocs, cur.ShardBroadcast.Shards)
+		}
+	}
+	if sv := cur.ServerThroughput; sv != nil && sv.Requests > 0 {
+		// The hit rate is deterministic, not statistical: singleflight makes
+		// Executions == DistinctKeys for any interleaving, so the expected
+		// rate is exact and gated absolutely (the epsilon only absorbs
+		// float division).
+		want := 1 - float64(sv.DistinctKeys)/float64(sv.Requests)
+		if sv.CacheHitRate+1e-9 < want {
+			return fmt.Errorf("bench: server cache hit rate %.4f below the deterministic %.4f (%d distinct keys over %d requests) — dedup is broken",
+				sv.CacheHitRate, want, sv.DistinctKeys, sv.Requests)
+		}
+		if base.ServerThroughput != nil && base.ServerThroughput.Requests > 0 {
+			floor := base.ServerThroughput.RunsPerSec * (1 - MaxServerRegression)
+			if sv.RunsPerSec < floor {
+				return fmt.Errorf("bench: server throughput regressed: %.0f runs/sec vs baseline %.0f (floor %.0f, -%d%%)",
+					sv.RunsPerSec, base.ServerThroughput.RunsPerSec, floor, int(MaxServerRegression*100))
+			}
 		}
 	}
 	return nil

@@ -164,6 +164,49 @@ func worstImbalance(rows []SuperstepRow) (float64, bool) {
 	return worst, any
 }
 
+// PromSeries is one time series of a PromMetric: ordered label pairs (the
+// renderer escapes and quotes the values) and a pre-formatted sample value.
+type PromSeries struct {
+	Labels [][2]string
+	Value  string
+}
+
+// PromMetric is one metric family in the Prometheus text exposition format:
+// a HELP/TYPE header followed by its series. RenderProm is the shared
+// renderer behind Report.Prometheus and the run server's /metrics endpoint.
+type PromMetric struct {
+	Name   string
+	Help   string
+	Kind   string // "counter" | "gauge"
+	Series []PromSeries
+}
+
+// RenderProm renders metric families in the Prometheus text exposition
+// format, in input order.
+func RenderProm(metrics []PromMetric) string {
+	var b strings.Builder
+	for _, m := range metrics {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", m.Name, m.Help, m.Name, m.Kind)
+		for _, s := range m.Series {
+			b.WriteString(m.Name)
+			if len(s.Labels) > 0 {
+				b.WriteString("{")
+				for i, kv := range s.Labels {
+					if i > 0 {
+						b.WriteString(",")
+					}
+					fmt.Fprintf(&b, "%s=%q", kv[0], promEscape(kv[1]))
+				}
+				b.WriteString("}")
+			}
+			b.WriteString(" ")
+			b.WriteString(s.Value)
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
 // Prometheus renders the report in the Prometheus text exposition format:
 // per-shard counters labeled by shard, run identity as an info gauge, and
 // the wall-clock phases as gauges — the export surface a run server scrapes.
@@ -172,17 +215,28 @@ func (r *Report) Prometheus() string {
 		return ""
 	}
 	tl := r.Timeline
-	var b strings.Builder
-	b.WriteString("# HELP anonnet_run_info Identity of the run the telemetry below describes.\n")
-	b.WriteString("# TYPE anonnet_run_info gauge\n")
-	fmt.Fprintf(&b, "anonnet_run_info{protocol=%q,scheduler=%q,seed=\"%d\",shards=\"%d\"} 1\n",
-		promEscape(tl.Protocol), promEscape(tl.Scheduler), tl.Seed, tl.Shards)
+	var ms []PromMetric
+	ms = append(ms, PromMetric{
+		Name: "anonnet_run_info",
+		Help: "Identity of the run the telemetry below describes.",
+		Kind: "gauge",
+		Series: []PromSeries{{Labels: [][2]string{
+			{"protocol", tl.Protocol},
+			{"scheduler", tl.Scheduler},
+			{"seed", fmt.Sprintf("%d", tl.Seed)},
+			{"shards", fmt.Sprintf("%d", tl.Shards)},
+		}, Value: "1"}},
+	})
 
 	counter := func(name, help string, get func(Totals) int64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		m := PromMetric{Name: name, Help: help, Kind: "counter"}
 		for _, t := range tl.Tracks {
-			fmt.Fprintf(&b, "%s{shard=\"%d\"} %d\n", name, t.Shard, get(t.Totals))
+			m.Series = append(m.Series, PromSeries{
+				Labels: [][2]string{{"shard", fmt.Sprintf("%d", t.Shard)}},
+				Value:  fmt.Sprintf("%d", get(t.Totals)),
+			})
 		}
+		ms = append(ms, m)
 	}
 	counter("anonnet_deliveries_total", "Messages delivered, per shard.",
 		func(t Totals) int64 { return t.Deliveries })
@@ -197,24 +251,39 @@ func (r *Report) Prometheus() string {
 	counter("anonnet_scheduler_pops_total", "Explicit scheduler pop choices, per shard.",
 		func(t Totals) int64 { return t.Pops })
 
-	b.WriteString("# HELP anonnet_in_flight_peak Local high-water mark of queued messages, per shard.\n")
-	b.WriteString("# TYPE anonnet_in_flight_peak gauge\n")
-	for _, t := range tl.Tracks {
-		fmt.Fprintf(&b, "anonnet_in_flight_peak{shard=\"%d\"} %d\n", t.Shard, t.Totals.PeakInFlight)
+	peak := PromMetric{
+		Name: "anonnet_in_flight_peak",
+		Help: "Local high-water mark of queued messages, per shard.",
+		Kind: "gauge",
 	}
-
-	b.WriteString("# HELP anonnet_supersteps_total Barrier-to-barrier supersteps (rounds for the synchronous engine).\n")
-	b.WriteString("# TYPE anonnet_supersteps_total counter\n")
-	fmt.Fprintf(&b, "anonnet_supersteps_total %d\n", len(tl.Supersteps))
+	for _, t := range tl.Tracks {
+		peak.Series = append(peak.Series, PromSeries{
+			Labels: [][2]string{{"shard", fmt.Sprintf("%d", t.Shard)}},
+			Value:  fmt.Sprintf("%d", t.Totals.PeakInFlight),
+		})
+	}
+	ms = append(ms, peak, PromMetric{
+		Name:   "anonnet_supersteps_total",
+		Help:   "Barrier-to-barrier supersteps (rounds for the synchronous engine).",
+		Kind:   "counter",
+		Series: []PromSeries{{Value: fmt.Sprintf("%d", len(tl.Supersteps))}},
+	})
 
 	if len(r.Phases) > 0 {
-		b.WriteString("# HELP anonnet_phase_wall_seconds Wall-clock spent in each run phase.\n")
-		b.WriteString("# TYPE anonnet_phase_wall_seconds gauge\n")
-		for _, p := range r.Phases {
-			fmt.Fprintf(&b, "anonnet_phase_wall_seconds{phase=%q} %g\n", promEscape(p.Name), p.WallMS/1000)
+		phases := PromMetric{
+			Name: "anonnet_phase_wall_seconds",
+			Help: "Wall-clock spent in each run phase.",
+			Kind: "gauge",
 		}
+		for _, p := range r.Phases {
+			phases.Series = append(phases.Series, PromSeries{
+				Labels: [][2]string{{"phase", p.Name}},
+				Value:  fmt.Sprintf("%g", p.WallMS/1000),
+			})
+		}
+		ms = append(ms, phases)
 	}
-	return b.String()
+	return RenderProm(ms)
 }
 
 // promEscape escapes a label value per the text exposition format (the %q

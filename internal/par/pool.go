@@ -1,0 +1,149 @@
+package par
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// Submit errors.
+var (
+	// ErrSaturated reports that the submitting tenant's pending queue is at
+	// its depth bound — the backpressure signal the run server turns into
+	// HTTP 429.
+	ErrSaturated = errors.New("par: tenant queue full")
+	// ErrClosed reports a Submit after Close.
+	ErrClosed = errors.New("par: pool closed")
+)
+
+// Pool is the long-lived generalization of Map: where Map fans a fixed
+// index range through a bounded set of workers and returns, Pool is an
+// admission/queueing layer that keeps the workers alive and accepts jobs
+// indefinitely — the serving substrate of cmd/anonserved.
+//
+// Admission policy:
+//
+//   - Per-tenant fairness: each tenant has its own FIFO queue and workers
+//     pick the next job round-robin across the tenants that have pending
+//     work, so one tenant's backlog cannot starve another's single request.
+//   - Queue-depth backpressure: each tenant's queue is bounded; Submit
+//     refuses with ErrSaturated instead of queueing unboundedly, which
+//     keeps admission decisions prompt and deterministic for a given
+//     sequence of submissions and completions.
+//
+// Jobs must not panic (the run server converts run panics to errors before
+// the job reaches the pool); a panicking job kills its worker's goroutine
+// like any other unrecovered panic.
+type Pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	depth   int
+	queues  map[string][]func()
+	ring    []string // tenants with pending jobs, round-robin order
+	next    int      // ring cursor of the next tenant to serve
+	queued  int
+	running int
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// NewPool starts a pool of `workers` goroutines (<= 0 selects GOMAXPROCS)
+// admitting at most `depth` pending jobs per tenant (<= 0 selects 64).
+func NewPool(workers, depth int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if depth <= 0 {
+		depth = 64
+	}
+	p := &Pool{depth: depth, queues: make(map[string][]func())}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Submit enqueues job on tenant's queue. It never blocks: the job is either
+// admitted (and will run when a worker reaches it) or refused with
+// ErrSaturated (tenant queue at depth) / ErrClosed (pool shut down).
+func (p *Pool) Submit(tenant string, job func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	q := p.queues[tenant]
+	if len(q) >= p.depth {
+		return ErrSaturated
+	}
+	if len(q) == 0 {
+		p.ring = append(p.ring, tenant)
+	}
+	p.queues[tenant] = append(q, job)
+	p.queued++
+	p.cond.Signal()
+	return nil
+}
+
+// Queued returns the number of admitted jobs not yet started.
+func (p *Pool) Queued() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.queued
+}
+
+// Running returns the number of jobs currently executing.
+func (p *Pool) Running() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.running
+}
+
+// Close stops admission, lets the workers drain every already-admitted job,
+// and returns when all workers have exited.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for p.queued == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if p.queued == 0 {
+			p.mu.Unlock()
+			return
+		}
+		if p.next >= len(p.ring) {
+			p.next = 0
+		}
+		t := p.ring[p.next]
+		q := p.queues[t]
+		job := q[0]
+		if len(q) == 1 {
+			delete(p.queues, t)
+			p.ring = append(p.ring[:p.next], p.ring[p.next+1:]...)
+			// The cursor now addresses the tenant after t, no advance needed.
+		} else {
+			p.queues[t] = q[1:]
+			p.next++
+		}
+		p.queued--
+		p.running++
+		p.mu.Unlock()
+
+		job()
+
+		p.mu.Lock()
+		p.running--
+		p.mu.Unlock()
+	}
+}

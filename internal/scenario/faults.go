@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -65,6 +66,43 @@ func (p *FaultPlan) Compile(g *graph.G) (*sim.Faults, error) {
 		Seed:       p.Seed,
 		CrashAfter: p.CrashAfter,
 	}, nil
+}
+
+// Canonical renders the plan back into ParseFaults syntax in a normal form:
+// drop terms sorted by edge, crash terms sorted by vertex, then loss, then
+// seed — with the seed omitted when no loss is configured (without Bernoulli
+// loss the seed cannot affect any run). Two plans with the same effect on
+// every run render identically, which is what lets the run server use the
+// rendering as the fault component of its cache key: ParseFaults(Canonical)
+// round-trips to an equivalent plan, and an empty plan renders as "".
+func (p *FaultPlan) Canonical() string {
+	if p.Empty() {
+		return ""
+	}
+	var terms []string
+	for _, e := range sortedKeys(p.DropFirst) {
+		if k := p.DropFirst[graph.EdgeID(e)]; k != 0 {
+			terms = append(terms, fmt.Sprintf("drop=%d:%d", e, k))
+		}
+	}
+	for _, v := range sortedKeys(p.CrashAfter) {
+		terms = append(terms, fmt.Sprintf("crash=%d:%d", v, p.CrashAfter[graph.VertexID(v)]))
+	}
+	if p.LossPct != 0 {
+		terms = append(terms, fmt.Sprintf("loss=%d", p.LossPct))
+		terms = append(terms, fmt.Sprintf("seed=%d", p.Seed))
+	}
+	return strings.Join(terms, ",")
+}
+
+// sortedKeys returns m's keys as sorted ints.
+func sortedKeys[K ~int](m map[K]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, int(k))
+	}
+	sort.Ints(out)
+	return out
 }
 
 // ParseFaults reads a fault spec of the form

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cache is the verdict cache: an LRU over Key → serialized result bytes,
+// bounded both by entry count and by total payload bytes. Values are the
+// immutable `result` JSON of a completed run — the cache never stores
+// in-flight or failed runs, so a hit is always a byte-identical replay of
+// the cold response (the conformance suite asserts exactly that).
+type cache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	order      *list.List // front = most recently used; values are *centry
+	entries    map[Key]*list.Element
+	evictions  int64
+}
+
+type centry struct {
+	key  Key
+	body []byte
+}
+
+// newCache builds a cache bounded to maxEntries entries (<= 0 selects 1024)
+// and maxBytes total payload bytes (<= 0 selects 64 MiB).
+func newCache(maxEntries int, maxBytes int64) *cache {
+	if maxEntries <= 0 {
+		maxEntries = 1024
+	}
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	return &cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		order:      list.New(),
+		entries:    make(map[Key]*list.Element),
+	}
+}
+
+// get returns the cached body for k, marking it most recently used.
+func (c *cache) get(k Key) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*centry).body, true
+}
+
+// put stores body under k, evicting least-recently-used entries until both
+// bounds hold. A body larger than the byte bound is not cached at all.
+func (c *cache) put(k Key, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if int64(len(body)) > c.maxBytes {
+		return
+	}
+	if el, ok := c.entries[k]; ok {
+		e := el.Value.(*centry)
+		c.bytes += int64(len(body)) - int64(len(e.body))
+		e.body = body
+		c.order.MoveToFront(el)
+	} else {
+		c.entries[k] = c.order.PushFront(&centry{key: k, body: body})
+		c.bytes += int64(len(body))
+	}
+	for c.order.Len() > c.maxEntries || c.bytes > c.maxBytes {
+		back := c.order.Back()
+		e := back.Value.(*centry)
+		c.order.Remove(back)
+		delete(c.entries, e.key)
+		c.bytes -= int64(len(e.body))
+		c.evictions++
+	}
+}
+
+// stats returns (entries, payload bytes, evictions to date).
+func (c *cache) stats() (int, int64, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len(), c.bytes, c.evictions
+}

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Error codes the API returns in the `error.code` field. Each maps to one
+// HTTP status (httpStatus); docs/SERVER.md tables the pairs, and the
+// error-path test exercises every one.
+const (
+	CodeBadJSON           = "bad_json"
+	CodeBadRequest        = "bad_request"
+	CodeBadOp             = "bad_op"
+	CodeBadNetwork        = "bad_network"
+	CodeBadScenario       = "bad_scenario"
+	CodeUnknownProtocol   = "unknown_protocol"
+	CodeUnknownEngine     = "unknown_engine"
+	CodeEngineNotServable = "engine_not_servable"
+	CodeUnknownScheduler  = "unknown_scheduler"
+	CodeBadFaults         = "bad_faults"
+	CodeNetworkTooLarge   = "network_too_large"
+	CodeBodyTooLarge      = "body_too_large"
+	CodeSaturated         = "saturated"
+	CodeCanceled          = "canceled"
+	CodeShuttingDown      = "shutting_down"
+	CodeRunFailed         = "run_failed"
+	CodeMethodNotAllowed  = "method_not_allowed"
+	CodeNotFound          = "not_found"
+)
+
+// ErrorCodes lists every code the API can return — the vocabulary the
+// docs/SERVER.md error table is drift-guarded against.
+func ErrorCodes() []string {
+	return []string{
+		CodeBadJSON, CodeBadRequest, CodeBadOp, CodeBadNetwork, CodeBadScenario,
+		CodeUnknownProtocol, CodeUnknownEngine, CodeEngineNotServable,
+		CodeUnknownScheduler, CodeBadFaults, CodeNetworkTooLarge,
+		CodeBodyTooLarge, CodeSaturated, CodeCanceled, CodeShuttingDown,
+		CodeRunFailed, CodeMethodNotAllowed, CodeNotFound,
+	}
+}
+
+// statusClientClosedRequest is nginx's conventional status for a request
+// whose client went away before the response; there is no IANA code.
+const statusClientClosedRequest = 499
+
+// httpStatus maps an error code to the status line it is served with.
+func httpStatus(code string) int {
+	switch code {
+	case CodeBadJSON, CodeBadRequest, CodeBadOp, CodeBadNetwork, CodeBadScenario,
+		CodeUnknownProtocol, CodeUnknownEngine, CodeEngineNotServable,
+		CodeUnknownScheduler, CodeBadFaults:
+		return http.StatusBadRequest
+	case CodeNetworkTooLarge, CodeBodyTooLarge:
+		return http.StatusRequestEntityTooLarge
+	case CodeSaturated:
+		return http.StatusTooManyRequests
+	case CodeCanceled:
+		return statusClientClosedRequest
+	case CodeShuttingDown:
+		return http.StatusServiceUnavailable
+	case CodeMethodNotAllowed:
+		return http.StatusMethodNotAllowed
+	case CodeNotFound:
+		return http.StatusNotFound
+	default: // CodeRunFailed and anything unmapped
+		return http.StatusInternalServerError
+	}
+}
+
+// Error is the typed rejection the API serves: a machine-readable code
+// (which fixes the HTTP status) plus a human-readable message.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *Error) Error() string { return e.Code + ": " + e.Message }
+
+// Status returns the HTTP status the error is served with.
+func (e *Error) Status() int { return httpStatus(e.Code) }
+
+// Errf builds an *Error with a formatted message.
+func Errf(code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	anonnet "repro"
+)
+
+// baseRequest is the reference point of the key-completeness fence: a valid
+// request exercising the shard engine (so Shards is live) with a timeline
+// (so TimelineEvery is live).
+func baseRequest() anonnet.Request {
+	return anonnet.Request{
+		Op:        "broadcast",
+		Scenario:  "torus:w=4,h=4,seed=1",
+		Message:   "hello",
+		Engine:    "shard",
+		Scheduler: "random",
+		Seed:      1,
+		Timeline:  true,
+	}
+}
+
+func mustKey(t *testing.T, req anonnet.Request) Key {
+	t.Helper()
+	k, _, err := KeyOf(&req, Limits{})
+	if err != nil {
+		t.Fatalf("KeyOf(%+v): %v", req, err)
+	}
+	return k
+}
+
+// TestKeyCompleteness is the property fence of the verdict cache: every
+// field of anonnet.Request must, when mutated to a different valid value,
+// move the cache key — otherwise two requests demanding different responses
+// would collide on one cache entry. The mutator table is checked against
+// the Request struct by reflection, so adding a request field without
+// deciding its key behavior fails this test, not production.
+func TestKeyCompleteness(t *testing.T) {
+	mutators := map[string]func(*anonnet.Request){
+		"Op": func(r *anonnet.Request) { r.Op = "labels"; r.Message = "" },
+		"Scenario": func(r *anonnet.Request) {
+			r.Scenario = "torus:w=5,h=4,seed=1"
+		},
+		"Network": func(r *anonnet.Request) {
+			// Switch to an embedded network (a different graph than the
+			// base scenario's torus).
+			net, err := anonnet.ScenarioNetwork("regular:n=12,d=3,seed=2")
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.Scenario = ""
+			r.Network = string(net.MarshalText())
+		},
+		"Message":       func(r *anonnet.Request) { r.Message = "other" },
+		"Protocol":      func(r *anonnet.Request) { r.Protocol = "general" },
+		"Engine":        func(r *anonnet.Request) { r.Engine = "sync"; r.Scheduler = "" },
+		"Scheduler":     func(r *anonnet.Request) { r.Scheduler = "lifo" },
+		"Seed":          func(r *anonnet.Request) { r.Seed = 2 },
+		"Shards":        func(r *anonnet.Request) { r.Shards = 2 },
+		"MaxSteps":      func(r *anonnet.Request) { r.MaxSteps = 500 },
+		"Faults":        func(r *anonnet.Request) { r.Faults = "drop=0:1" },
+		"Alphabet":      func(r *anonnet.Request) { r.Alphabet = true },
+		"NoBatchDrain":  func(r *anonnet.Request) { r.NoBatchDrain = true },
+		"Timeline":      func(r *anonnet.Request) { r.Timeline = false },
+		"TimelineEvery": func(r *anonnet.Request) { r.TimelineEvery = 7 },
+	}
+
+	rt := reflect.TypeOf(anonnet.Request{})
+	for i := 0; i < rt.NumField(); i++ {
+		name := rt.Field(i).Name
+		mut, ok := mutators[name]
+		if !ok {
+			t.Errorf("Request field %s has no key mutator — every request field must be represented in the cache key (or explicitly decided here)", name)
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			base := baseRequest()
+			baseKey := mustKey(t, base)
+			mutated := baseRequest()
+			mut(&mutated)
+			if got := mustKey(t, mutated); got == baseKey {
+				t.Fatalf("mutating %s did not change the cache key:\n base    %s\n mutated %s", name, baseKey, got)
+			}
+		})
+	}
+	for name := range mutators {
+		if _, ok := rt.FieldByName(name); !ok {
+			t.Errorf("mutator %s names no Request field — stale fence entry", name)
+		}
+	}
+}
+
+// TestKeyFaultTerms pushes the fence into the fault plan: every effective
+// fault term (drop edge, drop count, loss rate, loss seed, crash vertex,
+// crash quota) must move the key on its own.
+func TestKeyFaultTerms(t *testing.T) {
+	withFaults := func(spec string) anonnet.Request {
+		r := baseRequest()
+		r.Faults = spec
+		return r
+	}
+	base := mustKey(t, withFaults("drop=0:1,loss=10,seed=3,crash=1:2"))
+	for name, spec := range map[string]string{
+		"drop-edge":   "drop=2:1,loss=10,seed=3,crash=1:2",
+		"drop-count":  "drop=0:4,loss=10,seed=3,crash=1:2",
+		"loss-rate":   "drop=0:1,loss=20,seed=3,crash=1:2",
+		"loss-seed":   "drop=0:1,loss=10,seed=4,crash=1:2",
+		"crash-node":  "drop=0:1,loss=10,seed=3,crash=2:2",
+		"crash-quota": "drop=0:1,loss=10,seed=3,crash=1:5",
+		"no-faults":   "",
+	} {
+		if got := mustKey(t, withFaults(spec)); got == base {
+			t.Errorf("fault mutation %s (%q) did not change the cache key", name, spec)
+		}
+	}
+}
+
+// TestKeyFaultCanonicalization: equivalent spellings of one fault plan
+// share a key, and the loss seed drops out when there is no loss for it to
+// drive.
+func TestKeyFaultCanonicalization(t *testing.T) {
+	withFaults := func(spec string) anonnet.Request {
+		r := baseRequest()
+		r.Faults = spec
+		return r
+	}
+	if a, b := mustKey(t, withFaults("loss=10,drop=0:1,seed=3")), mustKey(t, withFaults("drop=0:1,seed=3,loss=10")); a != b {
+		t.Errorf("reordered fault spellings got distinct keys:\n %s\n %s", a, b)
+	}
+	if a, b := mustKey(t, withFaults("drop=0:1,seed=3")), mustKey(t, withFaults("drop=0:1,seed=9")); a != b {
+		t.Errorf("loss seed without loss moved the key: %s vs %s", a, b)
+	}
+}
+
+// TestKeyNormalization: zero-value request fields and their explicit
+// defaults are the same cache entry, and a scenario spec keys identically
+// to its own serialized network — the two spellings of one concrete graph.
+func TestKeyNormalization(t *testing.T) {
+	implicit := anonnet.Request{Scenario: "torus:w=4,h=4,seed=1"}
+	explicit := anonnet.Request{
+		Op: "broadcast", Scenario: "torus:w=4,h=4,seed=1",
+		Protocol: "auto", Engine: "seq", Scheduler: "fifo",
+	}
+	if a, b := mustKey(t, implicit), mustKey(t, explicit); a != b {
+		t.Errorf("defaults and explicit defaults got distinct keys:\n %s\n %s", a, b)
+	}
+
+	net, err := anonnet.ScenarioNetwork("torus:w=4,h=4,seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byText := anonnet.Request{Network: string(net.MarshalText())}
+	if a, b := mustKey(t, implicit), mustKey(t, byText); a != b {
+		t.Errorf("scenario spec and its serialized network got distinct keys:\n %s\n %s", a, b)
+	}
+}
+
+// TestKeyRejections: KeyOf's typed refusals carry the right codes.
+func TestKeyRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*anonnet.Request)
+		code string
+	}{
+		{"unknown-op", func(r *anonnet.Request) { r.Op = "divine" }, CodeBadOp},
+		{"unknown-protocol", func(r *anonnet.Request) { r.Protocol = "carrier-pigeon" }, CodeUnknownProtocol},
+		{"unknown-engine", func(r *anonnet.Request) { r.Engine = "warp" }, CodeUnknownEngine},
+		{"wild-engine", func(r *anonnet.Request) { r.Engine = "concurrent" }, CodeEngineNotServable},
+		{"unknown-scheduler", func(r *anonnet.Request) { r.Scheduler = "chaos" }, CodeUnknownScheduler},
+		{"negative-shards", func(r *anonnet.Request) { r.Shards = -1 }, CodeBadRequest},
+		{"bad-faults", func(r *anonnet.Request) { r.Faults = "drop=999:1" }, CodeBadFaults},
+		{"fault-suffix-in-scenario", func(r *anonnet.Request) { r.Scenario = "torus:w=4,h=4@drop=0:1" }, CodeBadScenario},
+		{"no-graph", func(r *anonnet.Request) { r.Scenario = "" }, CodeBadRequest},
+		{"both-graphs", func(r *anonnet.Request) { r.Network = "anonnet v1\nvertices 3 root 0 terminal 2\n" }, CodeBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := baseRequest()
+			tc.mut(&req)
+			_, _, err := KeyOf(&req, Limits{})
+			if err == nil {
+				t.Fatalf("KeyOf accepted %+v", req)
+			}
+			if err.Code != tc.code {
+				t.Fatalf("code = %s (%s), want %s", err.Code, err.Message, tc.code)
+			}
+		})
+	}
+	// The vertex bound comes from Limits, not the request.
+	req := baseRequest()
+	_, _, err := KeyOf(&req, Limits{MaxVertices: 4})
+	if err == nil || err.Code != CodeNetworkTooLarge {
+		t.Fatalf("oversized network: err = %v, want %s", err, CodeNetworkTooLarge)
+	}
+	if !strings.Contains(err.Message, "vertices") {
+		t.Fatalf("oversized message %q does not say how", err.Message)
+	}
+}

@@ -131,6 +131,30 @@ const (
 	ProtoGeneral
 )
 
+// ProtocolNames lists the selectable protocols in CLI spelling; each name is
+// accepted by ProtocolByName, the -proto flags of cmd/anoncast, and the
+// "protocol" field of the run-server request (internal/serve).
+func ProtocolNames() []string { return []string{"auto", "tree", "tree-naive", "dag", "general"} }
+
+// ProtocolByName parses a CLI protocol name (auto|tree|tree-naive|dag|general).
+// The empty string selects the automatic choice.
+func ProtocolByName(name string) (ProtocolKind, error) {
+	switch name {
+	case "", "auto":
+		return ProtoAuto, nil
+	case "tree":
+		return ProtoTreePow2, nil
+	case "tree-naive":
+		return ProtoTreeNaive, nil
+	case "dag":
+		return ProtoDAG, nil
+	case "general":
+		return ProtoGeneral, nil
+	default:
+		return 0, fmt.Errorf("anonnet: unknown protocol %q (have %s)", name, strings.Join(ProtocolNames(), "|"))
+	}
+}
+
 // Option configures a protocol run.
 type Option func(*runConfig)
 
@@ -149,6 +173,7 @@ type runConfig struct {
 	fuzzDst  **FuzzReport
 	scenario string
 	faults   string
+	noBatch  bool
 	obsOn    bool
 	obsEvery int
 }
@@ -232,6 +257,13 @@ func WithScenario(spec string) Option { return func(c *runConfig) { c.scenario =
 func WithObservability(sampleEvery int) Option {
 	return func(c *runConfig) { c.obsOn = true; c.obsEvery = sampleEvery }
 }
+
+// WithNoBatchDrain disables forced-choice batch draining in the sequential
+// engine and the shard engine's local loops. The delivery sequence is
+// identical with and without batching (internal/sim/batch_test.go proves the
+// equivalence); the switch exists for those tests, for profiling the
+// optimization in isolation, and as a request field of the run server.
+func WithNoBatchDrain() Option { return func(c *runConfig) { c.noBatch = true } }
 
 // WithFaults injects a deterministic fault plan, compiled against the run's
 // network: "drop=EDGE:K,loss=PCT,crash=VERTEX:K,seed=N" (terms optional and
@@ -451,6 +483,7 @@ func (c runConfig) simOptions() (sim.Options, error) {
 		Seed:          c.seed,
 		MaxSteps:      c.maxSteps,
 		TrackAlphabet: c.alphabet,
+		NoBatchDrain:  c.noBatch,
 	}
 	if c.sched != "" {
 		sched, err := sim.NewScheduler(c.sched)
@@ -792,3 +825,173 @@ func ExtractTopology(n *Network, opts ...Option) (*Topology, *Report, error) {
 	}
 	return out, rep, nil
 }
+
+// Request is the declarative form of one run — the full purity tuple as
+// plain data. It is the entry point the run server (internal/serve,
+// cmd/anonserved) and the CLIs share: every field is serializable, and on
+// the deterministic engines (seq, sync, shard) the outcome is a pure
+// function of the request, which is what makes server-side verdict caching
+// sound. Zero values select the defaults of the corresponding options
+// (sequential engine, automatic protocol, fifo scheduler).
+type Request struct {
+	// Op selects the protocol family: "broadcast" (default), "labels"
+	// (Section 5 label assignment), or "topology" (map extraction).
+	Op string `json:"op,omitempty"`
+	// Scenario builds the network from the scenario registry
+	// ("family[:param=value,...]", WithScenario syntax, without the
+	// '@'-fault suffix — faults travel in Faults). Exactly one of Scenario
+	// and Network must be set.
+	Scenario string `json:"scenario,omitempty"`
+	// Network is the network in the v1 text format (Network.MarshalText).
+	Network string `json:"network,omitempty"`
+	// Message is the broadcast payload (broadcast op only).
+	Message string `json:"message,omitempty"`
+	// Protocol forces a protocol by CLI name (ProtocolNames; ""/auto =
+	// automatic choice). Broadcast op only.
+	Protocol string `json:"protocol,omitempty"`
+	// Engine selects the execution engine by CLI name (EngineNames; "" =
+	// seq).
+	Engine string `json:"engine,omitempty"`
+	// Scheduler selects the adversarial scheduler by name (SchedulerNames;
+	// "" = fifo). Seq and shard engines only; the others ignore it.
+	Scheduler string `json:"scheduler,omitempty"`
+	// Seed seeds the randomized schedulers.
+	Seed int64 `json:"seed,omitempty"`
+	// Shards is the shard engine's shard count (0 = DefaultShards).
+	Shards int `json:"shards,omitempty"`
+	// MaxSteps bounds the number of delivery steps (0 = default limit).
+	MaxSteps int `json:"max_steps,omitempty"`
+	// Faults is a deterministic fault plan in WithFaults syntax
+	// ("drop=EDGE:K,loss=PCT,crash=VERTEX:K,seed=N"; "" = fault-free).
+	Faults string `json:"faults,omitempty"`
+	// Alphabet enables Report.AlphabetSize tracking.
+	Alphabet bool `json:"alphabet,omitempty"`
+	// NoBatchDrain disables forced-choice batch draining (WithNoBatchDrain).
+	NoBatchDrain bool `json:"no_batch_drain,omitempty"`
+	// Timeline attaches run telemetry: Report.Timeline carries the
+	// deterministic timeline plane, sampled every TimelineEvery deliveries
+	// (<= 0 = default stride).
+	Timeline      bool `json:"timeline,omitempty"`
+	TimelineEvery int  `json:"timeline_every,omitempty"`
+}
+
+// RunResult is Do's outcome: the Report of the run plus the op-specific
+// output (labels for "labels", the extracted topology for "topology").
+type RunResult struct {
+	Report   *Report
+	Labels   map[VertexID]Label
+	Topology *Topology
+}
+
+// options lowers the request to the functional-option form and resolves its
+// network. The returned network is nil when the request names a scenario
+// (the run entry points resolve it), and extra options are appended verbatim
+// — that is how the CLIs ride record/replay/telemetry-format concerns on top
+// of the shared request surface.
+func (req Request) options(extra []Option) (*Network, []Option, error) {
+	kind, err := ProtocolByName(req.Protocol)
+	if err != nil {
+		return nil, nil, err
+	}
+	engName := req.Engine
+	if engName == "" {
+		engName = "seq"
+	}
+	eng, err := EngineByName(engName)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := []Option{WithEngine(eng), WithProtocol(kind), WithSeed(req.Seed)}
+	if req.Scheduler != "" {
+		opts = append(opts, WithScheduler(req.Scheduler))
+	}
+	if req.Shards != 0 {
+		opts = append(opts, WithShards(req.Shards))
+	}
+	if req.MaxSteps != 0 {
+		opts = append(opts, WithMaxSteps(req.MaxSteps))
+	}
+	if req.Faults != "" {
+		opts = append(opts, WithFaults(req.Faults))
+	}
+	if req.Scenario != "" {
+		opts = append(opts, WithScenario(req.Scenario))
+	}
+	if req.Alphabet {
+		opts = append(opts, WithAlphabetTracking())
+	}
+	if req.NoBatchDrain {
+		opts = append(opts, WithNoBatchDrain())
+	}
+	if req.Timeline {
+		opts = append(opts, WithObservability(req.TimelineEvery))
+	}
+	var net *Network
+	if req.Network != "" {
+		net, err = ParseNetwork(strings.NewReader(req.Network))
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return net, append(opts, extra...), nil
+}
+
+// Do executes a declarative Request: the request-struct counterpart of
+// Broadcast / AssignLabels / ExtractTopology, shared by the run server and
+// the CLIs. Extra options are appended after the request-derived ones, so
+// in-process callers can add concerns the wire format does not carry
+// (trace recording, replay, schedule fuzzing). Like Broadcast, Do returns
+// the report alongside ErrNotTerminated when the run correctly went
+// quiescent — servable, cacheable outcomes, not failures.
+func Do(req Request, extra ...Option) (*RunResult, error) {
+	net, opts, err := req.options(extra)
+	if err != nil {
+		return nil, err
+	}
+	switch req.Op {
+	case "", "broadcast":
+		rep, err := Broadcast(net, []byte(req.Message), opts...)
+		if rep == nil {
+			return nil, err
+		}
+		return &RunResult{Report: rep}, err
+	case "labels":
+		labels, rep, err := AssignLabels(net, opts...)
+		if rep == nil {
+			return nil, err
+		}
+		return &RunResult{Report: rep, Labels: labels}, err
+	case "topology":
+		topo, rep, err := ExtractTopology(net, opts...)
+		if rep == nil {
+			return nil, err
+		}
+		return &RunResult{Report: rep, Topology: topo}, err
+	default:
+		return nil, fmt.Errorf("anonnet: unknown op %q (have broadcast|labels|topology)", req.Op)
+	}
+}
+
+// Ops lists the valid Request.Op values.
+func Ops() []string { return []string{"broadcast", "labels", "topology"} }
+
+// CheckFaults validates a WithFaults spec against this network without
+// running anything: parse errors, out-of-range rates, and plans naming
+// edges or vertices the network does not have are reported here exactly as
+// a run would reject them. The run server uses it to turn bad fault plans
+// into 400s instead of failed executions.
+func (n *Network) CheckFaults(spec string) error {
+	plan, err := scenario.ParseFaults(spec)
+	if err != nil {
+		return err
+	}
+	_, err = plan.Compile(n.g)
+	return err
+}
+
+// Fingerprint returns the network's isomorphism-invariant fingerprint
+// (graph.Fingerprint): equal for isomorphic networks, value-pinned across
+// releases. The run server records it as cache provenance; cache identity
+// itself additionally hashes the exact serialized form, since metrics are
+// functions of the concrete port numbering, not only the isomorphism class.
+func (n *Network) Fingerprint() uint64 { return n.g.Fingerprint() }
