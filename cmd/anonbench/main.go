@@ -202,6 +202,10 @@ func runBench(quick bool, jsonPath, baseline, obsPath string, obsEvery int) erro
 			rep.Broadcast.NsPerDelivery, rep.Broadcast.AllocsPerDelivery,
 			rep.Broadcast.PeakInFlight, rep.ShardBroadcast.Speedup,
 			rep.ShardBroadcast.Shards, rep.TotalWallMS, jsonPath)
+		sf := rep.ShardScalefree
+		fmt.Fprintf(os.Stderr, "bench: scalefree shard tier: speedup %.2fx, %d ghost vertices aggregating %d of %d cut edges (%d effective), %d steals moving %d edges\n",
+			sf.Speedup, sf.GhostVertices, sf.GhostEdges, sf.CutEdges,
+			sf.EffectiveCutEdges, sf.Steals, sf.StolenEdges)
 	}
 	if baseline == "" {
 		return nil
@@ -215,7 +219,11 @@ func runBench(quick bool, jsonPath, baseline, obsPath string, obsEvery int) erro
 	for _, w := range experiments.StaleBaselineWarnings(rep, base) {
 		fmt.Fprintf(os.Stderr, "bench: WARNING: %s\n", w)
 	}
-	if err := experiments.CompareBench(rep, base); err != nil {
+	warns, err := experiments.CompareBenchWarnings(rep, base)
+	for _, w := range warns {
+		fmt.Fprintf(os.Stderr, "bench: WARNING: %s\n", w)
+	}
+	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "bench: within budget of baseline %s (%.1f ns/delivery vs %.1f, shard speedup %.2fx vs %.2fx)\n",

@@ -383,39 +383,49 @@ func TestTCPConformance(t *testing.T) {
 		{protoCases[3], graph.RandomDigraph(6, 11, graph.RandomDigraphOpts{ExtraEdges: 5, TerminalFrac: 0.3})},
 		{protoCases[4], graph.Ring(4)},
 	}
-	eng := netrun.Engine(core.Codec{}, netrun.Options{})
-	for _, c := range cases {
-		t.Run(c.pc.name+"/"+c.g.Name(), func(t *testing.T) {
-			ref, err := sim.Sequential().Run(c.g, c.pc.make(), sim.Options{})
+	// Both wirings of the socket tier run the same matrix: the per-vertex
+	// original and the sharded io-loop mode (one worker and listener per
+	// partition shard, cut traffic muxed per shard pair).
+	modes := []struct {
+		name string
+		eng  sim.Engine
+	}{
+		{"per-vertex", netrun.Engine(core.Codec{}, netrun.Options{})},
+		{"sharded", netrun.Engine(core.Codec{}, netrun.Options{Shards: 3})},
+	}
+	for _, m := range modes {
+		for _, c := range cases {
+			t.Run(m.name+"/"+c.pc.name+"/"+c.g.Name(), func(t *testing.T) {
+				ref, err := sim.Sequential().Run(c.g, c.pc.make(), sim.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := outcomeOf(t, c.g, ref)
+				r, err := m.eng.Run(c.g, c.pc.make(), sim.Options{})
+				if err != nil {
+					t.Fatalf("tcp: %v", err)
+				}
+				got := outcomeOf(t, c.g, r)
+				if got.Verdict != want.Verdict {
+					t.Errorf("tcp: verdict %s, reference %s", got.Verdict, want.Verdict)
+				}
+				if got.Labeled != want.Labeled {
+					t.Errorf("tcp: labeled-vertex set diverges\n got: %s\nwant: %s", got.Labeled, want.Labeled)
+				}
+				if got.TopoOK != want.TopoOK {
+					t.Errorf("tcp: topology isomorphism %v, reference %v", got.TopoOK, want.TopoOK)
+				}
+			})
+		}
+		t.Run(m.name+"/quiescence", func(t *testing.T) {
+			g := deadEndGraph(t)
+			r, err := m.eng.Run(g, core.NewGeneralBroadcast([]byte("m")), sim.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
-			want := outcomeOf(t, c.g, ref)
-			r, err := eng.Run(c.g, c.pc.make(), sim.Options{})
-			if err != nil {
-				t.Fatalf("tcp: %v", err)
-			}
-			got := outcomeOf(t, c.g, r)
-			if got.Verdict != want.Verdict {
-				t.Errorf("tcp: verdict %s, reference %s", got.Verdict, want.Verdict)
-			}
-			if got.Labeled != want.Labeled {
-				t.Errorf("tcp: labeled-vertex set diverges\n got: %s\nwant: %s", got.Labeled, want.Labeled)
-			}
-			if got.TopoOK != want.TopoOK {
-				t.Errorf("tcp: topology isomorphism %v, reference %v", got.TopoOK, want.TopoOK)
+			if r.Verdict != sim.Quiescent {
+				t.Errorf("tcp: verdict %s, want quiescent", r.Verdict)
 			}
 		})
 	}
-
-	t.Run("quiescence", func(t *testing.T) {
-		g := deadEndGraph(t)
-		r, err := eng.Run(g, core.NewGeneralBroadcast([]byte("m")), sim.Options{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if r.Verdict != sim.Quiescent {
-			t.Errorf("tcp: verdict %s, want quiescent", r.Verdict)
-		}
-	})
 }

@@ -22,7 +22,12 @@ func faultEngines(t *testing.T) []sim.Engine {
 		shard.Engine(3),
 	}
 	if !testing.Short() {
-		engines = append(engines, netrun.Engine(core.Codec{}, netrun.Options{}))
+		engines = append(engines,
+			netrun.Engine(core.Codec{}, netrun.Options{}),
+			// The same tier in its sharded io-loop wiring: the fault plan
+			// must survive the muxed shard-pair transport too.
+			netrun.Engine(core.Codec{}, netrun.Options{Shards: 3}),
+		)
 	}
 	return engines
 }

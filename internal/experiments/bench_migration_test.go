@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// loadV4Fixture reads the committed v4 BENCH.json (the last baseline layout
+// before shard_scalefree and the ghost/steal counters). The fixture must
+// stay at v4 forever — it IS the migration input; regenerating it would turn
+// this test into a tautology.
+func loadV4Fixture(t *testing.T) *BenchReport {
+	t.Helper()
+	base, err := ReadBench("testdata/BENCH_v4.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.SchemaVersion != benchSchemaVersion-1 {
+		t.Fatalf("fixture is schema v%d, want v%d — do not regenerate testdata/BENCH_v4.json",
+			base.SchemaVersion, benchSchemaVersion-1)
+	}
+	return base
+}
+
+// v5From builds a current-schema report carrying the fixture's shared
+// numbers plus plausible v5-only rows.
+func v5From(base *BenchReport) *BenchReport {
+	cur := *base
+	cur.SchemaVersion = benchSchemaVersion
+	cur.ShardBroadcast.GhostVertices = 3
+	cur.ShardBroadcast.GhostEdges = 17
+	cur.ShardBroadcast.EffectiveCutEdges = cur.ShardBroadcast.CutEdges - 17
+	cur.ShardScalefree = ShardBench{
+		Vertices: 4000, Edges: 12000, Scheduler: "random", Shards: 4,
+		CutEdges: 900, GhostVertices: 40, GhostEdges: 600, EffectiveCutEdges: 300,
+		Repeats: 2, Deliveries: 12000, Steals: 2, StolenEdges: 150,
+		NsPerDeliveryOneShard: 700, NsPerDeliverySharded: 800, Speedup: 0.9,
+	}
+	return &cur
+}
+
+// TestCompareBenchV4Migration: gating a v5 run against a v4 baseline warns
+// and skips the v5-only rows instead of hard-failing, still gates every
+// shared field, and keeps any other schema skew fatal.
+func TestCompareBenchV4Migration(t *testing.T) {
+	base := loadV4Fixture(t)
+	cur := v5From(base)
+
+	warns, err := CompareBenchWarnings(cur, base)
+	if err != nil {
+		t.Fatalf("v4 baseline must gate with a warning, got error: %v", err)
+	}
+	if len(warns) != 1 || !strings.Contains(warns[0], "regenerate") {
+		t.Fatalf("want one regenerate-the-baseline warning, got %q", warns)
+	}
+
+	// Same-schema comparisons stay warning-free.
+	warns, err = CompareBenchWarnings(cur, cur)
+	if err != nil {
+		t.Fatalf("self-comparison failed: %v", err)
+	}
+	if len(warns) != 0 {
+		t.Fatalf("self-comparison produced warnings: %q", warns)
+	}
+
+	// A regression in a field both schemas share is still a hard error
+	// across the migration — warn-and-skip must not disarm the gate.
+	slow := v5From(base)
+	slow.Broadcast.NsPerDelivery = base.Broadcast.NsPerDelivery * 2
+	if _, err := CompareBenchWarnings(slow, base); err == nil || !strings.Contains(err.Error(), "ns/delivery") {
+		t.Fatalf("shared-field regression not caught across migration: %v", err)
+	}
+	slowShard := v5From(base)
+	slowShard.ShardBroadcast.NsPerDeliverySharded = base.ShardBroadcast.NsPerDeliverySharded * 2
+	if _, err := CompareBenchWarnings(slowShard, base); err == nil || !strings.Contains(err.Error(), "sharded ns/delivery") {
+		t.Fatalf("shared shard regression not caught across migration: %v", err)
+	}
+
+	// Only the one-version migration is supported: an older baseline (or a
+	// newer one) remains a hard schema error.
+	ancient := *base
+	ancient.SchemaVersion = benchSchemaVersion - 2
+	if _, err := CompareBenchWarnings(cur, &ancient); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("two-version skew must stay fatal: %v", err)
+	}
+	future := v5From(base)
+	if _, err := CompareBenchWarnings(base, future); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("older run vs newer baseline must stay fatal: %v", err)
+	}
+}
+
+// TestCompareBenchScalefreeGate: once the baseline carries a shard_scalefree
+// row, its sharded ns/delivery and speedup are regression-gated exactly like
+// the grounded-tree row's.
+func TestCompareBenchScalefreeGate(t *testing.T) {
+	base := v5From(loadV4Fixture(t))
+	ok := *base
+	if _, err := CompareBenchWarnings(&ok, base); err != nil {
+		t.Fatalf("identical v5 reports failed the gate: %v", err)
+	}
+	slow := *base
+	slow.ShardScalefree.NsPerDeliverySharded = base.ShardScalefree.NsPerDeliverySharded * 2
+	if _, err := CompareBenchWarnings(&slow, base); err == nil || !strings.Contains(err.Error(), "shard_scalefree") {
+		t.Fatalf("scalefree sharded regression not caught: %v", err)
+	}
+	unscaled := *base
+	unscaled.ShardScalefree.Speedup = base.ShardScalefree.Speedup / 2
+	if _, err := CompareBenchWarnings(&unscaled, base); err == nil || !strings.Contains(err.Error(), "shard_scalefree") {
+		t.Fatalf("scalefree speedup regression not caught: %v", err)
+	}
+}

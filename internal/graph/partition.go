@@ -8,6 +8,15 @@ import "math/rand"
 // different shards — cut edges are exactly the cross-shard traffic the
 // sharded engine routes through its deterministic merge, so a good partition
 // keeps most deliveries shard-local.
+//
+// On top of the vertex assignment the partition marks *ghost* edges: when a
+// sender shard holds at least GhostFanIn cut edges into one remote vertex
+// (a high-fan-in boundary vertex — the hubs of scale-free graphs), that
+// vertex is replicated as a ghost into the sender shard and those edges are
+// ghost-routed — the sender delivers into a local per-edge ghost buffer and
+// the owner reconciles each ghost once per superstep, instead of paying the
+// interleaved outbox/merge tax per message. EffectiveCutEdges is the
+// cross-shard traffic that still goes through the general merge.
 type Partition struct {
 	// K is the number of shards actually used (≤ the requested count; never
 	// more than |V|).
@@ -19,7 +28,35 @@ type Partition struct {
 	// CutEdges is the number of edges whose endpoints lie in different
 	// shards.
 	CutEdges int
+	// GhostVertices is the number of (sender shard, remote vertex) ghost
+	// replicas: one per shard that holds at least GhostFanIn cut edges into
+	// the vertex.
+	GhostVertices int
+	// GhostEdges is the number of cut edges covered by a ghost replica
+	// (delivered sender-side into a ghost buffer, reconciled in bulk).
+	GhostEdges int
+
+	// ghostEdge[e] marks cut edges routed through a ghost replica. Nil when
+	// the partition has no ghosts (K == 1, or no boundary vertex reaches the
+	// fan-in threshold).
+	ghostEdge []bool
 }
+
+// GhostFanIn is the replication threshold: a remote vertex becomes a ghost
+// in a sender shard when that shard owns at least this many cut edges into
+// it. Below the threshold the per-superstep reconciliation walk would cost
+// more than the outbox entries it saves.
+const GhostFanIn = 4
+
+// GhostEdge reports whether cut edge e is ghost-routed: its head is
+// replicated as a ghost in the shard owning its tail.
+func (p *Partition) GhostEdge(e EdgeID) bool {
+	return p.ghostEdge != nil && p.ghostEdge[e]
+}
+
+// EffectiveCutEdges is the number of cut edges that still pay the
+// per-message outbox/merge path — CutEdges minus the ghost-routed ones.
+func (p *Partition) EffectiveCutEdges() int { return p.CutEdges - p.GhostEdges }
 
 // OfEdgeFrom returns the shard owning e's tail (the side that sends on e).
 func (p *Partition) OfEdgeFrom(g *G, e EdgeID) int { return p.Of[g.Edge(e).From] }
@@ -183,5 +220,39 @@ func PartitionGraph(g *G, k int, seed int64) *Partition {
 			p.CutEdges++
 		}
 	}
+	p.computeGhosts(g)
 	return p
+}
+
+// computeGhosts marks the ghost-routed cut edges: for every (sender shard,
+// remote head vertex) pair with at least GhostFanIn cut edges, the head is
+// replicated as a ghost into the sender shard and those edges bypass the
+// general merge. Two passes over the edge list in ID order keep the result
+// a deterministic pure function of the vertex assignment.
+func (p *Partition) computeGhosts(g *G) {
+	if p.K <= 1 || p.CutEdges == 0 {
+		return
+	}
+	nV := g.NumVertices()
+	fanIn := make(map[int]int)
+	for _, e := range g.Edges() {
+		if p.Of[e.From] != p.Of[e.To] {
+			fanIn[p.Of[e.From]*nV+int(e.To)]++
+		}
+	}
+	for _, n := range fanIn {
+		if n >= GhostFanIn {
+			p.GhostVertices++
+			p.GhostEdges += n
+		}
+	}
+	if p.GhostVertices == 0 {
+		return
+	}
+	p.ghostEdge = make([]bool, g.NumEdges())
+	for _, e := range g.Edges() {
+		if p.Of[e.From] != p.Of[e.To] && fanIn[p.Of[e.From]*nV+int(e.To)] >= GhostFanIn {
+			p.ghostEdge[e.ID] = true
+		}
+	}
 }

@@ -68,6 +68,9 @@ func (e tcpEngine) Run(g *graph.G, p protocol.Protocol, simOpts sim.Options) (*s
 	if simOpts.Obs != nil {
 		opts.Obs = simOpts.Obs
 	}
+	if simOpts.Seed != 0 {
+		opts.Seed = simOpts.Seed
+	}
 	return Run(g, p, e.codec, opts)
 }
 
@@ -95,6 +98,21 @@ type Options struct {
 	// timeline here is wild — the kernel's schedule, not the seed's. The
 	// engine adapter copies this from sim.Options.Obs.
 	Obs *obs.Recorder
+	// Shards >= 2 selects the sharded io-loop mode (see shard.go): vertices
+	// are grouped by graph.PartitionGraph — the same partitioner and
+	// ownership rule as the in-memory shard engine — each shard runs one
+	// worker loop and one listener, and all cut-edge traffic between an
+	// ordered shard pair is muxed over a single connection whose frames name
+	// the edge explicitly. In-shard messages never touch a socket, so the
+	// socket count follows the partition, not the graph, and the tier scales
+	// to graphs the per-vertex wiring cannot open enough file descriptors
+	// for. Shards <= 1 keeps the original goroutine-per-vertex,
+	// connection-per-edge wiring.
+	Shards int
+	// Seed drives the partitioner in sharded mode (ignored otherwise). The
+	// engine adapter copies sim.Options.Seed here when set, so the shard
+	// layout follows the run's seed exactly like the in-memory shard engine.
+	Seed int64
 }
 
 const (
@@ -114,61 +132,29 @@ func Run(g *graph.G, p protocol.Protocol, codec protocol.Codec, opts Options) (*
 	if opts.MaxMessages <= 0 {
 		opts.MaxMessages = defaultMaxMessages
 	}
-
-	nV, nE := g.NumVertices(), g.NumEdges()
-	nodes := make([]protocol.Node, nV)
-	var term protocol.Terminal
-	for v := 0; v < nV; v++ {
-		role := protocol.RoleInternal
-		switch graph.VertexID(v) {
-		case g.Root():
-			role = protocol.RoleRoot
-		case g.Terminal():
-			role = protocol.RoleTerminal
-		}
-		n := p.NewNode(g.InDegree(graph.VertexID(v)), g.OutDegree(graph.VertexID(v)), role)
-		if role == protocol.RoleTerminal {
-			t, ok := n.(protocol.Terminal)
-			if !ok {
-				return nil, fmt.Errorf("netrun: protocol %q terminal node does not implement Terminal", p.Name())
-			}
-			term = t
-		}
-		nodes[v] = n
+	if opts.Shards > 1 {
+		return runSharded(g, p, codec, opts)
 	}
 
+	nodes, term, err := buildNodes(g, p)
+	if err != nil {
+		return nil, err
+	}
 	r := &runner{
 		g:     g,
 		p:     p,
 		codec: codec,
 		nodes: nodes,
 		term:  term,
-		res: &sim.Result{
-			Visited: make([]bool, nV),
-			Nodes:   nodes,
-			Metrics: sim.Metrics{
-				PerEdgeBits: make([]int64, nE),
-				PerEdgeMsgs: make([]int, nE),
-			},
-		},
-		stopCh:  make(chan struct{}),
-		maxMsgs: opts.MaxMessages,
-		obs:     sim.NewSerializedObserver(opts.Observer),
 	}
-	faults, err := sim.NewFaultState(g, &sim.Options{DropFirst: opts.DropFirst, Faults: opts.Faults})
-	if err != nil {
+	if err := r.init(g, opts); err != nil {
 		return nil, err
 	}
-	r.faults = faults
-	r.res.Visited[g.Root()] = true
+	r.res.Nodes = nodes
 
-	// Telemetry: one track behind an engine-owned mutex (reader goroutines
-	// and vertex loops race). The seed reported is 0 — the kernel's schedule
-	// is not seeded.
-	if opts.Obs != nil {
-		opts.Obs.Configure(p.Name(), "wild-tcp", 0, 1)
-		r.tr = opts.Obs.Tracks(1)[0]
-	}
+	// Telemetry: the seed reported is 0 — the kernel's schedule is not
+	// seeded (the sharded mode reports its partition seed instead).
+	r.telemetry(opts.Obs, p.Name(), 0, 1)
 
 	setupDone := obsStart(opts.Obs, "setup")
 	if err := r.listen(); err != nil {
@@ -185,34 +171,7 @@ func Run(g *graph.G, p protocol.Protocol, codec protocol.Codec, opts Options) (*
 	}
 	setupDone()
 
-	// Quiescence watcher.
-	var watcherWG sync.WaitGroup
-	watcherWG.Add(1)
-	go func() {
-		defer watcherWG.Done()
-		if r.inFlight.WaitZero() {
-			r.finish(sim.Quiescent, nil)
-		}
-	}()
-
-	ioDone := obsStart(opts.Obs, "io-loop")
-	select {
-	case <-r.stopCh:
-	case <-time.After(opts.Timeout):
-		r.finish(0, fmt.Errorf("%w after %s on %s", ErrTimeout, opts.Timeout, g))
-	}
-	r.closeAll()
-	r.wg.Wait()
-	r.inFlight.Release()
-	watcherWG.Wait()
-	ioDone()
-
-	r.res.Steps = int(r.steps.Load())
-	// The quiescence counter's high-water mark is the socket tier's peak of
-	// in-flight-plus-processing messages — same O(1) accounting as the
-	// concurrent engine, so this tier no longer reports a silent zero.
-	r.res.Metrics.PeakInFlight = int(r.inFlight.Peak())
-	r.res.Dropped = r.faults.Dropped()
+	r.supervise(g, opts, r.closeAll)
 	if r.err != nil {
 		return r.res, r.err
 	}
@@ -223,21 +182,58 @@ func Run(g *graph.G, p protocol.Protocol, codec protocol.Codec, opts Options) (*
 	return r.res, nil
 }
 
-type runner struct {
-	g     *graph.G
-	p     protocol.Protocol
-	codec protocol.Codec
-	nodes []protocol.Node
-	term  protocol.Terminal
-	res   *sim.Result
+// buildNodes instantiates one protocol node per vertex (with the role the
+// graph assigns it) and returns the terminal's control handle.
+func buildNodes(g *graph.G, p protocol.Protocol) ([]protocol.Node, protocol.Terminal, error) {
+	nV := g.NumVertices()
+	nodes := make([]protocol.Node, nV)
+	var term protocol.Terminal
+	for v := 0; v < nV; v++ {
+		role := protocol.RoleInternal
+		switch graph.VertexID(v) {
+		case g.Root():
+			role = protocol.RoleRoot
+		case g.Terminal():
+			role = protocol.RoleTerminal
+		}
+		n := p.NewNode(g.InDegree(graph.VertexID(v)), g.OutDegree(graph.VertexID(v)), role)
+		if role == protocol.RoleTerminal {
+			t, ok := n.(protocol.Terminal)
+			if !ok {
+				return nil, nil, fmt.Errorf("netrun: protocol %q terminal node does not implement Terminal", p.Name())
+			}
+			term = t
+		}
+		nodes[v] = n
+	}
+	return nodes, term, nil
+}
 
-	listeners []net.Listener
-	// outConns[v][j] is vertex v's connection for its out-port j.
-	outConns [][]net.Conn
-	// inbox fan-in: each vertex drains one unbounded queue fed by
-	// per-connection reader goroutines. Unbounded matches the model's
-	// unbounded links and rules out backpressure deadlocks on cycles.
-	inboxes []*inbox
+// initialMessages builds sigma0: one message per root out-port, via the
+// MultiInitializer hook when the root has fan-out.
+func initialMessages(g *graph.G, p protocol.Protocol) ([]protocol.Message, error) {
+	d := g.OutDegree(g.Root())
+	if d == 1 {
+		return []protocol.Message{p.InitialMessage()}, nil
+	}
+	mi, ok := p.(protocol.MultiInitializer)
+	if !ok {
+		return nil, fmt.Errorf("netrun: root has out-degree %d but protocol %q does not implement MultiInitializer", d, p.Name())
+	}
+	inits := mi.InitialMessages(d)
+	if len(inits) != d {
+		return nil, fmt.Errorf("netrun: protocol returned %d initial messages for out-degree %d", len(inits), d)
+	}
+	return inits, nil
+}
+
+// runCore is the state and accounting shared by both wiring modes of the
+// TCP tier — the goroutine-per-vertex runner below and the sharded io-loop
+// runner in shard.go. It owns the result skeleton, the quiescence counter,
+// fault state, telemetry, and the stop protocol; the wiring-specific runners
+// embed it and add their sockets and loops.
+type runCore struct {
+	res *sim.Result
 
 	inFlight Counter
 	steps    atomic.Int64
@@ -260,19 +256,121 @@ type runner struct {
 	err      error
 }
 
+// init builds the result skeleton, fault state, and stop channel.
+func (c *runCore) init(g *graph.G, opts Options) error {
+	nV, nE := g.NumVertices(), g.NumEdges()
+	c.res = &sim.Result{
+		Visited: make([]bool, nV),
+		Metrics: sim.Metrics{
+			PerEdgeBits: make([]int64, nE),
+			PerEdgeMsgs: make([]int, nE),
+		},
+	}
+	c.stopCh = make(chan struct{})
+	c.maxMsgs = opts.MaxMessages
+	c.obs = sim.NewSerializedObserver(opts.Observer)
+	faults, err := sim.NewFaultState(g, &sim.Options{DropFirst: opts.DropFirst, Faults: opts.Faults})
+	if err != nil {
+		return err
+	}
+	c.faults = faults
+	c.res.Visited[g.Root()] = true
+	return nil
+}
+
+// telemetry wires the recorder: one track behind an engine-owned mutex
+// (reader goroutines and worker loops race on it).
+func (c *runCore) telemetry(rec *obs.Recorder, proto string, seed int64, shards int) {
+	if rec == nil {
+		return
+	}
+	rec.Configure(proto, "wild-tcp", seed, shards)
+	c.tr = rec.Tracks(1)[0]
+}
+
+// meter accounts one encoded message and enforces the traffic budget.
+func (c *runCore) meter(eid graph.EdgeID, bits int) error {
+	c.metricsMu.Lock()
+	m := &c.res.Metrics
+	m.Messages++
+	m.TotalBits += int64(bits)
+	m.PerEdgeBits[eid] += int64(bits)
+	m.PerEdgeMsgs[eid]++
+	if bits > m.MaxMsgBits {
+		m.MaxMsgBits = bits
+	}
+	total := int64(m.Messages)
+	c.metricsMu.Unlock()
+	if total > c.maxMsgs {
+		return fmt.Errorf("netrun: message budget exceeded (%d)", c.maxMsgs)
+	}
+	return nil
+}
+
+// supervise runs the quiescence watcher and the timeout clock, waits for the
+// stop signal, and tears the run down via closeAll; when it returns, every
+// goroutine has exited and the shared counters are final.
+func (c *runCore) supervise(g *graph.G, opts Options, closeAll func()) {
+	var watcherWG sync.WaitGroup
+	watcherWG.Add(1)
+	go func() {
+		defer watcherWG.Done()
+		if c.inFlight.WaitZero() {
+			c.finish(sim.Quiescent, nil)
+		}
+	}()
+
+	ioDone := obsStart(opts.Obs, "io-loop")
+	select {
+	case <-c.stopCh:
+	case <-time.After(opts.Timeout):
+		c.finish(0, fmt.Errorf("%w after %s on %s", ErrTimeout, opts.Timeout, g))
+	}
+	closeAll()
+	c.wg.Wait()
+	c.inFlight.Release()
+	watcherWG.Wait()
+	ioDone()
+
+	c.res.Steps = int(c.steps.Load())
+	// The quiescence counter's high-water mark is the socket tier's peak of
+	// in-flight-plus-processing messages — same O(1) accounting as the
+	// concurrent engine, so this tier no longer reports a silent zero.
+	c.res.Metrics.PeakInFlight = int(c.inFlight.Peak())
+	c.res.Dropped = c.faults.Dropped()
+}
+
+type runner struct {
+	runCore
+
+	g     *graph.G
+	p     protocol.Protocol
+	codec protocol.Codec
+	nodes []protocol.Node
+	term  protocol.Terminal
+
+	listeners []net.Listener
+	// outConns[v][j] is vertex v's connection for its out-port j.
+	outConns [][]net.Conn
+	// inbox fan-in: each vertex drains one unbounded queue fed by
+	// per-connection reader goroutines. Unbounded matches the model's
+	// unbounded links and rules out backpressure deadlocks on cycles.
+	inboxes []*inbox
+}
+
 type inFrame struct {
 	port int
 	msg  protocol.Message
 }
 
-func (r *runner) finish(v sim.Verdict, err error) {
-	r.stopOnce.Do(func() {
+func (c *runCore) finish(v sim.Verdict, err error) {
+	c.stopOnce.Do(func() {
 		// Seal before publishing the verdict so a recorded schedule never
 		// includes the post-termination drain (see sim.SerializedObserver).
-		r.obs.Seal()
-		r.verdict = v
-		r.err = err
-		close(r.stopCh)
+		c.obs.Seal()
+		c.verdict = v
+		c.err = err
+		close(c.stopCh)
 	})
 }
 
@@ -285,33 +383,33 @@ func obsStart(rec *obs.Recorder, name string) func() {
 }
 
 // obsSend meters a send on the telemetry track; dropped marks fault drops.
-func (r *runner) obsSend(dropped bool) {
-	if r.tr == nil {
+func (c *runCore) obsSend(dropped bool) {
+	if c.tr == nil {
 		return
 	}
-	r.obsMu.Lock()
-	r.tr.Send()
+	c.obsMu.Lock()
+	c.tr.Send()
 	if dropped {
-		r.tr.Dropped()
+		c.tr.Dropped()
 	} else {
-		r.tr.Enqueued()
+		c.tr.Enqueued()
 	}
-	r.obsMu.Unlock()
+	c.obsMu.Unlock()
 }
 
 // obsDeliver closes out one delivery step on the telemetry track.
-func (r *runner) obsDeliver(crashed bool) {
-	if r.tr == nil {
+func (c *runCore) obsDeliver(crashed bool) {
+	if c.tr == nil {
 		return
 	}
-	r.obsMu.Lock()
-	r.tr.Delivered(false, crashed)
-	r.obsMu.Unlock()
+	c.obsMu.Lock()
+	c.tr.Delivered(false, crashed)
+	c.obsMu.Unlock()
 }
 
-func (r *runner) stopped() bool {
+func (c *runCore) stopped() bool {
 	select {
-	case <-r.stopCh:
+	case <-c.stopCh:
 		return true
 	default:
 		return false
@@ -441,19 +539,9 @@ func (r *runner) start() error {
 	}
 	// Inject the initial message(s) from the root.
 	root := r.g.Root()
-	d := r.g.OutDegree(root)
-	var inits []protocol.Message
-	if d == 1 {
-		inits = []protocol.Message{r.p.InitialMessage()}
-	} else {
-		mi, ok := r.p.(protocol.MultiInitializer)
-		if !ok {
-			return fmt.Errorf("netrun: root has out-degree %d but protocol %q does not implement MultiInitializer", d, r.p.Name())
-		}
-		inits = mi.InitialMessages(d)
-		if len(inits) != d {
-			return fmt.Errorf("netrun: protocol returned %d initial messages for out-degree %d", len(inits), d)
-		}
+	inits, err := initialMessages(r.g, r.p)
+	if err != nil {
+		return err
 	}
 	for j, m := range inits {
 		if m == nil {
@@ -473,18 +561,8 @@ func (r *runner) send(v graph.VertexID, j int, msg protocol.Message) error {
 		return fmt.Errorf("netrun: encode at vertex %d: %w", v, err)
 	}
 	e := r.g.OutEdge(v, j)
-	r.metricsMu.Lock()
-	r.res.Metrics.Messages++
-	r.res.Metrics.TotalBits += int64(bits)
-	r.res.Metrics.PerEdgeBits[e.ID] += int64(bits)
-	r.res.Metrics.PerEdgeMsgs[e.ID]++
-	if bits > r.res.Metrics.MaxMsgBits {
-		r.res.Metrics.MaxMsgBits = bits
-	}
-	total := int64(r.res.Metrics.Messages)
-	r.metricsMu.Unlock()
-	if total > r.maxMsgs {
-		return fmt.Errorf("netrun: message budget exceeded (%d)", r.maxMsgs)
+	if err := r.meter(e.ID, bits); err != nil {
+		return err
 	}
 	if r.obs != nil {
 		// Observe the send before the frame hits the wire: the peer cannot
@@ -593,21 +671,27 @@ func (r *runner) closeAll() {
 	}
 }
 
-// inbox is an unbounded multi-producer single-consumer queue.
-type inbox struct {
+// inbox is an unbounded multi-producer single-consumer queue of in-frames;
+// the sharded mode instantiates the same queue over its own frame type.
+type inbox = mpsc[inFrame]
+
+func newInbox() *inbox { return newMpsc[inFrame]() }
+
+// mpsc is an unbounded multi-producer single-consumer queue.
+type mpsc[T any] struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	items  []inFrame
+	items  []T
 	closed bool
 }
 
-func newInbox() *inbox {
-	ib := &inbox{}
+func newMpsc[T any]() *mpsc[T] {
+	ib := &mpsc[T]{}
 	ib.cond = sync.NewCond(&ib.mu)
 	return ib
 }
 
-func (ib *inbox) push(f inFrame) {
+func (ib *mpsc[T]) push(f T) {
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
 	if ib.closed {
@@ -617,21 +701,22 @@ func (ib *inbox) push(f inFrame) {
 	ib.cond.Signal()
 }
 
-func (ib *inbox) pop() (inFrame, bool) {
+func (ib *mpsc[T]) pop() (T, bool) {
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
 	for len(ib.items) == 0 && !ib.closed {
 		ib.cond.Wait()
 	}
 	if len(ib.items) == 0 {
-		return inFrame{}, false
+		var zero T
+		return zero, false
 	}
 	f := ib.items[0]
 	ib.items = ib.items[1:]
 	return f, true
 }
 
-func (ib *inbox) close() {
+func (ib *mpsc[T]) close() {
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
 	ib.closed = true

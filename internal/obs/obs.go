@@ -182,6 +182,30 @@ func (t *Track) Enqueued() {
 	}
 }
 
+// Adopt moves n queued-undelivered messages into this track's accounting —
+// the receiving side of a barrier-time work donation in the sharded engine.
+// Counted like a bulk Enqueued so the track's in-flight view (enqueued minus
+// deliveries) stays consistent when ownership migrates.
+func (t *Track) Adopt(n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.enqueued += int64(n)
+	if cur := t.enqueued - t.deliveries; cur > t.peak {
+		t.peak = cur
+	}
+}
+
+// Donate removes n queued-undelivered messages from this track's accounting —
+// the giving side of a barrier-time work donation. The donor's in-flight
+// view drops by n; the messages reappear via the thief's Adopt.
+func (t *Track) Donate(n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.enqueued -= int64(n)
+}
+
 // Popped counts one explicit scheduler pop choice.
 func (t *Track) Popped() {
 	if t == nil {

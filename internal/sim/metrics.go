@@ -224,7 +224,16 @@ type Result struct {
 	// deliveries consumed unprocessed by crashed vertices. Always 0 on a
 	// fault-free run.
 	Dropped int
-	Metrics Metrics
+	// Steals is the number of barrier-time work donations the sharded
+	// engine performed: at a superstep barrier an overloaded shard donated a
+	// chunk of its pending head vertices to an idle one. Deterministic per
+	// (graph, protocol, scheduler, seed, shards); always 0 for the other
+	// engines and under Options.NoWorkSteal.
+	Steals int
+	// StolenEdges is the total number of pending edges that changed owner
+	// across all donations counted by Steals.
+	StolenEdges int
+	Metrics     Metrics
 	// Nodes holds the final protocol state of every vertex, indexed by
 	// vertex ID. The protocols themselves never see vertex identities; this
 	// field exists so callers can extract per-vertex outcomes (e.g. assigned
@@ -327,6 +336,18 @@ type Options struct {
 	// batch tests assert); this switch exists for those tests and for
 	// isolating the optimization when profiling.
 	NoBatchDrain bool
+	// NoGhosts disables ghost-vertex routing in the sharded engine: every
+	// cut edge pays the general outbox/merge path even when the partition
+	// marked it ghost-routed. Outcomes are identical either way (the
+	// ghost-on/ghost-off equivalence tests assert it); the switch exists for
+	// those tests and for isolating the optimization when profiling.
+	NoGhosts bool
+	// NoWorkSteal disables barrier-time work donation between shards in the
+	// sharded engine. Donation is a pure function of (pending counts, shard
+	// IDs, superstep index), so outcomes are identical either way (the
+	// steal-on/steal-off schedule-equivalence tests assert it); the switch
+	// exists for those tests and for profiling.
+	NoWorkSteal bool
 	// DropFirst is the legacy fault-injection shorthand, honored by every
 	// engine (sequential, concurrent, synchronous, TCP, sharded):
 	// DropFirst[e] = k silently discards the first k messages sent on edge
@@ -359,6 +380,18 @@ type Observer interface {
 	OnDeliver(step int, e graph.EdgeID, msg protocol.Message)
 }
 
+// BarrierObserver is an optional Observer extension for the sharded engine:
+// OnBarrier fires at each superstep barrier, after the superstep's drains
+// have finished and before cross-shard outboxes merge — the exact instant
+// the engine samples its global in-flight peak. Observers that implement it
+// can reconstruct the barrier-sampled PeakInFlight from the event stream
+// (count OnSend minus OnDeliver between barriers), which is how the
+// peak-under-stealing equivalence test pins the sampling as a pure function
+// of the schedule rather than of drain timing.
+type BarrierObserver interface {
+	OnBarrier(superstep int)
+}
+
 // TeeObserver fans every event out to all given observers in order, so a run
 // can feed e.g. a human-readable trace recorder and a binary replay recorder
 // at once. Nil entries are skipped.
@@ -386,6 +419,16 @@ func (t teeObserver) OnSend(e graph.EdgeID, msg protocol.Message) {
 func (t teeObserver) OnDeliver(step int, e graph.EdgeID, msg protocol.Message) {
 	for _, o := range t {
 		o.OnDeliver(step, e, msg)
+	}
+}
+
+// OnBarrier forwards the barrier to every member that listens for it, so a
+// tee of a replay recorder and a barrier-counting observer keeps both views.
+func (t teeObserver) OnBarrier(superstep int) {
+	for _, o := range t {
+		if b, ok := o.(BarrierObserver); ok {
+			b.OnBarrier(superstep)
+		}
 	}
 }
 
@@ -445,6 +488,24 @@ func (s *SerializedObserver) OnDeliver(_ int, e graph.EdgeID, msg protocol.Messa
 	}
 	s.step++
 	s.obs.OnDeliver(s.step, e, msg)
+}
+
+// OnBarrier forwards a superstep barrier to the wrapped observer when it
+// implements BarrierObserver. The sharded engine emits barriers from its
+// coordinating goroutine between drain phases, so the call is already
+// ordered against the superstep's events; the lock only keeps the wrapped
+// observer single-threaded.
+func (s *SerializedObserver) OnBarrier(superstep int) {
+	b, ok := s.obs.(BarrierObserver)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sealed {
+		return
+	}
+	b.OnBarrier(superstep)
 }
 
 // Seal drops all subsequent events.

@@ -10,6 +10,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/protocol"
 	"repro/internal/replay/fuzz"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -288,6 +289,177 @@ func (fakeSched) Reset(sim.SchedContext) {}
 func (fakeSched) Push(sim.PendingEdge)   {}
 func (fakeSched) Pop() graph.EdgeID      { return 0 }
 func (fakeSched) Len() int               { return 0 }
+
+// scalefreeGraph builds the workload the ghost/steal features exist for: a
+// preferential-attachment digraph whose hubs concentrate cut-edge fan-in
+// (ghost territory) and whose skewed degree distribution unbalances the
+// per-shard pending sets (steal territory).
+func scalefreeGraph(t *testing.T, n int) *graph.G {
+	t.Helper()
+	g, err := scenario.Build("scalefree", map[string]int{"n": n, "m": 3}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestShardStealEquivalence: barrier-time work donation must not change any
+// schedule-independent outcome — steal-on and steal-off runs of the same
+// configuration agree on the conformance oracle — and must actually engage
+// on a skewed workload (otherwise the equivalence is vacuous). The steal-on
+// run is additionally re-run to pin determinism with donations happening.
+func TestShardStealEquivalence(t *testing.T) {
+	g := scalefreeGraph(t, 200)
+	for _, shards := range []int{2, 4} {
+		for _, sched := range []string{"fifo", "random", "rr-vertex", "greedy"} {
+			name := fmt.Sprintf("shards=%d/%s", shards, sched)
+			runOnce := func(noSteal bool) *sim.Result {
+				s, err := sim.NewScheduler(sched)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := Engine(shards).Run(g, core.NewGeneralBroadcast([]byte("m")), sim.Options{
+					Scheduler: s, Seed: 3, NoWorkSteal: noSteal,
+				})
+				if err != nil {
+					t.Fatalf("%s noSteal=%v: %v", name, noSteal, err)
+				}
+				return r
+			}
+			on, off := runOnce(false), runOnce(true)
+			if on.Steals == 0 || on.StolenEdges == 0 {
+				t.Errorf("%s: stealing never engaged (steals=%d stolen=%d)", name, on.Steals, on.StolenEdges)
+			}
+			if off.Steals != 0 || off.StolenEdges != 0 {
+				t.Errorf("%s: NoWorkSteal run reports steals=%d stolen=%d", name, off.Steals, off.StolenEdges)
+			}
+			gotOn, problems := fuzz.Compute(g, on)
+			for _, p := range problems {
+				t.Errorf("%s steal-on: %s", name, p)
+			}
+			gotOff, problems := fuzz.Compute(g, off)
+			for _, p := range problems {
+				t.Errorf("%s steal-off: %s", name, p)
+			}
+			if gotOn != gotOff {
+				t.Errorf("%s: steal-on outcome diverges from steal-off\n got: %s\nwant: %s", name, gotOn, gotOff)
+			}
+			if again := runOnce(false); resultFingerprint(on) != resultFingerprint(again) {
+				t.Errorf("%s: steal-on run nondeterministic\n got: %s\nwant: %s",
+					name, resultFingerprint(again), resultFingerprint(on))
+			}
+		}
+	}
+}
+
+// TestShardGhostEquivalence: ghost routing must not change any
+// schedule-independent outcome — ghost-on and ghost-off runs agree on the
+// conformance oracle — and the partition must actually mark ghost edges on
+// the scale-free workload so the equivalence is exercised for real.
+func TestShardGhostEquivalence(t *testing.T) {
+	g := scalefreeGraph(t, 200)
+	for _, shards := range []int{2, 4} {
+		if p := graph.PartitionGraph(g, shards, 3); p.GhostEdges == 0 {
+			t.Fatalf("shards=%d: scale-free partition has no ghost edges — workload too tame", shards)
+		}
+		for _, sched := range []string{"fifo", "lifo", "greedy"} {
+			name := fmt.Sprintf("shards=%d/%s", shards, sched)
+			var outs [2]fuzz.Outcome
+			for i, noGhosts := range []bool{false, true} {
+				s, err := sim.NewScheduler(sched)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := Engine(shards).Run(g, core.NewGeneralBroadcast([]byte("m")), sim.Options{
+					Scheduler: s, Seed: 3, NoGhosts: noGhosts,
+				})
+				if err != nil {
+					t.Fatalf("%s noGhosts=%v: %v", name, noGhosts, err)
+				}
+				o, problems := fuzz.Compute(g, r)
+				for _, p := range problems {
+					t.Errorf("%s noGhosts=%v: %s", name, noGhosts, p)
+				}
+				outs[i] = o
+			}
+			if outs[0] != outs[1] {
+				t.Errorf("%s: ghost-on outcome diverges from ghost-off\n got: %s\nwant: %s", name, outs[0], outs[1])
+			}
+		}
+	}
+}
+
+// barrierPeakObserver reconstructs the barrier-sampled global peak from the
+// event stream alone: in-flight is sends minus deliveries (exact on a
+// fault-free run), and OnBarrier marks the instants the engine samples.
+type barrierPeakObserver struct {
+	sends, delivers int
+	barriers        int
+	peak            int
+}
+
+func (o *barrierPeakObserver) OnSend(graph.EdgeID, protocol.Message)         { o.sends++ }
+func (o *barrierPeakObserver) OnDeliver(int, graph.EdgeID, protocol.Message) { o.delivers++ }
+func (o *barrierPeakObserver) OnBarrier(int) {
+	o.barriers++
+	if f := o.sends - o.delivers; f > o.peak {
+		o.peak = f
+	}
+}
+
+// TestShardPeakInFlightBarrierEquivalence: Metrics.PeakInFlight must equal
+// the peak an event-stream observer reconstructs at the OnBarrier marks —
+// with ghosts and stealing enabled, on a workload where both engage. This
+// extends the sequential O(1)-counter equivalence test
+// (TestPeakInFlightMatchesEventStream) to the sharded engine: donation moves
+// queued messages between shards, but the global sends-minus-deliveries
+// count at a barrier is invariant under ownership, so the sample stays a
+// pure function of the schedule.
+func TestShardPeakInFlightBarrierEquivalence(t *testing.T) {
+	g := scalefreeGraph(t, 200)
+	for _, shards := range []int{1, 2, 4} {
+		for _, sched := range []string{"fifo", "random", "greedy"} {
+			name := fmt.Sprintf("shards=%d/%s", shards, sched)
+			s, err := sim.NewScheduler(sched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ob := &barrierPeakObserver{}
+			r, err := Engine(shards).Run(g, core.NewGeneralBroadcast([]byte("m")), sim.Options{
+				Scheduler: s, Seed: 3, Observer: ob,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if ob.barriers == 0 {
+				t.Fatalf("%s: no OnBarrier events reached the observer", name)
+			}
+			if r.Metrics.PeakInFlight != ob.peak {
+				t.Errorf("%s: PeakInFlight=%d, event-stream barrier peak=%d (barriers=%d steals=%d)",
+					name, r.Metrics.PeakInFlight, ob.peak, ob.barriers, r.Steals)
+			}
+		}
+	}
+}
+
+// TestShardPartitionMemoized: one engine value reuses the partition for a
+// repeated (graph, shards, seed) triple and distinguishes different seeds —
+// the amortization benchmark repeats and server rebuilds rely on.
+func TestShardPartitionMemoized(t *testing.T) {
+	g := scalefreeGraph(t, 200)
+	eng := Engine(4).(*engine)
+	p1 := eng.partition(g, 4, 3)
+	p2 := eng.partition(g, 4, 3)
+	if p1 != p2 {
+		t.Error("same (graph, k, seed) did not hit the partition memo")
+	}
+	if p3 := eng.partition(g, 4, 4); p3 == p1 {
+		t.Error("different seed returned the memoized partition")
+	}
+	if fresh := Engine(4).(*engine).partition(g, 4, 3); fresh == p1 {
+		t.Error("distinct engines share partition storage")
+	}
+}
 
 // shardScheduleLog records the linearized delivery sequence the engine's
 // SerializedObserver emits — the object the batch-drain/fault equivalence

@@ -39,6 +39,10 @@ const (
 	// EngineTCP runs every vertex as a goroutine with its own localhost TCP
 	// listener and every edge as a real TCP connection; messages travel as
 	// actual wire-encoded bytes. Reported bits include the wire framing.
+	// With WithShards(n >= 2) the tier switches to its sharded io-loop mode:
+	// one worker and one listener per partition shard, cut-edge traffic
+	// muxed over one connection per shard pair — still real sockets, but the
+	// socket count follows the partition instead of the graph.
 	EngineTCP
 	// EngineSharded partitions the network (seeded multi-way edge-cut), runs
 	// one sequential delivery loop per shard on the worker pool, and merges
@@ -181,10 +185,11 @@ type runConfig struct {
 // WithEngine selects the execution engine.
 func WithEngine(e Engine) Option { return func(c *runConfig) { c.engine = e } }
 
-// WithShards sets EngineSharded's shard count (default DefaultShards). The
-// other engines ignore it. Different shard counts are different (all valid)
-// schedules: verdicts and every schedule-independent quantity agree, exact
-// metrics may differ.
+// WithShards sets EngineSharded's shard count (default DefaultShards) and,
+// for EngineTCP, opts into the sharded io-loop mode when n >= 2 (the TCP
+// default remains goroutine-per-vertex). The other engines ignore it.
+// Different shard counts are different (all valid) schedules: verdicts and
+// every schedule-independent quantity agree, exact metrics may differ.
 func WithShards(n int) Option { return func(c *runConfig) { c.shards = n } }
 
 // WithOrder selects one of the classic adversarial delivery orders
@@ -507,7 +512,7 @@ func (c runConfig) engineImpl() (sim.Engine, error) {
 	case EngineSynchronous:
 		return sim.Synchronous(), nil
 	case EngineTCP:
-		return netrun.Engine(core.Codec{}, netrun.Options{}), nil
+		return netrun.Engine(core.Codec{}, netrun.Options{Shards: c.shards}), nil
 	case EngineSharded:
 		n := c.shards
 		if n == 0 {
