@@ -9,7 +9,7 @@
 //	anonbench [-only E5] [-quick] [-sched greedy] [-workers N] [-v]
 //	anonbench -bench [-quick] [-json BENCH.json] [-baseline BENCH_baseline.json] [-obs TIMELINE.json]
 //	anonbench -trend BENCH_a.json BENCH_b.json [BENCH_c.json ...]
-//	anonbench -graph "torus:w=36,h=32" [-repeats 3]
+//	anonbench -graph "torus:w=36,h=32" [-repeats 3] [-faults "crash=5:1,recover=5:3"]
 //	anonbench -server http://127.0.0.1:8080 [-clients 16] [-requests 32] [-distinct 8]
 //
 // Profiling: -cpuprofile FILE captures a CPU profile of the selected mode,
@@ -41,7 +41,10 @@
 // syntax as anoncast and anontrace) times the sequential general broadcast
 // on one generated scenario and prints the per-delivery rate — a one-off
 // measurement outside the BENCH.json trajectory, whose per-family slice
-// bench mode records under scenario_broadcast.
+// bench mode records under scenario_broadcast. -faults arms a churn plan
+// (same grammar as anoncast, compiled through the shared scenario-spec
+// helper) for every timed run; a plan that stalls the broadcast short of
+// termination is measured to quiescence, not rejected.
 //
 // Server mode (-server URL) drives the standard server load against a live
 // anonserved daemon (see docs/SERVER.md) and prints throughput and the
@@ -75,6 +78,7 @@ func main() {
 	baseline := flag.String("baseline", "", "bench mode: compare against this baseline BENCH.json and fail on >25% regression (ns/delivery, shard speedup)")
 	graphSpec := flag.String("graph", "", "time one scenario registry spec \"family[:param=value,...]\" and exit")
 	repeats := flag.Int("repeats", 3, "graph mode: timed runs to average")
+	faults := flag.String("faults", "", "graph mode: fault/churn plan \"drop=EDGE:K,loss=PCT,crash=VERTEX:K,recover=VERTEX:K,cut=EDGE:K,join=EDGE:K,lossat=SEND:PCT,seed=N\" armed for every timed run (shared scenario-spec helper)")
 	serverURL := flag.String("server", "", "drive the server load against a live anonserved at this base URL and exit")
 	clients := flag.Int("clients", 16, "server mode: concurrent clients")
 	perClient := flag.Int("requests", 32, "server mode: requests per client")
@@ -106,7 +110,7 @@ func main() {
 	case *trend:
 		err = runTrend(flag.Args())
 	case *graphSpec != "":
-		err = runScenario(*graphSpec, *repeats)
+		err = runScenario(*graphSpec, *faults, *repeats)
 	case *serverURL != "":
 		err = runServer(*serverURL, *clients, *perClient, *distinct)
 	case *bench:
@@ -251,14 +255,18 @@ func runServer(baseURL string, clients, perClient, distinct int) error {
 	return nil
 }
 
-// runScenario times the general broadcast on one scenario spec.
-func runScenario(spec string, repeats int) error {
-	sb, err := experiments.BenchScenario(spec, repeats)
+// runScenario times the general broadcast on one scenario spec, optionally
+// under a churn plan.
+func runScenario(spec, faultSpec string, repeats int) error {
+	sb, err := experiments.BenchScenario(spec, faultSpec, repeats)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("scenario %s: |V|=%d |E|=%d, %d deliveries/run, %.1f ns/delivery (%s scheduler, %d repeats)\n",
 		sb.Spec, sb.Vertices, sb.Edges, sb.Deliveries, sb.NsPerDelivery, sb.Scheduler, sb.Repeats)
+	if sb.Faults != "" {
+		fmt.Printf("scenario %s: fault plan %s dropped %d deliveries/run\n", sb.Spec, sb.Faults, sb.Dropped)
+	}
 	return nil
 }
 

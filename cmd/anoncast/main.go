@@ -54,7 +54,8 @@ func main() {
 		record = flag.String("record", "", "write the run's delivery schedule to this trace file (any engine; wild schedules are canonicalized)")
 		replay = flag.String("replay", "", "replay a recorded trace file (seq engine; overrides -topo/-file/-sched/-proto)")
 		graphF = flag.String("graph", "", "scenario registry spec \"family[:param=value,...]\" ("+strings.Join(anonnet.ScenarioFamilies(), "|")+"); overrides -topo")
-		faults = flag.String("faults", "", "fault plan \"drop=EDGE:K,loss=PCT,crash=VERTEX:K,seed=N\" (terms optional, drop/crash repeatable)")
+		faults = flag.String("faults", "", "fault/churn plan \"drop=EDGE:K,loss=PCT,crash=VERTEX:K,recover=VERTEX:K,cut=EDGE:K,join=EDGE:K,lossat=SEND:PCT,seed=N\" (terms optional; drop/crash/recover/cut/join/lossat repeatable)")
+		chaos  = flag.String("chaos", "", "socket chaos spec \"disconnect=N,loss=PCT,delay=MS,seed=S\" (tcp engine only; every disturbance heals via reconnect/backoff/resend)")
 		obsF   = flag.String("obs", "", "capture run telemetry and write it to this file (\"-\" = stdout); see docs/OBSERVABILITY.md")
 		obsEv  = flag.Int("obs-every", 0, "telemetry sampling stride in deliveries (0 = default)")
 		obsFmt = flag.String("obs-format", "json", "telemetry output format: json|table|prom")
@@ -65,7 +66,7 @@ func main() {
 		layers: *layers, width: *width, extra: *extra, seed: *seed,
 		msg: *msg, proto: *proto, engine: *engine, shards: *shards, sched: *sched,
 		dot: *dot, file: *file, save: *save, record: *record, replay: *replay,
-		graph: *graphF, faults: *faults,
+		graph: *graphF, faults: *faults, chaos: *chaos,
 		obs: *obsF, obsEvery: *obsEv, obsFormat: *obsFmt,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "anoncast:", err)
@@ -82,7 +83,7 @@ type params struct {
 	msg, proto, engine, sched        string
 	dot, file, save                  string
 	record, replay                   string
-	graph, faults                    string
+	graph, faults, chaos             string
 	obs, obsFormat                   string
 	obsEvery                         int
 }
@@ -149,6 +150,9 @@ func run(p params) error {
 	if p.faults != "" {
 		opts = append(opts, anonnet.WithFaults(p.faults))
 	}
+	if p.chaos != "" {
+		opts = append(opts, anonnet.WithChaos(p.chaos))
+	}
 	if p.obs != "" {
 		opts = append(opts, anonnet.WithObservability(p.obsEvery))
 	}
@@ -166,6 +170,14 @@ func run(p params) error {
 		fmt.Printf("delivery steps:  %d\n", rep.Steps)
 		if p.faults != "" {
 			fmt.Printf("dropped:         %d (by the fault plan)\n", rep.Dropped)
+		}
+		for _, ev := range rep.Churn {
+			where := fmt.Sprintf("edge=%d", ev.Edge)
+			if ev.Vertex >= 0 {
+				where = fmt.Sprintf("vertex=%d", ev.Vertex)
+			}
+			fmt.Printf("churn:           %-7s %s at=%d clock=%d restabilize=%d deliveries\n",
+				ev.Kind, where, ev.At, ev.Clock, ev.Restabilize)
 		}
 	}
 	if err != nil {

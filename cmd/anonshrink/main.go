@@ -50,6 +50,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/replay"
 	"repro/internal/replay/fuzz"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -84,7 +85,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  anonshrink record -topo T -n N -proto P -sched S [-seed K] [-net FILE] -o OUT
+  anonshrink record -topo T -n N -proto P -sched S [-seed K] [-net FILE] [-faults SPEC] -o OUT
   anonshrink replay -in FILE [-timeline] [-summary] [-v]
   anonshrink shrink -in FILE -pred PRED -o OUT
   anonshrink fuzz   (-in FILE | -corpus DIR) [-n MUTANTS] [-seed K] [-fallback S] [-o DIR]
@@ -99,13 +100,14 @@ predicates: quiescent|terminated|all-visited|not-all-visited|label-collision|vis
 func cmdRecord(args []string) error {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
 	var (
-		topo  = fs.String("topo", "randnet", "topology: line|chain|ring|karytree|randnet")
-		n     = fs.Int("n", 8, "size parameter")
-		netF  = fs.String("net", "", "load the network from this file (anonnet v1 text) instead of generating one")
-		proto = fs.String("proto", "generalcast", "protocol: "+strings.Join(replay.ProtocolNames(), "|"))
-		sched = fs.String("sched", "random", "adversarial scheduler: "+strings.Join(sim.SchedulerNames(), "|"))
-		seed  = fs.Int64("seed", 1, "generator / scheduler seed")
-		out   = fs.String("o", "", "output trace file (required)")
+		topo   = fs.String("topo", "randnet", "topology: line|chain|ring|karytree|randnet")
+		n      = fs.Int("n", 8, "size parameter")
+		netF   = fs.String("net", "", "load the network from this file (anonnet v1 text) instead of generating one")
+		proto  = fs.String("proto", "generalcast", "protocol: "+strings.Join(replay.ProtocolNames(), "|"))
+		sched  = fs.String("sched", "random", "adversarial scheduler: "+strings.Join(sim.SchedulerNames(), "|"))
+		seed   = fs.Int64("seed", 1, "generator / scheduler seed")
+		faults = fs.String("faults", "", "fault/churn plan (scenario spec, e.g. crash=3:1,recover=3:4); recorded into the trace header and re-armed on replay and shrink")
+		out    = fs.String("o", "", "output trace file (required)")
 	)
 	fs.Parse(args)
 	if *out == "" {
@@ -123,17 +125,25 @@ func cmdRecord(args []string) error {
 	if err != nil {
 		return err
 	}
+	fplan, plan, err := scenario.CompileSpec(*faults, g)
+	if err != nil {
+		return err
+	}
 	rec := replay.NewRecorder()
-	r, err := sim.Run(g, newProto(), sim.Options{Scheduler: adversary, Seed: *seed, Observer: rec})
+	r, err := sim.Run(g, newProto(), sim.Options{Scheduler: adversary, Seed: *seed, Faults: fplan, Observer: rec})
 	if err != nil {
 		return err
 	}
 	tr := rec.Trace(g, *proto, *sched, *seed)
+	tr.Faults = plan.Canonical()
 	if err := os.WriteFile(*out, replay.Encode(tr), 0o644); err != nil {
 		return err
 	}
 	fmt.Printf("%s on %s under %s/seed=%d: %s after %d deliveries\n",
 		*proto, g, *sched, *seed, r.Verdict, r.Steps)
+	if tr.Faults != "" {
+		fmt.Printf("fault plan pinned in header: %s (%d dropped this run)\n", tr.Faults, r.Dropped)
+	}
 	fmt.Printf("wrote %s (%d events, %d bytes)\n", *out, len(tr.Events), len(replay.Encode(tr)))
 	return nil
 }
@@ -152,8 +162,8 @@ func cmdReplay(args []string) error {
 		return err
 	}
 	if *verbose {
-		fmt.Printf("header: version=%d fingerprint=%016x proto=%s sched=%s seed=%d truncated=%v events=%d\n",
-			tr.Version, tr.GraphFP, tr.Protocol, tr.Scheduler, tr.Seed, tr.Truncated, len(tr.Events))
+		fmt.Printf("header: version=%d fingerprint=%016x proto=%s sched=%s seed=%d faults=%q truncated=%v events=%d\n",
+			tr.Version, tr.GraphFP, tr.Protocol, tr.Scheduler, tr.Seed, tr.Faults, tr.Truncated, len(tr.Events))
 		fmt.Printf("embedded network:\n%s\n", tr.GraphText)
 	}
 	rec := trace.New(g)
@@ -167,6 +177,9 @@ func cmdReplay(args []string) error {
 	}
 	fmt.Printf("replayed %s on %s (%s): %s after %d deliveries\n",
 		tr.Protocol, g, kind, r.Verdict, r.Steps)
+	if tr.Faults != "" {
+		fmt.Printf("fault plan re-armed from header: %s (%d dropped)\n", tr.Faults, r.Dropped)
+	}
 	if *timeline {
 		fmt.Println("\ntimeline:")
 		if err := rec.WriteTimeline(os.Stdout); err != nil {
@@ -209,6 +222,9 @@ func cmdShrink(args []string) error {
 		return err
 	}
 	fmt.Printf("shrunk %d -> %d deliveries in %d oracle runs\n", res.Before, res.After, res.Runs)
+	if res.Trace.Faults != "" {
+		fmt.Printf("fault plan held fixed through the search: %s\n", res.Trace.Faults)
+	}
 	if res.After == 0 {
 		fmt.Fprintln(os.Stderr, "anonshrink: warning: the empty schedule already satisfies this predicate; the witness carries no information — tighten the predicate (e.g. add a visited:<v> floor)")
 	}

@@ -44,17 +44,18 @@ func main() {
 		recordFile  = flag.String("record", "", "write the run's schedule to this trace file")
 		replayFile  = flag.String("replay", "", "replay a recorded trace file instead of generating a run (overrides -topo/-proto/-sched)")
 		graphSpec   = flag.String("graph", "", "scenario registry spec \"family[:param=value,...]\" ("+strings.Join(scenario.Names(), "|")+"); overrides -topo")
+		faults      = flag.String("faults", "", "fault/churn plan (scenario spec, e.g. crash=3:1,recover=3:4,cut=0:2); compiled via the shared spec helper and pinned into -record traces")
 		obsFile     = flag.String("obs", "", "capture run telemetry and write the report JSON to this file (\"-\" = stdout); see docs/OBSERVABILITY.md")
 		obsEvery    = flag.Int("obs-every", 0, "telemetry sampling stride in deliveries (0 = default)")
 	)
 	flag.Parse()
-	if err := run(*topo, *graphSpec, *n, *seed, *proto, *sched, *summaryOnly, *recordFile, *replayFile, *obsFile, *obsEvery); err != nil {
+	if err := run(*topo, *graphSpec, *n, *seed, *proto, *sched, *faults, *summaryOnly, *recordFile, *replayFile, *obsFile, *obsEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "anontrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topo, graphSpec string, n int, seed int64, proto, sched string, summaryOnly bool, recordFile, replayFile, obsFile string, obsEvery int) error {
+func run(topo, graphSpec string, n int, seed int64, proto, sched, faults string, summaryOnly bool, recordFile, replayFile, obsFile string, obsEvery int) error {
 	var (
 		g   *graph.G
 		p   protocol.Protocol
@@ -67,9 +68,12 @@ func run(topo, graphSpec string, n int, seed int64, proto, sched string, summary
 		obsRec = obs.NewRecorder(obsEvery)
 	}
 	if replayFile != "" {
+		if faults != "" {
+			return fmt.Errorf("-faults conflicts with -replay: a recorded trace carries its own plan in the header")
+		}
 		g, p, r, rec, err = replayRun(replayFile, obsRec)
 	} else {
-		g, p, r, rec, err = liveRun(topo, graphSpec, n, seed, proto, sched, recordFile, obsRec)
+		g, p, r, rec, err = liveRun(topo, graphSpec, n, seed, proto, sched, faults, recordFile, obsRec)
 	}
 	if err != nil {
 		return err
@@ -106,7 +110,7 @@ func run(topo, graphSpec string, n int, seed int64, proto, sched string, summary
 	return nil
 }
 
-func liveRun(topo, graphSpec string, n int, seed int64, proto, sched, recordFile string, obsRec *obs.Recorder) (*graph.G, protocol.Protocol, *sim.Result, *trace.Recorder, error) {
+func liveRun(topo, graphSpec string, n int, seed int64, proto, sched, faults, recordFile string, obsRec *obs.Recorder) (*graph.G, protocol.Protocol, *sim.Result, *trace.Recorder, error) {
 	var g *graph.G
 	var err error
 	if graphSpec != "" {
@@ -125,14 +129,19 @@ func liveRun(topo, graphSpec string, n int, seed int64, proto, sched, recordFile
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
+	fplan, plan, err := scenario.CompileSpec(faults, g)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
 	rec := trace.New(g)
 	pin := replay.NewRecorder()
-	r, err := sim.Run(g, p, sim.Options{Observer: sim.TeeObserver(rec, pin), Scheduler: adversary, Seed: seed, Obs: obsRec})
+	r, err := sim.Run(g, p, sim.Options{Observer: sim.TeeObserver(rec, pin), Scheduler: adversary, Seed: seed, Faults: fplan, Obs: obsRec})
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
 	if recordFile != "" {
 		tr := pin.Trace(g, p.Name(), sched, seed)
+		tr.Faults = plan.Canonical()
 		if err := os.WriteFile(recordFile, replay.Encode(tr), 0o644); err != nil {
 			return nil, nil, nil, nil, err
 		}

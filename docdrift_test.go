@@ -17,6 +17,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/replay"
+	"repro/internal/scenario"
 	"repro/internal/serve"
 	"repro/internal/sim"
 )
@@ -335,6 +336,62 @@ func TestServerDocErrorCodesInSync(t *testing.T) {
 	if strings.Join(documented, " ") != strings.Join(registered, " ") {
 		t.Fatalf("docs/SERVER.md error-code table out of sync with serve.ErrorCodes\n doc:   %v\n codes: %v",
 			documented, registered)
+	}
+}
+
+// TestScenariosDocFaultTermsInSync drift-guards the fault/churn grammar
+// table of docs/SCENARIOS.md against scenario.FaultTerms(): every term the
+// parser accepts must be documented there, and nothing else. Teaching
+// ParseFaults a new term without specifying it (or documenting a term the
+// parser dropped) fails here, not when a user's spec is rejected.
+func TestScenariosDocFaultTermsInSync(t *testing.T) {
+	documented := markedTableNames(t, "docs/SCENARIOS.md",
+		"scenarios:terms:begin", "scenarios:terms:end")
+	sort.Strings(documented)
+	registered := append([]string(nil), scenario.FaultTerms()...)
+	sort.Strings(registered)
+	if strings.Join(documented, " ") != strings.Join(registered, " ") {
+		t.Fatalf("docs/SCENARIOS.md fault-term table out of sync with scenario.FaultTerms\n doc:   %v\n terms: %v",
+			documented, registered)
+	}
+}
+
+// TestArchitectureDocChurnColumnInSync drift-guards the churn column of the
+// engine matrix: every engine row must state how crash/recover/cut/join
+// churn behaves there. The cross-engine churn conformance suite enforces
+// the semantics; this enforces the documentation.
+func TestArchitectureDocChurnColumnInSync(t *testing.T) {
+	data, err := os.ReadFile("docs/ARCHITECTURE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, col := false, -1
+	rows := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		switch {
+		case strings.Contains(line, "matrix:engines:begin"):
+			in = true
+		case strings.Contains(line, "matrix:engines:end"):
+			in = false
+		case in && strings.HasPrefix(line, "| engine"):
+			for i, cell := range strings.Split(line, "|") {
+				if strings.Contains(cell, "churn") {
+					col = i
+				}
+			}
+			if col < 0 {
+				t.Fatalf("engine matrix header lacks a churn column: %q", line)
+			}
+		case in && strings.HasPrefix(line, "| `"):
+			rows++
+			cells := strings.Split(line, "|")
+			if col < 0 || col >= len(cells) || strings.TrimSpace(cells[col]) == "" {
+				t.Errorf("engine row lacks a churn cell: %q", line)
+			}
+		}
+	}
+	if rows == 0 {
+		t.Fatal("no engine rows found between the matrix:engines markers")
 	}
 }
 

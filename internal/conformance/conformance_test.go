@@ -14,6 +14,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/replay"
 	"repro/internal/replay/fuzz"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -84,14 +85,20 @@ func outcomeOf(t *testing.T, g *graph.G, r *sim.Result) fuzz.Outcome {
 // the reference" is trivially true of truncated schedules (an empty replay
 // is quiescent with nothing visited), which would shrink every divergence
 // to a useless empty trace.
+//
+// faultSpec is the canonical fault/churn plan the diverging run executed
+// under ("" = fault-free): it is pinned into the trace header, so the shrink
+// search re-arms it in every oracle run and the saved witness replays under
+// the same plan — a divergence found under churn stays reproducible.
 func saveMinimalRepro(t *testing.T, g *graph.G, makeProto func() protocol.Protocol,
-	rec *replay.Recorder, schedName string, seed int64, divergent *sim.Result, runErr error) {
+	rec *replay.Recorder, schedName string, seed int64, faultSpec string, divergent *sim.Result, runErr error) {
 	t.Helper()
 	dir := os.Getenv("ANON_REPRO_DIR")
 	if dir == "" {
 		return
 	}
 	tr := rec.Trace(g, makeProto().Name(), schedName, seed)
+	tr.Faults = faultSpec
 	var pred replay.Predicate
 	if runErr != nil || divergent == nil {
 		// The diverging run errored; minimize toward any erroring schedule.
@@ -221,7 +228,7 @@ func TestCrossEngineConformance(t *testing.T) {
 				for i, v := range variants {
 					if check(v.name, cells[i].r, cells[i].err) {
 						saveMinimalRepro(t, g, pc.make, cells[i].rec,
-							v.opts.Scheduler.Name(), v.opts.Seed, cells[i].r, cells[i].err)
+							v.opts.Scheduler.Name(), v.opts.Seed, "", cells[i].r, cells[i].err)
 					}
 				}
 				r, err := sim.Concurrent().Run(g, pc.make(), sim.Options{})
@@ -255,7 +262,7 @@ func TestReproHookSavesMinimalTrace(t *testing.T) {
 	}
 	observed, _ := fuzz.Compute(g, r)
 
-	saveMinimalRepro(t, g, makeProto, rec, "random", 3, r, nil)
+	saveMinimalRepro(t, g, makeProto, rec, "random", 3, "", r, nil)
 
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -291,6 +298,73 @@ func TestReproHookSavesMinimalTrace(t *testing.T) {
 	// witness must be non-empty and no longer than the original run.
 	if n := len(tr.Deliveries()); n == 0 || n > r.Steps {
 		t.Errorf("minimized trace has %d deliveries, original run had %d", n, r.Steps)
+	}
+}
+
+// TestReproHookCarriesFaultPlan: a divergence flagged under a churn plan must
+// save a witness that replays under the same plan — the spec lands in the
+// trace header, survives the shrink search, and is re-armed on replay. The
+// observed outcome here (terminal never visited) only exists because of the
+// crash, so a hook that lost the plan would fail to shrink or save a witness
+// that replays to a different outcome.
+func TestReproHookCarriesFaultPlan(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("ANON_REPRO_DIR", dir)
+
+	g := graph.Line(5)
+	makeProto := func() protocol.Protocol { return core.NewGeneralBroadcast([]byte("m")) }
+	spec := "crash=3:0"
+	faults, plan, err := scenario.CompileSpec(spec, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := sim.NewScheduler("fifo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := replay.NewRecorder()
+	r, err := sim.Sequential().Run(g, makeProto(), sim.Options{
+		Scheduler: sched, Seed: 9, Faults: faults, Observer: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Visited[graph.VertexID(g.Terminal())] {
+		t.Fatal("crash plan did not cut the line; the outcome would not depend on it")
+	}
+	observed, _ := fuzz.Compute(g, r)
+
+	saveMinimalRepro(t, g, makeProto, rec, "fifo", 9, plan.Canonical(), r, nil)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("hook wrote %d files, want 1", len(entries))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := replay.Decode(data)
+	if err != nil {
+		t.Fatalf("saved repro does not decode: %v", err)
+	}
+	if tr.Faults != plan.Canonical() {
+		t.Fatalf("saved repro Faults = %q, want %q", tr.Faults, plan.Canonical())
+	}
+	g2, err := tr.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := replay.Run(g2, makeProto(), tr, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fuzz.Compute(g2, r2)
+	if got != observed {
+		t.Errorf("replayed repro does not reproduce the churned outcome\n got: %+v\nwant: %+v", got, observed)
 	}
 }
 

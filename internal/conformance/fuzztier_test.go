@@ -78,7 +78,7 @@ func fuzzSeeds(g *graph.G, makeProto func() protocol.Protocol) ([]*replay.Trace,
 		}
 		seeds = append(seeds, rec.Trace(g, makeProto().Name(), schedName, 23))
 	}
-	_, wild, err := replay.RecordWild(sim.Concurrent(), g, makeProto, sim.Options{Seed: 23})
+	_, wild, err := replay.RecordWild(sim.Concurrent(), g, makeProto, sim.Options{Seed: 23}, "")
 	if err != nil {
 		return nil, fmt.Errorf("wild seed: %w", err)
 	}

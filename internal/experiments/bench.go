@@ -53,6 +53,14 @@ type BenchReport struct {
 	// scenario registry (internal/scenario), one entry per family in name
 	// order — the topology-sensitivity slice of the trajectory.
 	ScenarioBroadcast []ScenarioBench `json:"scenario_broadcast"`
+	// ChurnBroadcast is the dynamic-network tier: the general broadcast under
+	// a seeded churn plan (crash-and-recover vertices plus an edge cut),
+	// measuring the delivery rate with fault bookkeeping armed and the
+	// re-stabilization cost of each fired event. Its outcome counters are
+	// deterministic, so the CI gate checks them for equality against the
+	// baseline — drift is a churn-semantics bug, not noise. Added in
+	// schema v6.
+	ChurnBroadcast ChurnBench `json:"churn_broadcast"`
 	// ServerThroughput is the run-server tier: a concurrent client load
 	// against an in-process anonserved instance, measuring end-to-end
 	// request throughput and the verdict cache's deduplication. Nil when
@@ -188,6 +196,40 @@ type ScenarioBench struct {
 	Deliveries int `json:"deliveries"`
 	// NsPerDelivery is wall-clock nanoseconds per delivered message.
 	NsPerDelivery float64 `json:"ns_per_delivery"`
+	// Faults is the churn plan armed for the run in canonical spec syntax, ""
+	// when fault-free. Only anonbench's -graph -faults mode sets it; the
+	// registry tier always runs clean.
+	Faults string `json:"faults,omitempty"`
+	// Dropped counts messages the plan discarded per run (0 when fault-free).
+	Dropped int `json:"dropped,omitempty"`
+}
+
+// ChurnBench measures the broadcast under dynamic-network churn: the general
+// broadcast on a seeded random digraph with a fault plan that crashes and
+// recovers mid vertices and cuts one edge. Everything but the nanosecond
+// numbers is deterministic in the (graph seed, plan) pair.
+type ChurnBench struct {
+	// Vertices and Edges describe the benchmark graph.
+	Vertices int `json:"vertices"`
+	Edges    int `json:"edges"`
+	// Scheduler names the adversary driving delivery order.
+	Scheduler string `json:"scheduler"`
+	// Faults is the churn plan in canonical scenario spec syntax.
+	Faults string `json:"faults"`
+	// Repeats is the number of timed runs averaged below.
+	Repeats int `json:"repeats"`
+	// Deliveries is the per-run delivery count (schedule-independent).
+	Deliveries int `json:"deliveries"`
+	// Dropped counts messages the plan discarded per run.
+	Dropped int `json:"dropped"`
+	// ChurnEvents is the number of dynamic-network events that fired.
+	ChurnEvents int `json:"churn_events"`
+	// MaxRestabilize is the largest per-event deliveries-to-quiescence: how
+	// much work the run still performed after the most disruptive event.
+	MaxRestabilize int64 `json:"max_restabilize"`
+	// NsPerDelivery is wall-clock nanoseconds per delivered message with the
+	// churn bookkeeping (fault state + delivery clock) on the hot path.
+	NsPerDelivery float64 `json:"ns_per_delivery"`
 }
 
 // TierBench is the wall-clock of one experiment sweep.
@@ -198,8 +240,9 @@ type TierBench struct {
 
 // benchSchemaVersion is the current BenchReport layout. v2 added
 // shard_broadcast; v3 added scenario_broadcast; v4 added server_throughput;
-// v5 added shard_scalefree and the ghost/steal counters on ShardBench.
-const benchSchemaVersion = 5
+// v5 added shard_scalefree and the ghost/steal counters on ShardBench;
+// v6 added churn_broadcast.
+const benchSchemaVersion = 6
 
 // RunBench produces the benchmark report: the broadcast microbenchmark
 // first, then every experiment tier, timed serially so tier wall-clocks are
@@ -241,6 +284,12 @@ func RunBench(quick bool, server ServerBenchFunc) (*BenchReport, error) {
 		return nil, err
 	}
 	rep.ScenarioBroadcast = sc
+
+	cb, err := benchChurnBroadcast(quick, repeats)
+	if err != nil {
+		return nil, err
+	}
+	rep.ChurnBroadcast = *cb
 
 	if server != nil {
 		sv, err := server(quick)
@@ -471,7 +520,7 @@ func benchScenarioBroadcast(quick bool, repeats int) ([]ScenarioBench, error) {
 		if err != nil {
 			return nil, err
 		}
-		sb, err := timeScenario(fam.Name, scenarioSpec(fam, params, 1), g, repeats)
+		sb, err := timeScenario(fam.Name, scenarioSpec(fam, params, 1), "", g, repeats)
 		if err != nil {
 			return nil, err
 		}
@@ -500,27 +549,41 @@ func scenarioSpec(fam scenario.Family, params map[string]int, seed int64) string
 
 // BenchScenario times the sequential general broadcast on one scenario spec
 // — the measurement behind anonbench's -graph flag. The spec is recorded
-// verbatim in the result.
-func BenchScenario(spec string, repeats int) (*ScenarioBench, error) {
+// verbatim in the result. A non-empty faultSpec arms a churn plan for every
+// run (anonbench -faults); its canonical form lands in the result's Faults.
+func BenchScenario(spec, faultSpec string, repeats int) (*ScenarioBench, error) {
 	g, err := scenario.Parse(spec)
 	if err != nil {
 		return nil, err
 	}
 	family, _, _ := strings.Cut(spec, ":")
-	return timeScenario(strings.TrimSpace(family), spec, g, repeats)
+	return timeScenario(strings.TrimSpace(family), spec, faultSpec, g, repeats)
 }
 
 // timeScenario measures ns/delivery of the general broadcast on g: one
 // warm-up run, then repeats timed runs, mirroring benchBroadcast's protocol.
-func timeScenario(family, spec string, g *graph.G, repeats int) (*ScenarioBench, error) {
+func timeScenario(family, spec, faultSpec string, g *graph.G, repeats int) (*ScenarioBench, error) {
 	proto := core.NewGeneralBroadcast(nil)
 	opts := sim.Options{Order: sim.OrderRandom, Seed: 7}
+	var canonical string
+	if faultSpec != "" {
+		faults, plan, err := scenario.CompileSpec(faultSpec, g)
+		if err != nil {
+			return nil, fmt.Errorf("scenario bench %s: %w", spec, err)
+		}
+		opts.Faults = faults
+		canonical = plan.Canonical()
+	}
 	run := func() (*sim.Result, error) {
 		r, err := sim.Run(g, proto, opts)
 		if err != nil {
 			return nil, err
 		}
-		if r.Verdict != sim.Terminated {
+		// A churn plan may legitimately stall the broadcast short of
+		// termination (crash with no recovery, a cut that disconnects the
+		// graph) — quiescence is the outcome being measured. Fault-free runs
+		// must still terminate.
+		if r.Verdict != sim.Terminated && canonical == "" {
 			return nil, fmt.Errorf("scenario bench %s did not terminate on %s", spec, g)
 		}
 		return r, nil
@@ -548,6 +611,76 @@ func timeScenario(family, spec string, g *graph.G, repeats int) (*ScenarioBench,
 		Repeats:       repeats,
 		Deliveries:    warm.Steps,
 		NsPerDelivery: float64(elapsed.Nanoseconds()) / float64(deliveries),
+		Faults:        canonical,
+		Dropped:       warm.Dropped,
+	}, nil
+}
+
+// benchChurnBroadcast times the general broadcast on a seeded random digraph
+// under a churn plan: two mid vertices crash after their first delivery and
+// recover two deliveries later, and one early edge is cut after its second
+// send. The redundant digraph keeps most of the network reachable through the
+// disturbance, so the run exercises the full crash/recover/cut bookkeeping
+// while still doing real broadcast work. The plan is fixed relative to the
+// vertex count so quick and full runs both fire every event kind.
+func benchChurnBroadcast(quick bool, repeats int) (*ChurnBench, error) {
+	// The general broadcast's delivery count grows superlinearly on this
+	// family (~86k deliveries at 2k vertices, ~500k at 10k), so the tier runs
+	// smaller than the tree tiers to keep the bench wall-clock bounded.
+	n := 5_000
+	if quick {
+		n = 2_000
+	}
+	g := graph.RandomDigraph(n, 11, graph.RandomDigraphOpts{ExtraEdges: n, TerminalFrac: 0.2})
+	spec := fmt.Sprintf("crash=%d:1,recover=%d:3,crash=%d:1,recover=%d:3,cut=%d:2",
+		n/3, n/3, n/2, n/2, n/4)
+	faults, plan, err := scenario.CompileSpec(spec, g)
+	if err != nil {
+		return nil, err
+	}
+	proto := core.NewGeneralBroadcast(nil)
+	opts := sim.Options{Order: sim.OrderRandom, Seed: 7, Faults: faults}
+	run := func() (*sim.Result, error) {
+		r, err := sim.Run(g, proto, opts)
+		if err != nil {
+			return nil, err
+		}
+		if r.Churn == nil {
+			return nil, fmt.Errorf("churn bench on %s surfaced no churn report", g)
+		}
+		return r, nil
+	}
+	warm, err := run()
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	deliveries := 0
+	for i := 0; i < repeats; i++ {
+		r, err := run()
+		if err != nil {
+			return nil, err
+		}
+		deliveries += r.Steps
+	}
+	elapsed := time.Since(t0)
+	var maxRestab int64
+	for i := range warm.Churn.Events {
+		if rs := warm.Churn.Restabilize(i); rs > maxRestab {
+			maxRestab = rs
+		}
+	}
+	return &ChurnBench{
+		Vertices:       g.NumVertices(),
+		Edges:          g.NumEdges(),
+		Scheduler:      "random",
+		Faults:         plan.Canonical(),
+		Repeats:        repeats,
+		Deliveries:     warm.Steps,
+		Dropped:        warm.Dropped,
+		ChurnEvents:    len(warm.Churn.Events),
+		MaxRestabilize: maxRestab,
+		NsPerDelivery:  float64(elapsed.Nanoseconds()) / float64(deliveries),
 	}, nil
 }
 
@@ -611,18 +744,18 @@ func CompareBench(cur, base *BenchReport) error {
 }
 
 // CompareBenchWarnings is CompareBench with a migration path: a baseline
-// exactly one schema version behind (v4, before shard_scalefree and the
-// ghost/steal counters) is still gated on the fields both layouts share —
-// the v5-only rows are skipped with a warning telling the operator to
-// regenerate — while any other version skew stays a hard error. The
-// returned warnings must be surfaced (anonbench prints them to stderr); a
-// silently half-armed gate is how baselines rot.
+// exactly one schema version behind (v5, before the churn_broadcast tier) is
+// still gated on the fields both layouts share — the current-version-only
+// rows are skipped with a warning telling the operator to regenerate — while
+// any other version skew stays a hard error. The returned warnings must be
+// surfaced (anonbench prints them to stderr); a silently half-armed gate is
+// how baselines rot.
 func CompareBenchWarnings(cur, base *BenchReport) ([]string, error) {
 	var warns []string
 	if cur.SchemaVersion != base.SchemaVersion {
 		if cur.SchemaVersion == benchSchemaVersion && base.SchemaVersion == benchSchemaVersion-1 {
 			warns = append(warns, fmt.Sprintf(
-				"baseline uses schema v%d (pre shard_scalefree and ghost/steal counters); gating shared fields only — regenerate the baseline to arm the v%d gates",
+				"baseline uses schema v%d (pre churn_broadcast); gating shared fields only — regenerate the baseline to arm the v%d gates",
 				base.SchemaVersion, cur.SchemaVersion))
 		} else {
 			return warns, fmt.Errorf("bench: schema %d vs baseline %d — regenerate the baseline", cur.SchemaVersion, base.SchemaVersion)
@@ -673,6 +806,26 @@ func CompareBenchWarnings(cur, base *BenchReport) ([]string, error) {
 		if row.cur.Speedup < floor {
 			return warns, fmt.Errorf("bench: %s shard speedup regressed: %.2fx vs baseline %.2fx (floor %.2fx, -%d%%)",
 				row.label, row.cur.Speedup, row.base.Speedup, floor, int(MaxRegression*100))
+		}
+	}
+	// The churn tier is double-gated: its outcome counters are deterministic
+	// in (graph seed, plan), so any drift against the baseline is a
+	// churn-semantics regression — a hard equality check, not a percentage
+	// band — and its delivery rate is gated like the other hot paths. A
+	// pre-v6 baseline has no row (Deliveries == 0) and is covered by the
+	// migration warning until regenerated.
+	if cb, bb := cur.ChurnBroadcast, base.ChurnBroadcast; bb.Deliveries != 0 {
+		if cb.Faults == bb.Faults &&
+			(cb.Deliveries != bb.Deliveries || cb.Dropped != bb.Dropped ||
+				cb.ChurnEvents != bb.ChurnEvents || cb.MaxRestabilize != bb.MaxRestabilize) {
+			return warns, fmt.Errorf("bench: churn_broadcast outcome drifted from baseline: deliveries %d/%d dropped %d/%d events %d/%d max_restabilize %d/%d — churn semantics changed",
+				cb.Deliveries, bb.Deliveries, cb.Dropped, bb.Dropped,
+				cb.ChurnEvents, bb.ChurnEvents, cb.MaxRestabilize, bb.MaxRestabilize)
+		}
+		churnLimit := bb.NsPerDelivery * (1 + MaxRegression)
+		if cb.NsPerDelivery > churnLimit {
+			return warns, fmt.Errorf("bench: churn_broadcast ns/delivery regressed: %.1f vs baseline %.1f (limit %.1f, +%d%%)",
+				cb.NsPerDelivery, bb.NsPerDelivery, churnLimit, int(MaxRegression*100))
 		}
 	}
 	// The absolute scaling target stays on the 100k grounded-tree tier only:

@@ -5,50 +5,47 @@ import (
 	"testing"
 )
 
-// loadV4Fixture reads the committed v4 BENCH.json (the last baseline layout
-// before shard_scalefree and the ghost/steal counters). The fixture must
-// stay at v4 forever — it IS the migration input; regenerating it would turn
-// this test into a tautology.
-func loadV4Fixture(t *testing.T) *BenchReport {
+// loadV5Fixture reads the committed v5 BENCH.json (the last baseline layout
+// before the churn_broadcast tier). The fixture must stay at v5 forever — it
+// IS the migration input; regenerating it would turn this test into a
+// tautology.
+func loadV5Fixture(t *testing.T) *BenchReport {
 	t.Helper()
-	base, err := ReadBench("testdata/BENCH_v4.json")
+	base, err := ReadBench("testdata/BENCH_v5.json")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if base.SchemaVersion != benchSchemaVersion-1 {
-		t.Fatalf("fixture is schema v%d, want v%d — do not regenerate testdata/BENCH_v4.json",
+		t.Fatalf("fixture is schema v%d, want v%d — do not regenerate testdata/BENCH_v5.json",
 			base.SchemaVersion, benchSchemaVersion-1)
 	}
 	return base
 }
 
-// v5From builds a current-schema report carrying the fixture's shared
-// numbers plus plausible v5-only rows.
-func v5From(base *BenchReport) *BenchReport {
+// v6From builds a current-schema report carrying the fixture's shared
+// numbers plus a plausible v6-only churn row.
+func v6From(base *BenchReport) *BenchReport {
 	cur := *base
 	cur.SchemaVersion = benchSchemaVersion
-	cur.ShardBroadcast.GhostVertices = 3
-	cur.ShardBroadcast.GhostEdges = 17
-	cur.ShardBroadcast.EffectiveCutEdges = cur.ShardBroadcast.CutEdges - 17
-	cur.ShardScalefree = ShardBench{
-		Vertices: 4000, Edges: 12000, Scheduler: "random", Shards: 4,
-		CutEdges: 900, GhostVertices: 40, GhostEdges: 600, EffectiveCutEdges: 300,
-		Repeats: 2, Deliveries: 12000, Steals: 2, StolenEdges: 150,
-		NsPerDeliveryOneShard: 700, NsPerDeliverySharded: 800, Speedup: 0.9,
+	cur.ChurnBroadcast = ChurnBench{
+		Vertices: 5002, Edges: 15000, Scheduler: "random",
+		Faults:  "crash=1667:1,recover=1667:3,cut=3:2",
+		Repeats: 2, Deliveries: 14000, Dropped: 40, ChurnEvents: 3,
+		MaxRestabilize: 9000, NsPerDelivery: 900,
 	}
 	return &cur
 }
 
-// TestCompareBenchV4Migration: gating a v5 run against a v4 baseline warns
-// and skips the v5-only rows instead of hard-failing, still gates every
+// TestCompareBenchV5Migration: gating a v6 run against a v5 baseline warns
+// and skips the v6-only churn row instead of hard-failing, still gates every
 // shared field, and keeps any other schema skew fatal.
-func TestCompareBenchV4Migration(t *testing.T) {
-	base := loadV4Fixture(t)
-	cur := v5From(base)
+func TestCompareBenchV5Migration(t *testing.T) {
+	base := loadV5Fixture(t)
+	cur := v6From(base)
 
 	warns, err := CompareBenchWarnings(cur, base)
 	if err != nil {
-		t.Fatalf("v4 baseline must gate with a warning, got error: %v", err)
+		t.Fatalf("v5 baseline must gate with a warning, got error: %v", err)
 	}
 	if len(warns) != 1 || !strings.Contains(warns[0], "regenerate") {
 		t.Fatalf("want one regenerate-the-baseline warning, got %q", warns)
@@ -65,12 +62,12 @@ func TestCompareBenchV4Migration(t *testing.T) {
 
 	// A regression in a field both schemas share is still a hard error
 	// across the migration — warn-and-skip must not disarm the gate.
-	slow := v5From(base)
+	slow := v6From(base)
 	slow.Broadcast.NsPerDelivery = base.Broadcast.NsPerDelivery * 2
 	if _, err := CompareBenchWarnings(slow, base); err == nil || !strings.Contains(err.Error(), "ns/delivery") {
 		t.Fatalf("shared-field regression not caught across migration: %v", err)
 	}
-	slowShard := v5From(base)
+	slowShard := v6From(base)
 	slowShard.ShardBroadcast.NsPerDeliverySharded = base.ShardBroadcast.NsPerDeliverySharded * 2
 	if _, err := CompareBenchWarnings(slowShard, base); err == nil || !strings.Contains(err.Error(), "sharded ns/delivery") {
 		t.Fatalf("shared shard regression not caught across migration: %v", err)
@@ -83,7 +80,7 @@ func TestCompareBenchV4Migration(t *testing.T) {
 	if _, err := CompareBenchWarnings(cur, &ancient); err == nil || !strings.Contains(err.Error(), "schema") {
 		t.Fatalf("two-version skew must stay fatal: %v", err)
 	}
-	future := v5From(base)
+	future := v6From(base)
 	if _, err := CompareBenchWarnings(base, future); err == nil || !strings.Contains(err.Error(), "schema") {
 		t.Fatalf("older run vs newer baseline must stay fatal: %v", err)
 	}
@@ -93,10 +90,10 @@ func TestCompareBenchV4Migration(t *testing.T) {
 // row, its sharded ns/delivery and speedup are regression-gated exactly like
 // the grounded-tree row's.
 func TestCompareBenchScalefreeGate(t *testing.T) {
-	base := v5From(loadV4Fixture(t))
+	base := v6From(loadV5Fixture(t))
 	ok := *base
 	if _, err := CompareBenchWarnings(&ok, base); err != nil {
-		t.Fatalf("identical v5 reports failed the gate: %v", err)
+		t.Fatalf("identical v6 reports failed the gate: %v", err)
 	}
 	slow := *base
 	slow.ShardScalefree.NsPerDeliverySharded = base.ShardScalefree.NsPerDeliverySharded * 2
@@ -107,5 +104,42 @@ func TestCompareBenchScalefreeGate(t *testing.T) {
 	unscaled.ShardScalefree.Speedup = base.ShardScalefree.Speedup / 2
 	if _, err := CompareBenchWarnings(&unscaled, base); err == nil || !strings.Contains(err.Error(), "shard_scalefree") {
 		t.Fatalf("scalefree speedup regression not caught: %v", err)
+	}
+}
+
+// TestCompareBenchChurnGate: the churn tier's outcome counters are
+// deterministic in (graph seed, plan), so a baseline with a churn row gates
+// them by strict equality — any drift is a churn-semantics regression, not
+// noise — while ns/delivery is banded like the other hot paths. A plan change
+// (different Faults spec) disarms the equality check: the counters are only
+// comparable under the same plan.
+func TestCompareBenchChurnGate(t *testing.T) {
+	base := v6From(loadV5Fixture(t))
+	ok := *base
+	if _, err := CompareBenchWarnings(&ok, base); err != nil {
+		t.Fatalf("identical churn rows failed the gate: %v", err)
+	}
+	for name, mutate := range map[string]func(*ChurnBench){
+		"deliveries":      func(c *ChurnBench) { c.Deliveries++ },
+		"dropped":         func(c *ChurnBench) { c.Dropped++ },
+		"events":          func(c *ChurnBench) { c.ChurnEvents++ },
+		"max_restabilize": func(c *ChurnBench) { c.MaxRestabilize++ },
+	} {
+		drifted := *base
+		mutate(&drifted.ChurnBroadcast)
+		if _, err := CompareBenchWarnings(&drifted, base); err == nil || !strings.Contains(err.Error(), "churn semantics") {
+			t.Fatalf("%s drift not caught: %v", name, err)
+		}
+	}
+	slow := *base
+	slow.ChurnBroadcast.NsPerDelivery = base.ChurnBroadcast.NsPerDelivery * 2
+	if _, err := CompareBenchWarnings(&slow, base); err == nil || !strings.Contains(err.Error(), "churn_broadcast ns/delivery") {
+		t.Fatalf("churn ns/delivery regression not caught: %v", err)
+	}
+	replanned := *base
+	replanned.ChurnBroadcast.Faults = "crash=1:1"
+	replanned.ChurnBroadcast.Deliveries += 100
+	if _, err := CompareBenchWarnings(&replanned, base); err != nil {
+		t.Fatalf("counter drift under a different plan must not trip the equality gate: %v", err)
 	}
 }

@@ -113,6 +113,13 @@ type Options struct {
 	// engine adapter copies sim.Options.Seed here when set, so the shard
 	// layout follows the run's seed exactly like the in-memory shard engine.
 	Seed int64
+	// Chaos, when active, turns on deterministic socket disturbance (see
+	// chaos.go): seeded per-frame latency jitter, lost first-write attempts,
+	// and forced disconnects, healed by reconnect with bounded exponential
+	// backoff and resend of unacked frames. Chaos disturbs only the
+	// transport — verdict, visited set, and message accounting match an
+	// undisturbed run. Applies to both wiring modes.
+	Chaos *Chaos
 }
 
 const (
@@ -146,6 +153,9 @@ func Run(g *graph.G, p protocol.Protocol, codec protocol.Codec, opts Options) (*
 		codec: codec,
 		nodes: nodes,
 		term:  term,
+	}
+	if opts.Chaos.active() {
+		r.chaos = opts.Chaos
 	}
 	if err := r.init(g, opts); err != nil {
 		return nil, err
@@ -338,6 +348,7 @@ func (c *runCore) supervise(g *graph.G, opts Options, closeAll func()) {
 	// concurrent engine, so this tier no longer reports a silent zero.
 	c.res.Metrics.PeakInFlight = int(c.inFlight.Peak())
 	c.res.Dropped = c.faults.Dropped()
+	c.res.Churn = c.faults.ChurnReport()
 }
 
 type runner struct {
@@ -350,12 +361,20 @@ type runner struct {
 	term  protocol.Terminal
 
 	listeners []net.Listener
-	// outConns[v][j] is vertex v's connection for its out-port j.
+	// outConns[v][j] is vertex v's connection for its out-port j (non-chaos
+	// mode only; chaos mode routes sends through senders instead).
 	outConns [][]net.Conn
 	// inbox fan-in: each vertex drains one unbounded queue fed by
 	// per-connection reader goroutines. Unbounded matches the model's
 	// unbounded links and rules out backpressure deadlocks on cycles.
 	inboxes []*inbox
+
+	// Chaos mode (nil slices when off): senders[v][j] owns out-port j's
+	// channel with its frame log and reconnect machinery; recv[v][port]
+	// serializes in-port connections and tracks the delivered-frame count.
+	chaos   *Chaos
+	senders [][]*chaosSender
+	recv    [][]*chaosRecv
 }
 
 type inFrame struct {
@@ -421,10 +440,19 @@ func (r *runner) listen() error {
 	nV := r.g.NumVertices()
 	r.listeners = make([]net.Listener, nV)
 	r.inboxes = make([]*inbox, nV)
+	if r.chaos != nil {
+		r.recv = make([][]*chaosRecv, nV)
+	}
 	for v := 0; v < nV; v++ {
 		r.inboxes[v] = newInbox()
 		if r.g.InDegree(graph.VertexID(v)) == 0 {
 			continue
+		}
+		if r.chaos != nil {
+			r.recv[v] = make([]*chaosRecv, r.g.InDegree(graph.VertexID(v)))
+			for port := range r.recv[v] {
+				r.recv[v][port] = &chaosRecv{}
+			}
 		}
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -440,14 +468,21 @@ func (r *runner) listen() error {
 // connection's frames to the vertex inbox under that port.
 func (r *runner) dial() error {
 	nV := r.g.NumVertices()
-	// Accept loops first.
+	// Accept loops first. Chaos mode accepts forever (reconnects arrive at
+	// any time); non-chaos mode accepts exactly the in-degree.
 	for v := 0; v < nV; v++ {
 		if r.listeners[v] == nil {
 			continue
 		}
-		expected := r.g.InDegree(graph.VertexID(v))
 		r.wg.Add(1)
-		go r.acceptLoop(graph.VertexID(v), expected)
+		if r.chaos != nil {
+			go r.chaosAcceptLoop(graph.VertexID(v))
+		} else {
+			go r.acceptLoop(graph.VertexID(v), r.g.InDegree(graph.VertexID(v)))
+		}
+	}
+	if r.chaos != nil {
+		return r.dialChaos()
 	}
 	// Dial every edge, walking the CSR out-adjacency in port order.
 	r.outConns = make([][]net.Conn, nV)
@@ -472,6 +507,99 @@ func (r *runner) dial() error {
 		}
 	}
 	return nil
+}
+
+// dialChaos builds one chaosSender per edge: the logical channel is the edge
+// itself, the identity handshake names the in-port, and the initial connect
+// runs the resume protocol (expecting a zero count).
+func (r *runner) dialChaos() error {
+	nV := r.g.NumVertices()
+	r.senders = make([][]*chaosSender, nV)
+	for v := 0; v < nV; v++ {
+		outIDs := r.g.OutEdgeIDs(graph.VertexID(v))
+		r.senders[v] = make([]*chaosSender, len(outIDs))
+		for j, eid := range outIDs {
+			e := r.g.Edge(eid)
+			s := &chaosSender{
+				chaos:   r.chaos,
+				channel: uint64(eid),
+				addr:    r.listeners[e.To].Addr().String(),
+				stopped: r.stopped,
+			}
+			binary.BigEndian.PutUint32(s.hello[:], uint32(e.ToPort))
+			if err := s.connect(); err != nil {
+				return fmt.Errorf("netrun: chaos dial edge %d->%d: %w", e.From, e.To, err)
+			}
+			r.senders[v][j] = s
+		}
+	}
+	return nil
+}
+
+// chaosAcceptLoop accepts connections for vertex v until the listener
+// closes at shutdown: under chaos, reconnects arrive throughout the run, so
+// there is no fixed accept count. Each connection is handled off-loop so one
+// channel's serialization never blocks another channel's reconnect.
+func (r *runner) chaosAcceptLoop(v graph.VertexID) {
+	defer r.wg.Done()
+	for {
+		conn, err := r.listeners[v].Accept()
+		if err != nil {
+			if !r.stopped() {
+				r.finish(0, fmt.Errorf("netrun: accept at vertex %d: %w", v, err))
+			}
+			return
+		}
+		r.wg.Add(1)
+		go r.chaosHandle(v, conn)
+	}
+}
+
+// chaosHandle serves one accepted connection: identity handshake in, resume
+// count out (serialized per channel), then the counting read loop until the
+// connection dies. A connection abandoned before or during the handshake is
+// dropped silently — the dialer's backoff loop owns the retry.
+func (r *runner) chaosHandle(v graph.VertexID, conn net.Conn) {
+	defer r.wg.Done()
+	defer conn.Close()
+	var hs [4]byte
+	if _, err := io.ReadFull(conn, hs[:]); err != nil {
+		return
+	}
+	port := int(binary.BigEndian.Uint32(hs[:]))
+	if port < 0 || port >= r.g.InDegree(v) {
+		r.finish(0, fmt.Errorf("netrun: vertex %d: bad handshake port %d", v, port))
+		return
+	}
+	rc := r.recv[v][port]
+	// Serialize per channel: wait for the previous connection's read loop to
+	// drain to EOF so the count quoted below is final.
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if err := rc.ackResume(conn); err != nil {
+		return
+	}
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			// Torn down (chaos or shutdown): the next connection resumes
+			// from rc.received.
+			return
+		}
+		bits := int(binary.BigEndian.Uint32(hdr[:]))
+		buf := make([]byte, (bits+7)/8)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			// Torn mid-frame: not counted, so the sender replays it whole.
+			return
+		}
+		msg, err := r.codec.Decode(buf, bits)
+		if err != nil {
+			r.finish(0, fmt.Errorf("netrun: decode at vertex %d: %w", v, err))
+			return
+		}
+		r.inboxes[v].push(inFrame{port: port, msg: msg})
+		rc.received++
+	}
 }
 
 func (r *runner) acceptLoop(v graph.VertexID, expected int) {
@@ -583,6 +711,15 @@ func (r *runner) send(v graph.VertexID, j int, msg protocol.Message) error {
 	frame := make([]byte, 4+len(data))
 	binary.BigEndian.PutUint32(frame[:4], uint32(bits))
 	copy(frame[4:], data)
+	if r.senders != nil {
+		if err := r.senders[v][j].send(frame); err != nil {
+			if errors.Is(err, errChaosStopped) || r.stopped() {
+				return nil
+			}
+			return fmt.Errorf("netrun: write on edge %d->%d: %w", e.From, e.To, err)
+		}
+		return nil
+	}
 	if _, err := r.outConns[v][j].Write(frame); err != nil {
 		if r.stopped() {
 			return nil
@@ -661,6 +798,13 @@ func (r *runner) closeAll() {
 		for _, c := range conns {
 			if c != nil {
 				c.Close()
+			}
+		}
+	}
+	for _, row := range r.senders {
+		for _, s := range row {
+			if s != nil {
+				s.close()
 			}
 		}
 	}

@@ -292,7 +292,7 @@ func TestTCPShardedWildReplayByteIdentity(t *testing.T) {
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
 			eng := Engine(core.Codec{}, Options{Timeout: 30 * time.Second, Shards: 3})
-			r, tr, err := replay.RecordWild(eng, c.g, c.newProto, sim.Options{Seed: 7})
+			r, tr, err := replay.RecordWild(eng, c.g, c.newProto, sim.Options{Seed: 7}, "")
 			if err != nil {
 				t.Fatalf("RecordWild: %v", err)
 			}

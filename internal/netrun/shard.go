@@ -28,6 +28,7 @@ package netrun
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -71,6 +72,14 @@ type shardRunner struct {
 	// inboxes[s] is shard s's MPSC delivery queue, fed by the shard's reader
 	// goroutines and by its own worker's in-shard sends.
 	inboxes []*mpsc[shardFrame]
+
+	// Chaos mode (nil slices when off): the logical channel is the ordered
+	// shard pair. senders[src][dst] owns the pair's muxed stream with its
+	// frame log and reconnect machinery; recv[dst][src] serializes the
+	// pair's connections and tracks the delivered-frame count.
+	chaos   *Chaos
+	senders [][]*chaosSender
+	recv    [][]*chaosRecv
 }
 
 // runSharded executes p on g in sharded mode. The caller (Run) has already
@@ -87,6 +96,9 @@ func runSharded(g *graph.G, p protocol.Protocol, codec protocol.Codec, opts Opti
 		codec: codec,
 		nodes: nodes,
 		term:  term,
+	}
+	if opts.Chaos.active() {
+		r.chaos = opts.Chaos
 	}
 	if err := r.init(g, opts); err != nil {
 		return nil, err
@@ -149,6 +161,17 @@ func (r *shardRunner) listen() error {
 			needIn[dst] = true
 		}
 	}
+	if r.chaos != nil {
+		r.recv = make([][]*chaosRecv, k)
+		for dst := 0; dst < k; dst++ {
+			r.recv[dst] = make([]*chaosRecv, k)
+			for src := 0; src < k; src++ {
+				if r.need[src][dst] {
+					r.recv[dst][src] = &chaosRecv{}
+				}
+			}
+		}
+	}
 	r.listeners = make([]net.Listener, k)
 	for s := 0; s < k; s++ {
 		if !needIn[s] {
@@ -171,6 +194,11 @@ func (r *shardRunner) dial() error {
 		if r.listeners[dst] == nil {
 			continue
 		}
+		if r.chaos != nil {
+			r.wg.Add(1)
+			go r.chaosAcceptLoop(dst)
+			continue
+		}
 		expected := 0
 		for src := 0; src < k; src++ {
 			if r.need[src][dst] {
@@ -179,6 +207,9 @@ func (r *shardRunner) dial() error {
 		}
 		r.wg.Add(1)
 		go r.acceptLoop(dst, expected)
+	}
+	if r.chaos != nil {
+		return r.dialChaos()
 	}
 	r.conns = make([][]net.Conn, k)
 	for src := 0; src < k; src++ {
@@ -201,6 +232,107 @@ func (r *shardRunner) dial() error {
 		}
 	}
 	return nil
+}
+
+// dialChaos builds one chaosSender per ordered shard pair with traffic: the
+// logical channel is src<<32|dst, the identity handshake names the source
+// shard, and the initial connect runs the resume protocol.
+func (r *shardRunner) dialChaos() error {
+	k := r.part.K
+	r.senders = make([][]*chaosSender, k)
+	for src := 0; src < k; src++ {
+		r.senders[src] = make([]*chaosSender, k)
+		for dst := 0; dst < k; dst++ {
+			if !r.need[src][dst] {
+				continue
+			}
+			s := &chaosSender{
+				chaos:   r.chaos,
+				channel: uint64(src)<<32 | uint64(dst),
+				addr:    r.listeners[dst].Addr().String(),
+				stopped: r.stopped,
+			}
+			binary.BigEndian.PutUint32(s.hello[:], uint32(src))
+			if err := s.connect(); err != nil {
+				return fmt.Errorf("netrun: chaos dial shard pair %d->%d: %w", src, dst, err)
+			}
+			r.senders[src][dst] = s
+		}
+	}
+	return nil
+}
+
+// chaosAcceptLoop accepts shard dst's connections until the listener closes
+// at shutdown; reconnects arrive throughout the run, so there is no fixed
+// accept count. Each connection is handled off-loop so one pair's
+// serialization never blocks another pair's reconnect.
+func (r *shardRunner) chaosAcceptLoop(dst int) {
+	defer r.wg.Done()
+	for {
+		conn, err := r.listeners[dst].Accept()
+		if err != nil {
+			if !r.stopped() {
+				r.finish(0, fmt.Errorf("netrun: accept at shard %d: %w", dst, err))
+			}
+			return
+		}
+		r.wg.Add(1)
+		go r.chaosHandle(dst, conn)
+	}
+}
+
+// chaosHandle serves one accepted shard-pair connection: source-shard
+// handshake in, resume count out (serialized per pair), then the counting
+// muxed read loop until the connection dies.
+func (r *shardRunner) chaosHandle(dst int, conn net.Conn) {
+	defer r.wg.Done()
+	defer conn.Close()
+	var hs [4]byte
+	if _, err := io.ReadFull(conn, hs[:]); err != nil {
+		return
+	}
+	src := int(binary.BigEndian.Uint32(hs[:]))
+	if src < 0 || src >= r.part.K || !r.need[src][dst] {
+		r.finish(0, fmt.Errorf("netrun: shard %d: bad handshake source %d", dst, src))
+		return
+	}
+	rc := r.recv[dst][src]
+	// Serialize per pair: wait for the previous connection's read loop to
+	// drain to EOF so the count quoted below is final.
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if err := rc.ackResume(conn); err != nil {
+		return
+	}
+	var hdr [shardHdrLen]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		eid := graph.EdgeID(binary.BigEndian.Uint32(hdr[:4]))
+		bits := int(binary.BigEndian.Uint32(hdr[4:]))
+		if int(eid) >= r.g.NumEdges() {
+			r.finish(0, fmt.Errorf("netrun: shard %d: frame names edge %d of %d", dst, eid, r.g.NumEdges()))
+			return
+		}
+		e := r.g.Edge(eid)
+		if r.part.Of[e.To] != dst || r.part.Of[e.From] == dst {
+			r.finish(0, fmt.Errorf("netrun: shard %d: misrouted frame for edge %d->%d", dst, e.From, e.To))
+			return
+		}
+		buf := make([]byte, (bits+7)/8)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			// Torn mid-frame: not counted, so the sender replays it whole.
+			return
+		}
+		msg, err := r.codec.Decode(buf, bits)
+		if err != nil {
+			r.finish(0, fmt.Errorf("netrun: decode at shard %d: %w", dst, err))
+			return
+		}
+		r.inboxes[dst].push(shardFrame{edge: eid, msg: msg})
+		rc.received++
+	}
 }
 
 func (r *shardRunner) acceptLoop(dst, expected int) {
@@ -321,6 +453,15 @@ func (r *shardRunner) send(src int, eid graph.EdgeID, msg protocol.Message) erro
 	binary.BigEndian.PutUint32(frame[:4], uint32(eid))
 	binary.BigEndian.PutUint32(frame[4:8], uint32(bits))
 	copy(frame[shardHdrLen:], data)
+	if r.senders != nil {
+		if err := r.senders[src][dst].send(frame); err != nil {
+			if errors.Is(err, errChaosStopped) || r.stopped() {
+				return nil
+			}
+			return fmt.Errorf("netrun: write on edge %d->%d: %w", e.From, e.To, err)
+		}
+		return nil
+	}
 	if _, err := r.conns[src][dst].Write(frame); err != nil {
 		if r.stopped() {
 			return nil
@@ -399,6 +540,13 @@ func (r *shardRunner) closeAll() {
 		for _, c := range row {
 			if c != nil {
 				c.Close()
+			}
+		}
+	}
+	for _, row := range r.senders {
+		for _, s := range row {
+			if s != nil {
+				s.close()
 			}
 		}
 	}

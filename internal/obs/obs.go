@@ -33,7 +33,9 @@ import (
 
 // TimelineSchemaVersion identifies the Timeline JSON layout; tooling must
 // refuse to compare mismatched versions (same contract as BENCH.json).
-const TimelineSchemaVersion = 1
+// Version 2 added the churn section (dynamic-network events with per-event
+// re-stabilization).
+const TimelineSchemaVersion = 2
 
 // DefaultSampleEvery is the logical-clock sampling stride K used when a
 // recorder is created with a non-positive stride.
@@ -95,6 +97,30 @@ type SuperstepRow struct {
 	Deliveries []int64 `json:"deliveries"`
 }
 
+// ChurnRow is one fired churn event of the run's fault plan: a vertex crash
+// or recovery, an edge cut or join, or a loss-schedule step, stamped with
+// the global delivery clock at which it became observable and its
+// re-stabilization cost — the deliveries the network still needed to go
+// quiet after the change. On the deterministic engines the rows are a pure
+// function of (plan, schedule); the wild engines report one honest
+// linearization.
+type ChurnRow struct {
+	// Kind is crash, recover, cut, join or loss (see sim's Churn* kinds).
+	Kind string `json:"kind"`
+	// Vertex is the affected vertex for crash/recover rows, else -1.
+	Vertex int `json:"vertex"`
+	// Edge is the affected edge for cut/join rows, else -1.
+	Edge int `json:"edge"`
+	// At is the plan trigger: a delivery count for vertex rows, a per-edge
+	// send index for edge and loss rows.
+	At int `json:"at"`
+	// Clock is the global delivery clock when the event fired.
+	Clock int64 `json:"clock"`
+	// Restabilize is deliveries-to-quiescence after the event: the run's
+	// final delivery clock minus Clock.
+	Restabilize int64 `json:"restabilize_deliveries"`
+}
+
 // Timeline is the deterministic plane of a run's telemetry.
 type Timeline struct {
 	SchemaVersion int            `json:"schema_version"`
@@ -105,6 +131,7 @@ type Timeline struct {
 	SampleEvery   int            `json:"sample_every"`
 	Tracks        []TrackSeries  `json:"tracks"`
 	Supersteps    []SuperstepRow `json:"supersteps"`
+	Churn         []ChurnRow     `json:"churn"`
 	Totals        Totals         `json:"totals"`
 }
 
@@ -268,10 +295,12 @@ type Recorder struct {
 
 	tracks []*Track
 
-	// mu guards the cold, coordinator-or-rare paths: superstep rows and
-	// phase accumulation. Track counters are single-owner and unguarded.
+	// mu guards the cold, coordinator-or-rare paths: superstep rows, churn
+	// rows and phase accumulation. Track counters are single-owner and
+	// unguarded.
 	mu         sync.Mutex
 	supersteps []SuperstepRow
+	churn      []ChurnRow
 	phases     []Phase
 	phaseIdx   map[string]int
 }
@@ -340,6 +369,22 @@ func (r *Recorder) Superstep(deliveries []int64) {
 	r.mu.Unlock()
 }
 
+// RecordChurn stores the run's fired churn rows, already stamped with their
+// re-stabilization cost. The facade calls it once after the run, from the
+// engine's sim-level churn report; the first non-empty call wins, matching
+// Configure (a canonicalizing replay never overwrites the original rows).
+// The slice is copied.
+func (r *Recorder) RecordChurn(rows []ChurnRow) {
+	if r == nil || len(rows) == 0 {
+		return
+	}
+	r.mu.Lock()
+	if r.churn == nil {
+		r.churn = append([]ChurnRow(nil), rows...)
+	}
+	r.mu.Unlock()
+}
+
 // StartPhase starts measuring the named wall-clock phase and returns the
 // stop function; repeated phases accumulate duration and count. The nil
 // recorder returns a shared no-op stop.
@@ -382,6 +427,7 @@ func (r *Recorder) Timeline() *Timeline {
 		SampleEvery:   r.sampleEvery,
 		Tracks:        make([]TrackSeries, 0, len(r.tracks)),
 		Supersteps:    append([]SuperstepRow{}, r.supersteps...),
+		Churn:         append([]ChurnRow{}, r.churn...),
 	}
 	for _, t := range r.tracks {
 		tot := t.totals()

@@ -10,8 +10,12 @@ import (
 
 // FormatVersion is the current trace codec version. Decoders accept exactly
 // the versions they know; bumping this number is a compatibility event and
-// must come with a corpus update in testdata/.
-const FormatVersion = 1
+// must come with a corpus update in testdata/. Version history:
+//
+//	1  initial format
+//	2  fault-plan spec string in the header (after scheduler); v1 traces
+//	   decode with an empty plan
+const FormatVersion = 2
 
 // traceMagic opens every encoded trace ("ANRT", anonymous-network replay
 // trace).
@@ -33,11 +37,13 @@ const maxStringBytes = 1 << 10
 //	seed      64 bits          two's complement
 //	protocol  gamma0 len + bytes
 //	scheduler gamma0 len + bytes
+//	faults    gamma0 len + bytes (v2+; canonical fault spec, len 0 = none)
 //	graph     gamma0 len + bytes (anonnet v1 text; len 0 = absent)
 //	nevents   gamma0
 //	events    nevents × (1-bit kind + gamma0 edge)
 //
 // The stream is bit-packed MSB-first and zero-padded to a byte boundary.
+// Encode always writes the current FormatVersion.
 func Encode(tr *Trace) []byte {
 	var w bitio.Writer
 	w.WriteBits(traceMagic, 32)
@@ -51,6 +57,7 @@ func Encode(tr *Trace) []byte {
 	w.WriteBits(uint64(tr.Seed), 64)
 	writeString(&w, tr.Protocol)
 	writeString(&w, tr.Scheduler)
+	writeString(&w, tr.Faults)
 	w.WriteGamma0(uint64(len(tr.GraphText)))
 	w.WriteBytes(tr.GraphText)
 	w.WriteGamma0(uint64(len(tr.Events)))
@@ -83,7 +90,7 @@ func Decode(data []byte) (*Trace, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: version: %v", ErrBadTrace, err)
 	}
-	if version != FormatVersion {
+	if version < 1 || version > FormatVersion {
 		return nil, fmt.Errorf("%w: unsupported version %d (have %d)", ErrBadTrace, version, FormatVersion)
 	}
 	truncBit, err := r.ReadBit()
@@ -105,6 +112,13 @@ func Decode(data []byte) (*Trace, error) {
 	sched, err := readString(r, "scheduler")
 	if err != nil {
 		return nil, err
+	}
+	var faults string
+	if version >= 2 {
+		faults, err = readString(r, "faults")
+		if err != nil {
+			return nil, err
+		}
 	}
 	graphLen, err := r.ReadGamma0()
 	if err != nil {
@@ -153,6 +167,7 @@ func Decode(data []byte) (*Trace, error) {
 		Protocol:  proto,
 		Scheduler: sched,
 		Seed:      int64(seed),
+		Faults:    faults,
 		Truncated: truncBit == 1,
 		GraphText: graphText,
 		Events:    events,

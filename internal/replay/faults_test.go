@@ -1,0 +1,213 @@
+package replay
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bitio"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/protocol"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// recordUnder is record with a fault plan armed: the run executes under the
+// compiled spec and the returned trace carries it in the header.
+func recordUnder(t *testing.T, g *graph.G, spec string, schedName string, seed int64) (*Trace, *sim.Result) {
+	t.Helper()
+	faults, plan, err := scenario.CompileSpec(spec, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := sim.NewScheduler(schedName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	r, err := sim.Run(g, core.NewGeneralBroadcast([]byte("m")), sim.Options{
+		Scheduler: sched, Seed: seed, Faults: faults, Observer: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := rec.Trace(g, "generalcast", schedName, seed)
+	tr.Faults = plan.Canonical()
+	return tr, r
+}
+
+// TestCodecFaultsRoundTrip: a fault plan in the header survives
+// Encode→Decode, and a fault-free trace still encodes an empty field.
+func TestCodecFaultsRoundTrip(t *testing.T) {
+	g := graph.Line(5)
+	tr, _ := recordUnder(t, g, "crash=3:0,recover=3:2,cut=1:1,lossat=9:50,seed=4", "fifo", 7)
+	dec, err := Decode(Encode(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Faults != tr.Faults {
+		t.Fatalf("Faults = %q after round trip, want %q", dec.Faults, tr.Faults)
+	}
+	if dec.Version != FormatVersion {
+		t.Fatalf("Version = %d, want %d", dec.Version, FormatVersion)
+	}
+
+	tr.Faults = ""
+	dec, err = Decode(Encode(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Faults != "" {
+		t.Fatalf("fault-free trace decoded with Faults = %q", dec.Faults)
+	}
+}
+
+// TestCodecV1Compat: a hand-encoded version-1 stream (no faults field) must
+// still decode, with an empty fault plan — committed v1 traces stay readable.
+func TestCodecV1Compat(t *testing.T) {
+	g := graph.Line(3)
+	tr, _ := record(t, g, core.NewGeneralBroadcast([]byte("m")), "fifo", 11)
+
+	// The v1 layout is the v2 layout minus the faults string: magic, version,
+	// truncated bit, fingerprint, seed, protocol, scheduler, graph, events.
+	var w bitio.Writer
+	w.WriteBits(traceMagic, 32)
+	w.WriteGamma(1)
+	w.WriteBit(0)
+	w.WriteBits(tr.GraphFP, 64)
+	w.WriteBits(uint64(tr.Seed), 64)
+	writeString(&w, tr.Protocol)
+	writeString(&w, tr.Scheduler)
+	w.WriteGamma0(uint64(len(tr.GraphText)))
+	w.WriteBytes(tr.GraphText)
+	w.WriteGamma0(uint64(len(tr.Events)))
+	for _, ev := range tr.Events {
+		w.WriteBit(uint(ev.Kind))
+		w.WriteGamma0(uint64(ev.Edge))
+	}
+
+	dec, err := Decode(append([]byte(nil), w.Bytes()...))
+	if err != nil {
+		t.Fatalf("decoding v1 bytes: %v", err)
+	}
+	if dec.Version != 1 {
+		t.Fatalf("Version = %d, want 1", dec.Version)
+	}
+	if dec.Faults != "" {
+		t.Fatalf("v1 trace decoded with Faults = %q, want empty", dec.Faults)
+	}
+	if dec.GraphFP != tr.GraphFP || dec.Protocol != tr.Protocol ||
+		dec.Scheduler != tr.Scheduler || dec.Seed != tr.Seed ||
+		!reflect.DeepEqual(dec.Events, tr.Events) {
+		t.Fatalf("v1 decode mismatch:\n got %+v\nwant %+v", dec, tr)
+	}
+	// Re-encoding upgrades to the current version; the upgraded bytes decode
+	// to the same trace (modulo the version stamp).
+	dec2, err := Decode(Encode(dec))
+	if err != nil {
+		t.Fatalf("decoding upgraded bytes: %v", err)
+	}
+	if dec2.Version != FormatVersion || dec2.Faults != "" {
+		t.Fatalf("upgrade: version %d faults %q", dec2.Version, dec2.Faults)
+	}
+	if !reflect.DeepEqual(dec2.Events, dec.Events) {
+		t.Fatal("upgrade changed the event stream")
+	}
+}
+
+// TestReplayReArmsFaultPlan: replaying a trace recorded under a churn plan
+// re-arms the plan — same drops, same verdict, same churn events — and a
+// caller-supplied plan on top of a header plan is rejected.
+func TestReplayReArmsFaultPlan(t *testing.T) {
+	g := graph.Line(5)
+	spec := "crash=3:0,recover=3:1"
+	tr, r1 := recordUnder(t, g, spec, "fifo", 3)
+	if r1.Dropped != 1 {
+		t.Fatalf("reference run dropped %d, want 1", r1.Dropped)
+	}
+
+	r2, err := Run(g, core.NewGeneralBroadcast([]byte("m")), tr, sim.Options{})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if r2.Verdict != r1.Verdict || r2.Dropped != r1.Dropped {
+		t.Fatalf("replay %s/%d drops, recorded %s/%d", r2.Verdict, r2.Dropped, r1.Verdict, r1.Dropped)
+	}
+	if !reflect.DeepEqual(r2.Churn, r1.Churn) {
+		t.Fatalf("replay churn %+v, recorded %+v", r2.Churn, r1.Churn)
+	}
+
+	faults, _, err := scenario.CompileSpec("drop=0:1", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(g, core.NewGeneralBroadcast([]byte("m")), tr, sim.Options{Faults: faults}); err == nil {
+		t.Fatal("replay accepted a caller plan on top of the trace's header plan")
+	}
+
+	// A malformed header plan must fail loudly, not run fault-free.
+	bad := *tr
+	bad.Faults = "crash=99:0"
+	if _, err := Run(g, core.NewGeneralBroadcast([]byte("m")), &bad, sim.Options{}); err == nil {
+		t.Fatal("replay accepted a header plan referencing a nonexistent vertex")
+	}
+}
+
+// TestShrinkHoldsFaultPlan is the auto-shrink-under-faults contract: the
+// minimizer re-arms the header plan in every oracle run and carries it into
+// the shrunk trace, so the witness stays a witness. The predicate here —
+// "the terminal was never visited" — only holds because of the crash, so a
+// fault-free oracle would reject every candidate including the full trace.
+func TestShrinkHoldsFaultPlan(t *testing.T) {
+	g := graph.Line(5)
+	spec := "crash=3:0"
+	tr, r1 := recordUnder(t, g, spec, "fifo", 5)
+	if r1.Visited[graph.VertexID(g.Terminal())] {
+		t.Fatal("crash plan did not cut the line; predicate would be vacuous")
+	}
+	pred := func(r *sim.Result, err error) bool {
+		return err == nil && r != nil && !r.Visited[graph.VertexID(g.Terminal())]
+	}
+	res, err := Shrink(g, func() protocol.Protocol { return core.NewGeneralBroadcast([]byte("m")) }, tr, pred)
+	if err != nil {
+		t.Fatalf("shrink: %v", err)
+	}
+	if res.Trace.Faults != tr.Faults {
+		t.Fatalf("shrunk trace Faults = %q, want %q", res.Trace.Faults, tr.Faults)
+	}
+	// The shrunk trace must itself replay to the failing outcome.
+	r2, err := Run(g, core.NewGeneralBroadcast([]byte("m")), res.Trace, sim.Options{})
+	if err != nil {
+		t.Fatalf("replaying shrunk trace: %v", err)
+	}
+	if !pred(r2, nil) {
+		t.Fatal("shrunk trace no longer witnesses the failure")
+	}
+}
+
+// TestRecordWildUnderFaults: the wild-capture tier composes with a churn
+// plan — the capture runs under the compiled spec, the canonicalizing replay
+// re-arms it (verdicts must agree), and the canonical spec lands in the
+// trace header.
+func TestRecordWildUnderFaults(t *testing.T) {
+	g := graph.Line(5)
+	newProto := func() protocol.Protocol { return core.NewGeneralBroadcast([]byte("m")) }
+	spec := "crash=3:0,recover=3:1"
+	r, tr, err := RecordWild(sim.Concurrent(), g, newProto, sim.Options{Seed: 2}, spec)
+	if err != nil {
+		t.Fatalf("RecordWild: %v", err)
+	}
+	if r.Dropped != 1 || r.Verdict != sim.Quiescent {
+		t.Fatalf("wild run %s/%d drops, want quiescent/1", r.Verdict, r.Dropped)
+	}
+	if tr.Faults != spec {
+		t.Fatalf("trace Faults = %q, want %q", tr.Faults, spec)
+	}
+	r2, err := Run(g, newProto(), tr, sim.Options{})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if r2.Verdict != r.Verdict || r2.Dropped != r.Dropped {
+		t.Fatalf("replay %s/%d, wild %s/%d", r2.Verdict, r2.Dropped, r.Verdict, r.Dropped)
+	}
+}

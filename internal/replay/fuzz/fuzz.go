@@ -31,6 +31,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/protocol"
 	"repro/internal/replay"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -57,9 +58,14 @@ type Options struct {
 	// Faults, when non-nil, applies the fault plan to the reference replay
 	// and to every mutant run, composing the schedule fuzzer with fault
 	// injection. The plan's per-(edge, send-index) determinism keeps mutant
-	// runs reproducible. Campaigns under faults skip delta-debugging even
-	// when NoShrink is false: replay.Shrink replays candidates fault-free,
-	// so a shrunk trace would not witness the violation.
+	// runs reproducible. Campaigns under a compiled-only plan skip
+	// delta-debugging even when NoShrink is false: the plan cannot ride the
+	// violation trace's header, so replay.Shrink would replay candidates
+	// fault-free and a shrunk trace would not witness the violation. Seeds
+	// that carry their own plan (Trace.Faults) do not need this option — the
+	// spec is compiled per seed, stamped into every violation trace, and
+	// shrinking stays enabled because Shrink re-arms a header plan. A seed
+	// with a header plan conflicts with a non-nil Faults.
 	Faults *sim.Faults
 	// SafetyOnly relaxes the divergence oracle to the safety half of the
 	// theorems: a mutant violates only if its run errors, reports invariant
@@ -136,6 +142,20 @@ func CampaignOn(g *graph.G, newProto func() protocol.Protocol, seeds []*replay.T
 		if err := replay.Verify(tr, g, newProto().Name()); err != nil {
 			return nil, fmt.Errorf("fuzz: seed %d: %w", si, err)
 		}
+		// The effective plan for this seed's mutants: the trace's own header
+		// plan when it carries one (stamped back into violation traces so
+		// they stay self-contained), else the campaign-wide Options.Faults.
+		faults, faultSpec := opts.Faults, ""
+		if tr.Faults != "" {
+			if opts.Faults != nil {
+				return nil, fmt.Errorf("fuzz: seed %d carries fault plan %q but Options.Faults is also set", si, tr.Faults)
+			}
+			var err error
+			if faults, _, err = scenario.CompileSpec(tr.Faults, g); err != nil {
+				return nil, fmt.Errorf("fuzz: seed %d fault plan: %w", si, err)
+			}
+			faultSpec = tr.Faults
+		}
 		refR := opts.Reference
 		if refR == nil {
 			var err error
@@ -165,7 +185,7 @@ func CampaignOn(g *graph.G, newProto func() protocol.Protocol, seeds []*replay.T
 				break // seed too small to mutate at all
 			}
 			rep.Mutants++
-			v, skipped, completed, err := runMutant(g, newProto, tr, mut, opts, refO, refProblems, want)
+			v, skipped, completed, err := runMutant(g, newProto, tr, mut, opts, faults, faultSpec, refO, refProblems, want)
 			if err != nil {
 				return nil, err
 			}
@@ -180,9 +200,10 @@ func CampaignOn(g *graph.G, newProto func() protocol.Protocol, seeds []*replay.T
 }
 
 // runMutant executes one mutant schedule to a verdict and compares its
-// outcome footprint against the seed's.
+// outcome footprint against the seed's. faults/faultSpec are the seed's
+// effective plan as resolved by CampaignOn.
 func runMutant(g *graph.G, newProto func() protocol.Protocol, seed *replay.Trace, mut Mutant,
-	opts Options, refO Outcome, refProblems []string, want string) (*Violation, int, int, error) {
+	opts Options, faults *sim.Faults, faultSpec string, refO Outcome, refProblems []string, want string) (*Violation, int, int, error) {
 	fb, err := sim.NewScheduler(opts.Fallback)
 	if err != nil {
 		return nil, 0, 0, err
@@ -190,7 +211,7 @@ func runMutant(g *graph.G, newProto func() protocol.Protocol, seed *replay.Trace
 	comp := replay.NewCompletingReplayer(mut.Deliveries, fb)
 	rec := replay.NewRecorder()
 	r, runErr := sim.Run(g, newProto(), sim.Options{
-		Scheduler: comp, Seed: seed.Seed, Observer: rec, Faults: opts.Faults,
+		Scheduler: comp, Seed: seed.Seed, Observer: rec, Faults: faults,
 	})
 	skipped, completed := comp.Skipped(), comp.Completed()
 	var (
@@ -214,11 +235,13 @@ func runMutant(g *graph.G, newProto func() protocol.Protocol, seed *replay.Trace
 	}
 	v := &Violation{Mutation: mut.Name, Want: want, Got: got}
 	v.Trace = rec.Trace(g, seed.Protocol, "fuzz-"+mut.Name, seed.Seed)
+	v.Trace.Faults = faultSpec
 	// Only an errored run's recording may be partial; a run that reached a
 	// verdict recorded its complete schedule, which stays strict-replayable.
 	v.Trace.Truncated = runErr != nil
-	// Shrinking replays candidates without the fault plan, so under faults
-	// the full trace is the evidence (see Options.Faults).
+	// A compiled-only plan (Options.Faults) cannot ride the trace header, so
+	// shrinking would replay candidates fault-free — the full trace is the
+	// evidence then. A header plan (faultSpec) shrinks fine: Shrink re-arms it.
 	if !opts.NoShrink && opts.Faults == nil {
 		v.Shrunk = shrinkViolation(g, newProto, v.Trace, refO, refProblems, runErr, r)
 	}

@@ -266,7 +266,7 @@ func TestWildSeedsFuzzable(t *testing.T) {
 	newProto := func() protocol.Protocol { return core.NewGeneralBroadcast([]byte("m")) }
 	var seeds []*replay.Trace
 	for i := 0; i < 3; i++ {
-		_, tr, err := replay.RecordWild(sim.Concurrent(), g, newProto, sim.Options{Seed: int64(i)})
+		_, tr, err := replay.RecordWild(sim.Concurrent(), g, newProto, sim.Options{Seed: int64(i)}, "")
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/protocol"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -81,6 +82,13 @@ type Trace struct {
 	Scheduler string
 	// Seed is the scheduler seed of the recorded run.
 	Seed int64
+	// Faults is the fault/churn plan of the recorded run in the canonical
+	// scenario spec syntax (scenario.FaultPlan.Canonical), or "" for a
+	// fault-free run. Replay compiles and re-arms the plan, so a trace
+	// recorded under faults reproduces the same drops, crashes, recoveries
+	// and edge churn — the plan is part of the schedule. Traces decoded
+	// from format version 1 carry "".
+	Faults string
 	// Truncated marks a shrunk or otherwise partial trace: replay stops
 	// cleanly when the schedule is exhausted and skips undeliverable
 	// entries instead of declaring divergence.
@@ -219,11 +227,23 @@ func (r *Recorder) Trace(g *graph.G, protoName, schedName string, seed int64) *T
 // trace must match g and p (Verify); the schedule is enforced exactly, and —
 // unless the trace is marked Truncated — any divergence between the recorded
 // schedule and what the run actually makes deliverable is an error. Any
-// Scheduler already in opts is replaced; opts.Observer is honored, so a
-// caller can re-record the replayed run and assert byte identity.
+// Scheduler already in opts is replaced, and a fault plan recorded in the
+// trace header is compiled and re-armed (a caller-supplied plan conflicts);
+// opts.Observer is honored, so a caller can re-record the replayed run and
+// assert byte identity.
 func Run(g *graph.G, p protocol.Protocol, tr *Trace, opts sim.Options) (*sim.Result, error) {
 	if err := Verify(tr, g, p.Name()); err != nil {
 		return nil, err
+	}
+	if tr.Faults != "" {
+		if opts.Faults != nil {
+			return nil, fmt.Errorf("replay: trace records fault plan %q but options already carry one", tr.Faults)
+		}
+		faults, _, err := scenario.CompileSpec(tr.Faults, g)
+		if err != nil {
+			return nil, fmt.Errorf("replay: trace fault plan: %w", err)
+		}
+		opts.Faults = faults
 	}
 	rep := NewReplayer(tr)
 	opts.Scheduler = rep

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/protocol"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -28,20 +29,30 @@ type ShrinkResult struct {
 // Shrink minimizes tr to a 1-minimal failing delivery sequence: the
 // predicate still fails on the result, and removing any single delivery
 // makes it pass. The oracle re-runs the sequential engine on g with a fresh
-// protocol from newProto under a lenient Replayer per candidate. The search
-// is suffix truncation (binary search to a failing prefix) followed by ddmin
-// over the remaining delivery choices; it is deterministic, so the same
-// input always shrinks to the same witness.
+// protocol from newProto under a lenient Replayer per candidate. A fault
+// plan recorded in the trace header is held fixed: every oracle run re-arms
+// it, and the minimized trace carries it unchanged — the search minimizes
+// the schedule, never the plan. The search is suffix truncation (binary
+// search to a failing prefix) followed by ddmin over the remaining delivery
+// choices; it is deterministic, so the same input always shrinks to the
+// same witness.
 func Shrink(g *graph.G, newProto func() protocol.Protocol, tr *Trace, pred Predicate) (*ShrinkResult, error) {
 	if err := Verify(tr, g, newProto().Name()); err != nil {
 		return nil, err
+	}
+	var faults *sim.Faults
+	if tr.Faults != "" {
+		var err error
+		if faults, _, err = scenario.CompileSpec(tr.Faults, g); err != nil {
+			return nil, fmt.Errorf("replay: trace fault plan: %w", err)
+		}
 	}
 	full := tr.Deliveries()
 	res := &ShrinkResult{Before: len(full)}
 	failing := func(seq []graph.EdgeID) bool {
 		res.Runs++
 		rep := NewLenientReplayer(seq)
-		r, err := sim.Run(g, newProto(), sim.Options{Scheduler: rep, Seed: tr.Seed})
+		r, err := sim.Run(g, newProto(), sim.Options{Scheduler: rep, Seed: tr.Seed, Faults: faults})
 		return pred(r, err)
 	}
 	if !failing(full) {
@@ -55,7 +66,7 @@ func Shrink(g *graph.G, newProto func() protocol.Protocol, tr *Trace, pred Predi
 	// event stream (sends included) of its own replay.
 	rec := NewRecorder()
 	rep := NewLenientReplayer(seq)
-	r, err := sim.Run(g, newProto(), sim.Options{Scheduler: rep, Seed: tr.Seed, Observer: rec})
+	r, err := sim.Run(g, newProto(), sim.Options{Scheduler: rep, Seed: tr.Seed, Faults: faults, Observer: rec})
 	if err != nil {
 		return nil, fmt.Errorf("replay: re-recording minimal run: %w", err)
 	}
@@ -63,6 +74,7 @@ func Shrink(g *graph.G, newProto func() protocol.Protocol, tr *Trace, pred Predi
 		return nil, fmt.Errorf("replay: minimal run no longer fails the predicate (non-deterministic predicate?)")
 	}
 	out := rec.Trace(g, tr.Protocol, "replay-shrunk", tr.Seed)
+	out.Faults = tr.Faults
 	out.Truncated = true
 	res.Trace = out
 	return res, nil

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/protocol"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -47,7 +48,22 @@ func WildScheduler(engineName string) string { return "wild-" + engineName }
 // opts.Observer is honored (teed with the capture recorder); opts.Scheduler
 // is ignored by the wild engines themselves but opts.Seed is stamped into
 // the trace header for provenance.
-func RecordWild(eng sim.Engine, g *graph.G, newProto func() protocol.Protocol, opts sim.Options) (*sim.Result, *Trace, error) {
+//
+// faultSpec, when non-empty, is a scenario fault/churn spec: it is compiled
+// against g, armed for the wild run AND the canonicalizing replay (replacing
+// any plan already in opts — passing both is redundant, not an error), and
+// stamped into the trace header in canonical form. Capture under faults is
+// sound because the plan's triggers are per-edge send indices and per-vertex
+// delivery indices, both of which the linearized schedule preserves.
+func RecordWild(eng sim.Engine, g *graph.G, newProto func() protocol.Protocol, opts sim.Options, faultSpec string) (*sim.Result, *Trace, error) {
+	if faultSpec != "" {
+		faults, plan, err := scenario.CompileSpec(faultSpec, g)
+		if err != nil {
+			return nil, nil, fmt.Errorf("replay: wild fault plan: %w", err)
+		}
+		opts.Faults = faults
+		faultSpec = plan.Canonical()
+	}
 	rec := NewRecorder()
 	opts.Observer = sim.TeeObserver(rec, opts.Observer)
 	r, err := eng.Run(g, newProto(), opts)
@@ -55,6 +71,7 @@ func RecordWild(eng sim.Engine, g *graph.G, newProto func() protocol.Protocol, o
 		return r, nil, fmt.Errorf("replay: wild run on %s: %w", eng.Name(), err)
 	}
 	wild := rec.Trace(g, newProto().Name(), WildScheduler(eng.Name()), opts.Seed)
+	wild.Faults = faultSpec
 	// The raw capture may carry trailing deliveries linearized after the
 	// terminating one (see the file comment); mark it truncated so the
 	// canonicalizing replay skips them instead of declaring divergence.
@@ -76,17 +93,26 @@ func RecordWild(eng sim.Engine, g *graph.G, newProto func() protocol.Protocol, o
 // Canonicalize re-executes tr on the sequential engine (leniently, if the
 // trace is marked Truncated) while re-recording, and returns the strict-mode
 // trace of what actually ran plus the replay's result. The output trace
-// keeps tr's provenance header (protocol, scheduler name, seed) and replays
-// byte-identically in strict mode; use it to turn a wild capture or a
-// hand-edited schedule into a committable regression trace.
+// keeps tr's provenance header (protocol, scheduler name, seed, fault plan)
+// and replays byte-identically in strict mode; use it to turn a wild capture
+// or a hand-edited schedule into a committable regression trace. A fault
+// plan in tr's header is compiled and re-armed for the replay, and carried
+// through to the output.
 func Canonicalize(g *graph.G, newProto func() protocol.Protocol, tr *Trace) (*Trace, *sim.Result, error) {
 	p := newProto()
 	if err := Verify(tr, g, p.Name()); err != nil {
 		return nil, nil, err
 	}
+	var faults *sim.Faults
+	if tr.Faults != "" {
+		var err error
+		if faults, _, err = scenario.CompileSpec(tr.Faults, g); err != nil {
+			return nil, nil, fmt.Errorf("replay: trace fault plan: %w", err)
+		}
+	}
 	rec := NewRecorder()
 	rep := NewReplayer(tr)
-	r, err := sim.Run(g, p, sim.Options{Scheduler: rep, Seed: tr.Seed, Observer: rec})
+	r, err := sim.Run(g, p, sim.Options{Scheduler: rep, Seed: tr.Seed, Faults: faults, Observer: rec})
 	if err != nil {
 		return nil, nil, fmt.Errorf("replay: canonicalizing replay: %w", err)
 	}
@@ -94,5 +120,6 @@ func Canonicalize(g *graph.G, newProto func() protocol.Protocol, tr *Trace) (*Tr
 		return nil, nil, fmt.Errorf("replay: canonicalizing replay: %w", rerr)
 	}
 	out := rec.Trace(g, tr.Protocol, tr.Scheduler, tr.Seed)
+	out.Faults = tr.Faults
 	return out, r, nil
 }

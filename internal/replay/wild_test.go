@@ -90,7 +90,7 @@ func TestRecordWildConcurrent(t *testing.T) {
 		// capture different wild schedules through the same pipeline.
 		for rep := 0; rep < 3; rep++ {
 			t.Run(fmt.Sprintf("%s/%d", c.name, rep), func(t *testing.T) {
-				r, tr, err := RecordWild(sim.Concurrent(), c.graph, c.newProto, sim.Options{Seed: int64(rep)})
+				r, tr, err := RecordWild(sim.Concurrent(), c.graph, c.newProto, sim.Options{Seed: int64(rep)}, "")
 				if err != nil {
 					t.Fatalf("RecordWild: %v", err)
 				}
@@ -117,7 +117,7 @@ func TestRecordWildShard(t *testing.T) {
 	for _, c := range wildCases() {
 		for _, shards := range []int{2, 4} {
 			t.Run(fmt.Sprintf("%s/shards=%d", c.name, shards), func(t *testing.T) {
-				r, tr, err := RecordWild(shard.Engine(shards), c.graph, c.newProto, sim.Options{Seed: 9})
+				r, tr, err := RecordWild(shard.Engine(shards), c.graph, c.newProto, sim.Options{Seed: 9}, "")
 				if err != nil {
 					t.Fatalf("RecordWild: %v", err)
 				}
@@ -143,7 +143,7 @@ func TestRecordWildTCP(t *testing.T) {
 	eng := netrun.Engine(core.Codec{}, netrun.Options{})
 	for _, c := range wildCases() {
 		t.Run(c.name, func(t *testing.T) {
-			r, tr, err := RecordWild(eng, c.graph, c.newProto, sim.Options{})
+			r, tr, err := RecordWild(eng, c.graph, c.newProto, sim.Options{}, "")
 			if err != nil {
 				t.Fatalf("RecordWild: %v", err)
 			}

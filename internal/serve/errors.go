@@ -19,6 +19,7 @@ const (
 	CodeEngineNotServable = "engine_not_servable"
 	CodeUnknownScheduler  = "unknown_scheduler"
 	CodeBadFaults         = "bad_faults"
+	CodeChaosNotServable  = "chaos_not_servable"
 	CodeNetworkTooLarge   = "network_too_large"
 	CodeBodyTooLarge      = "body_too_large"
 	CodeSaturated         = "saturated"
@@ -35,7 +36,8 @@ func ErrorCodes() []string {
 	return []string{
 		CodeBadJSON, CodeBadRequest, CodeBadOp, CodeBadNetwork, CodeBadScenario,
 		CodeUnknownProtocol, CodeUnknownEngine, CodeEngineNotServable,
-		CodeUnknownScheduler, CodeBadFaults, CodeNetworkTooLarge,
+		CodeUnknownScheduler, CodeBadFaults, CodeChaosNotServable,
+		CodeNetworkTooLarge,
 		CodeBodyTooLarge, CodeSaturated, CodeCanceled, CodeShuttingDown,
 		CodeRunFailed, CodeMethodNotAllowed, CodeNotFound,
 	}
@@ -50,7 +52,7 @@ func httpStatus(code string) int {
 	switch code {
 	case CodeBadJSON, CodeBadRequest, CodeBadOp, CodeBadNetwork, CodeBadScenario,
 		CodeUnknownProtocol, CodeUnknownEngine, CodeEngineNotServable,
-		CodeUnknownScheduler, CodeBadFaults:
+		CodeUnknownScheduler, CodeBadFaults, CodeChaosNotServable:
 		return http.StatusBadRequest
 	case CodeNetworkTooLarge, CodeBodyTooLarge:
 		return http.StatusRequestEntityTooLarge

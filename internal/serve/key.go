@@ -131,6 +131,15 @@ func KeyOf(req *anonnet.Request, limits Limits) (Key, *anonnet.Network, *Error) 
 		return Key{}, nil, Errf(CodeEngineNotServable,
 			"engine %q is nondeterministic and not servable (have %s)", k.Engine, strings.Join(servableEngines, "|"))
 	}
+	// Socket chaos only exists on the tcp engine, which is refused above; a
+	// chaos spec can therefore never be satisfied by a servable run. Reject
+	// it explicitly (instead of ignoring it) so the field needs no key
+	// representation: no admitted request ever carries one. Fault plans are
+	// the servable alternative — they perturb the protocol deterministically.
+	if req.Chaos != "" {
+		return Key{}, nil, Errf(CodeChaosNotServable,
+			"socket chaos %q requires the tcp engine, which is not servable; use the faults field for deterministic churn", req.Chaos)
+	}
 	if k.Scheduler == "" {
 		k.Scheduler = "fifo"
 	}

@@ -67,10 +67,34 @@ func TestKeyCompleteness(t *testing.T) {
 		"Timeline":      func(r *anonnet.Request) { r.Timeline = false },
 		"TimelineEvery": func(r *anonnet.Request) { r.TimelineEvery = 7 },
 	}
+	// Fields whose every non-zero value is refused at admission need no key
+	// representation — no admitted request carries them. The fence instead
+	// demands KeyOf reject the field with the stated code, so silently
+	// ignoring it (a cache-collision bug) still fails here.
+	rejected := map[string]struct {
+		mut  func(*anonnet.Request)
+		code string
+	}{
+		"Chaos": {func(r *anonnet.Request) { r.Chaos = "disconnect=3" }, CodeChaosNotServable},
+	}
 
 	rt := reflect.TypeOf(anonnet.Request{})
 	for i := 0; i < rt.NumField(); i++ {
 		name := rt.Field(i).Name
+		if rej, ok := rejected[name]; ok {
+			t.Run(name, func(t *testing.T) {
+				req := baseRequest()
+				rej.mut(&req)
+				_, _, err := KeyOf(&req, Limits{})
+				if err == nil {
+					t.Fatalf("KeyOf admitted a request with %s set — the field is neither keyed nor rejected", name)
+				}
+				if err.Code != rej.code {
+					t.Fatalf("code = %s (%s), want %s", err.Code, err.Message, rej.code)
+				}
+			})
+			continue
+		}
 		mut, ok := mutators[name]
 		if !ok {
 			t.Errorf("Request field %s has no key mutator — every request field must be represented in the cache key (or explicitly decided here)", name)
@@ -91,11 +115,17 @@ func TestKeyCompleteness(t *testing.T) {
 			t.Errorf("mutator %s names no Request field — stale fence entry", name)
 		}
 	}
+	for name := range rejected {
+		if _, ok := rt.FieldByName(name); !ok {
+			t.Errorf("rejected-field entry %s names no Request field — stale fence entry", name)
+		}
+	}
 }
 
 // TestKeyFaultTerms pushes the fence into the fault plan: every effective
-// fault term (drop edge, drop count, loss rate, loss seed, crash vertex,
-// crash quota) must move the key on its own.
+// fault term — static (drop edge/count, loss rate, loss seed, crash
+// vertex/quota) and churn (recover, cut, join, lossat) — must move the key
+// on its own.
 func TestKeyFaultTerms(t *testing.T) {
 	withFaults := func(spec string) anonnet.Request {
 		r := baseRequest()
@@ -114,6 +144,30 @@ func TestKeyFaultTerms(t *testing.T) {
 	} {
 		if got := mustKey(t, withFaults(spec)); got == base {
 			t.Errorf("fault mutation %s (%q) did not change the cache key", name, spec)
+		}
+	}
+
+	// The churn terms, each against a base that carries every term so a
+	// dropped-term bug cannot hide: both the term's presence and each of its
+	// two parameters must key. Two vertices crash so the recovery target can
+	// move (a recover term is only valid for a crashing vertex).
+	churnBase := mustKey(t, withFaults("crash=1:2,crash=2:2,recover=1:4,cut=0:1,join=2:1,lossat=5:50,seed=3"))
+	for name, spec := range map[string]string{
+		"recover-node":   "crash=1:2,crash=2:2,recover=2:4,cut=0:1,join=2:1,lossat=5:50,seed=3",
+		"recover-count":  "crash=1:2,crash=2:2,recover=1:6,cut=0:1,join=2:1,lossat=5:50,seed=3",
+		"recover-absent": "crash=1:2,crash=2:2,cut=0:1,join=2:1,lossat=5:50,seed=3",
+		"cut-edge":       "crash=1:2,crash=2:2,recover=1:4,cut=3:1,join=2:1,lossat=5:50,seed=3",
+		"cut-count":      "crash=1:2,crash=2:2,recover=1:4,cut=0:2,join=2:1,lossat=5:50,seed=3",
+		"cut-absent":     "crash=1:2,crash=2:2,recover=1:4,join=2:1,lossat=5:50,seed=3",
+		"join-edge":      "crash=1:2,crash=2:2,recover=1:4,cut=0:1,join=3:1,lossat=5:50,seed=3",
+		"join-count":     "crash=1:2,crash=2:2,recover=1:4,cut=0:1,join=2:2,lossat=5:50,seed=3",
+		"join-absent":    "crash=1:2,crash=2:2,recover=1:4,cut=0:1,lossat=5:50,seed=3",
+		"lossat-send":    "crash=1:2,crash=2:2,recover=1:4,cut=0:1,join=2:1,lossat=9:50,seed=3",
+		"lossat-rate":    "crash=1:2,crash=2:2,recover=1:4,cut=0:1,join=2:1,lossat=5:80,seed=3",
+		"lossat-absent":  "crash=1:2,crash=2:2,recover=1:4,cut=0:1,join=2:1,seed=3",
+	} {
+		if got := mustKey(t, withFaults(spec)); got == churnBase {
+			t.Errorf("churn mutation %s (%q) did not change the cache key", name, spec)
 		}
 	}
 }
@@ -172,6 +226,7 @@ func TestKeyRejections(t *testing.T) {
 		{"unknown-scheduler", func(r *anonnet.Request) { r.Scheduler = "chaos" }, CodeUnknownScheduler},
 		{"negative-shards", func(r *anonnet.Request) { r.Shards = -1 }, CodeBadRequest},
 		{"bad-faults", func(r *anonnet.Request) { r.Faults = "drop=999:1" }, CodeBadFaults},
+		{"chaos", func(r *anonnet.Request) { r.Chaos = "disconnect=3,loss=10" }, CodeChaosNotServable},
 		{"fault-suffix-in-scenario", func(r *anonnet.Request) { r.Scenario = "torus:w=4,h=4@drop=0:1" }, CodeBadScenario},
 		{"no-graph", func(r *anonnet.Request) { r.Scenario = "" }, CodeBadRequest},
 		{"both-graphs", func(r *anonnet.Request) { r.Network = "anonnet v1\nvertices 3 root 0 terminal 2\n" }, CodeBadRequest},

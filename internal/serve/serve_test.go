@@ -65,6 +65,7 @@ func TestErrorPaths(t *testing.T) {
 		{"bad-fault-syntax", "POST", "/v1/run", `{"scenario":"torus:w=3,h=3","faults":"wat"}`, http.StatusBadRequest, CodeBadFaults},
 		{"fault-out-of-range", "POST", "/v1/run", `{"scenario":"torus:w=3,h=3","faults":"drop=9999:1"}`, http.StatusBadRequest, CodeBadFaults},
 		{"fault-bad-loss", "POST", "/v1/run", `{"scenario":"torus:w=3,h=3","faults":"loss=150"}`, http.StatusBadRequest, CodeBadFaults},
+		{"chaos-not-servable", "POST", "/v1/run", `{"scenario":"torus:w=3,h=3","chaos":"disconnect=3"}`, http.StatusBadRequest, CodeChaosNotServable},
 		{"negative-shards", "POST", "/v1/run", `{"scenario":"torus:w=3,h=3","engine":"shard","shards":-2}`, http.StatusBadRequest, CodeBadRequest},
 		{"network-too-large", "POST", "/v1/run", `{"scenario":"torus:w=4,h=4"}`, http.StatusRequestEntityTooLarge, CodeNetworkTooLarge},
 		{"body-too-large", "POST", "/v1/run", fmt.Sprintf(`{"network":%q}`, strings.Repeat("x", 8192)), http.StatusRequestEntityTooLarge, CodeBodyTooLarge},

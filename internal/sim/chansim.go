@@ -143,6 +143,7 @@ func RunConcurrent(g *graph.G, p protocol.Protocol, opts Options) (*Result, erro
 
 	res.Steps = int(run.steps.Load())
 	res.Dropped = run.faults.Dropped()
+	res.Churn = run.faults.ChurnReport()
 	// The quiescence counter already tracks in-flight-plus-processing
 	// messages O(1) per event; its high-water mark is the peak.
 	res.Metrics.PeakInFlight = int(run.inFlight.peak)

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/graph"
@@ -39,13 +41,101 @@ type Faults struct {
 	// outputs, and v does not count as having received the broadcast for
 	// deliveries past the quota. k = 0 means v is down from the start.
 	CrashAfter map[graph.VertexID]int
+	// RecoverAfter[v] = k turns v's crash into a transient one: v crashes
+	// after CrashAfter[v] processed deliveries, consumes deliveries
+	// CrashAfter[v]+1..k unprocessed, and resumes processing from delivery
+	// k+1 with its pre-crash state intact (crash-recovery with stable
+	// memory). Requires a CrashAfter entry for v with CrashAfter[v] <= k.
+	// Like every trigger here, k counts v's own deliveries — a logical
+	// clock, never wall time — so recovery is schedule-independent.
+	RecoverAfter map[graph.VertexID]int
+	// JoinAfter[e] = k adds edge e to the network only after k send
+	// attempts on it: sends with per-edge index < k are dropped (the edge
+	// did not exist yet), later sends go through. k = 0 is a no-op.
+	JoinAfter map[graph.EdgeID]int
+	// CutAfter[e] = k removes edge e from the network after k sends on it:
+	// sends with per-edge index >= k are dropped. k = 0 means the edge
+	// never existed. When e also has a JoinAfter entry, JoinAfter[e] must
+	// be strictly below CutAfter[e], so the edge's up-window is non-empty.
+	CutAfter map[graph.EdgeID]int
+	// LossSteps is an adversarial loss schedule: once an edge's send index
+	// reaches Step.AfterSend the Bernoulli loss rate becomes Step.Rate,
+	// replacing LossRate (and any earlier step). Steps must carry strictly
+	// ascending AfterSend triggers and rates in [0, 1]. The trigger is the
+	// per-edge send index, so the schedule is a pure function of the plan.
+	LossSteps []LossStep
+}
+
+// LossStep is one step of an adversarial loss schedule; see Faults.LossSteps.
+type LossStep struct {
+	// AfterSend is the per-edge send index at which the step takes effect.
+	AfterSend int
+	// Rate is the Bernoulli loss rate, in [0, 1], from that index on.
+	Rate float64
 }
 
 // empty reports whether the plan injects no faults at all. A negative
 // LossRate is NOT empty: it must reach validation and be rejected rather
 // than silently disabling the plan.
 func (f *Faults) empty() bool {
-	return f == nil || (len(f.DropFirst) == 0 && f.LossRate == 0 && len(f.CrashAfter) == 0)
+	return f == nil || (len(f.DropFirst) == 0 && f.LossRate == 0 && len(f.CrashAfter) == 0 &&
+		len(f.RecoverAfter) == 0 && len(f.JoinAfter) == 0 && len(f.CutAfter) == 0 &&
+		len(f.LossSteps) == 0)
+}
+
+// Churn event kinds, in ChurnEvent.Kind.
+const (
+	// ChurnCrash: a vertex consumed its first delivery while crash-stopped.
+	ChurnCrash = "crash"
+	// ChurnRecover: a recovered vertex processed its first post-recovery
+	// delivery.
+	ChurnRecover = "recover"
+	// ChurnCut: a cut edge dropped its first send past the cut trigger.
+	ChurnCut = "cut"
+	// ChurnJoin: a late-joining edge carried its first send at or past the
+	// join trigger.
+	ChurnJoin = "join"
+	// ChurnLoss: a loss-schedule step saw its first send at or past its
+	// trigger (on any edge).
+	ChurnLoss = "loss"
+)
+
+// ChurnEvent is one topology or rate change that became observable during a
+// run. Events fire at the first delivery or send the change actually affects
+// — a planned change that no traffic ever exercises emits no event.
+type ChurnEvent struct {
+	// Kind is one of the Churn* constants.
+	Kind string
+	// Vertex is the affected vertex for crash/recover events, else -1.
+	Vertex int
+	// Edge is the affected edge for cut/join events, else -1.
+	Edge int
+	// At is the plan's trigger index: a per-vertex delivery count for
+	// crash/recover, a per-edge send index for cut/join and loss steps.
+	At int
+	// Clock is the global delivery clock (deliveries completed anywhere,
+	// under any fault plan with churn terms) when the event fired. On the
+	// deterministic engines it is a pure function of (plan, schedule); the
+	// wild engines report one honest linearization of their run.
+	Clock int64
+}
+
+// ChurnReport summarizes a run's dynamic-network activity: every churn event
+// that fired, against the run's final delivery clock. The re-stabilization
+// cost of event i — deliveries the network needed to go quiet again after
+// the change — is Restabilize(i).
+type ChurnReport struct {
+	// Deliveries is the final global delivery clock of the run.
+	Deliveries int64
+	// Events are the fired churn events, sorted by (Clock, Kind, Vertex,
+	// Edge, At) so the report is stable even on the wild engines.
+	Events []ChurnEvent
+}
+
+// Restabilize returns the deliveries-to-quiescence after event i: the number
+// of deliveries the run still performed once the change became observable.
+func (r *ChurnReport) Restabilize(i int) int64 {
+	return r.Deliveries - r.Events[i].Clock
 }
 
 // FaultState is the per-run compiled form of a fault plan. A nil *FaultState
@@ -63,6 +153,33 @@ type FaultState struct {
 	lossSeed int64
 	crash    []int32 // deliveries v may still process; -1 = never crashes
 	dropped  atomic.Int64
+
+	// Churn state. The per-vertex and per-edge slots (including the fired
+	// flags) follow the single-owner contract above; the event log and the
+	// per-step fired flags are shared and guarded by evMu / atomics. clock
+	// ticks once per CrashDelivery call — every engine makes exactly one
+	// such call per delivery — and is only maintained when churn is
+	// tracked, so plain loss/drop plans stay lock- and atomic-free on the
+	// delivery path.
+	churnTracked bool
+	crashAt      []int32 // original crash quota per vertex (event At field)
+	recover      []int32 // crashed deliveries still to consume; -1 = never recovers
+	recoverAt    []int32 // absolute recovery trigger per vertex (event At field)
+	join         []int32 // sends dropped below this per-edge index; 0 = always up
+	cut          []int32 // sends dropped at/past this per-edge index; -1 = never
+	lossSteps    []compiledLossStep
+	crashFired   []bool // per vertex, owned by v's delivery consumer
+	joinFired    []bool // per edge, owned by e's sender
+	cutFired     []bool // per edge, owned by e's sender
+	clock        atomic.Int64
+	evMu         sync.Mutex
+	events       []ChurnEvent
+}
+
+type compiledLossStep struct {
+	after uint32
+	rate  float64
+	fired atomic.Bool
 }
 
 // NewFaultState compiles opts' fault plan (Options.Faults plus the legacy
@@ -118,6 +235,83 @@ func NewFaultState(g *graph.G, opts *Options) (*FaultState, error) {
 				fs.crash[v] = int32(k)
 			}
 		}
+		if len(f.RecoverAfter) > 0 {
+			fs.recover = make([]int32, nV)
+			fs.recoverAt = make([]int32, nV)
+			for i := range fs.recover {
+				fs.recover[i] = -1
+			}
+			for v, k := range f.RecoverAfter {
+				if int(v) < 0 || int(v) >= nV {
+					return nil, fmt.Errorf("sim: fault plan recovers vertex %d, graph has %d vertices", v, nV)
+				}
+				crash, ok := f.CrashAfter[v]
+				if !ok {
+					return nil, fmt.Errorf("sim: fault plan recovers vertex %d without crashing it (recover needs a crash entry)", v)
+				}
+				if k < crash {
+					return nil, fmt.Errorf("sim: fault plan recovers vertex %d at delivery %d, before its crash at %d", v, k, crash)
+				}
+				fs.recover[v] = int32(k - crash)
+				fs.recoverAt[v] = int32(k)
+			}
+		}
+		addWindow := func(m map[graph.EdgeID]int, what string) ([]int32, error) {
+			if len(m) == 0 {
+				return nil, nil
+			}
+			w := make([]int32, nE)
+			for i := range w {
+				w[i] = -1
+			}
+			for e, k := range m {
+				if int(e) < 0 || int(e) >= nE {
+					return nil, fmt.Errorf("sim: fault plan %ss edge %d, graph has %d edges", what, e, nE)
+				}
+				if k < 0 {
+					return nil, fmt.Errorf("sim: fault plan %s trigger %d on edge %d is negative", what, k, e)
+				}
+				w[e] = int32(k)
+			}
+			return w, nil
+		}
+		var err error
+		if fs.cut, err = addWindow(f.CutAfter, "cut"); err != nil {
+			return nil, err
+		}
+		if fs.join, err = addWindow(f.JoinAfter, "join"); err != nil {
+			return nil, err
+		}
+		for e, j := range f.JoinAfter {
+			if c, ok := f.CutAfter[e]; ok && j >= c {
+				return nil, fmt.Errorf("sim: fault plan joins edge %d at send %d but cuts it at %d (the up-window is empty)", e, j, c)
+			}
+		}
+		if len(f.LossSteps) > 0 {
+			fs.lossSteps = make([]compiledLossStep, len(f.LossSteps))
+			prev := -1
+			for i, s := range f.LossSteps {
+				if s.Rate < 0 || s.Rate > 1 {
+					return nil, fmt.Errorf("sim: loss step %d rate %v outside [0, 1]", i, s.Rate)
+				}
+				if s.AfterSend < 0 || s.AfterSend <= prev {
+					return nil, fmt.Errorf("sim: loss step triggers must be non-negative and strictly ascending (step %d at %d, previous %d)", i, s.AfterSend, prev)
+				}
+				prev = s.AfterSend
+				fs.lossSteps[i].after = uint32(s.AfterSend)
+				fs.lossSteps[i].rate = s.Rate
+			}
+		}
+		if fs.crash != nil || fs.cut != nil || fs.join != nil || len(fs.lossSteps) > 0 {
+			fs.churnTracked = true
+			fs.crashFired = make([]bool, nV)
+			fs.joinFired = make([]bool, nE)
+			fs.cutFired = make([]bool, nE)
+			fs.crashAt = make([]int32, nV)
+			for v, k := range f.CrashAfter {
+				fs.crashAt[v] = int32(k)
+			}
+		}
 	}
 	return fs, nil
 }
@@ -136,7 +330,41 @@ func (fs *FaultState) DropSend(e graph.EdgeID) bool {
 		fs.dropped.Add(1)
 		return true
 	}
-	if fs.lossRate > 0 && bernoulli(fs.lossSeed, e, idx, fs.lossRate) {
+	if fs.join != nil {
+		if j := fs.join[e]; j > 0 {
+			if int32(idx) < j {
+				// The edge has not joined the network yet.
+				fs.dropped.Add(1)
+				return true
+			}
+			if !fs.joinFired[e] {
+				fs.joinFired[e] = true
+				fs.addEvent(ChurnEvent{Kind: ChurnJoin, Vertex: -1, Edge: int(e), At: int(j), Clock: fs.clock.Load()})
+			}
+		}
+	}
+	if fs.cut != nil {
+		if c := fs.cut[e]; c >= 0 && int32(idx) >= c {
+			if !fs.cutFired[e] {
+				fs.cutFired[e] = true
+				fs.addEvent(ChurnEvent{Kind: ChurnCut, Vertex: -1, Edge: int(e), At: int(c), Clock: fs.clock.Load()})
+			}
+			fs.dropped.Add(1)
+			return true
+		}
+	}
+	rate := fs.lossRate
+	for i := range fs.lossSteps {
+		s := &fs.lossSteps[i]
+		if idx < s.after {
+			break // triggers ascend; later steps cannot apply either
+		}
+		rate = s.rate
+		if !s.fired.Load() && s.fired.CompareAndSwap(false, true) {
+			fs.addEvent(ChurnEvent{Kind: ChurnLoss, Vertex: -1, Edge: -1, At: int(s.after), Clock: fs.clock.Load()})
+		}
+	}
+	if rate > 0 && bernoulli(fs.lossSeed, e, idx, rate) {
 		fs.dropped.Add(1)
 		return true
 	}
@@ -146,20 +374,87 @@ func (fs *FaultState) DropSend(e graph.EdgeID) bool {
 // CrashDelivery decides the fate of the next delivery to v: true means v has
 // crash-stopped and the engine must consume the message without processing
 // it. Callable only by v's single delivery consumer; see the type comment.
+// Every engine calls it exactly once per delivery, which is what makes it
+// double as the global delivery clock when churn is tracked.
 func (fs *FaultState) CrashDelivery(v graph.VertexID) bool {
-	if fs == nil || fs.crash == nil {
+	if fs == nil {
+		return false
+	}
+	var now int64
+	if fs.churnTracked {
+		now = fs.clock.Add(1)
+	}
+	if fs.crash == nil {
 		return false
 	}
 	q := fs.crash[v]
 	if q < 0 {
 		return false
 	}
-	if q == 0 {
+	if q > 0 {
+		fs.crash[v] = q - 1
+		return false
+	}
+	// q == 0: v is crash-stopped right now.
+	if !fs.crashFired[v] {
+		fs.crashFired[v] = true
+		fs.addEvent(ChurnEvent{Kind: ChurnCrash, Vertex: int(v), Edge: -1, At: int(fs.crashAt[v]), Clock: now})
+	}
+	r := int32(-1)
+	if fs.recover != nil {
+		r = fs.recover[v]
+	}
+	if r > 0 {
+		fs.recover[v] = r - 1
 		fs.dropped.Add(1)
 		return true
 	}
-	fs.crash[v] = q - 1
-	return false
+	if r == 0 {
+		// The crash window is exhausted: v recovers and processes this
+		// delivery with its pre-crash state intact.
+		fs.crash[v] = -1
+		fs.addEvent(ChurnEvent{Kind: ChurnRecover, Vertex: int(v), Edge: -1, At: int(fs.recoverAt[v]), Clock: now})
+		return false
+	}
+	fs.dropped.Add(1)
+	return true
+}
+
+// addEvent appends a fired churn event to the log. Events are rare (at most
+// one per plan term), so one mutex is fine even on the wild engines.
+func (fs *FaultState) addEvent(ev ChurnEvent) {
+	fs.evMu.Lock()
+	fs.events = append(fs.events, ev)
+	fs.evMu.Unlock()
+}
+
+// ChurnReport returns the run's churn activity, or nil when the plan has no
+// churn terms (crash, recover, cut, join, loss steps). Safe to call from any
+// goroutine once the run is over; also safe on a nil receiver.
+func (fs *FaultState) ChurnReport() *ChurnReport {
+	if fs == nil || !fs.churnTracked {
+		return nil
+	}
+	fs.evMu.Lock()
+	evs := append([]ChurnEvent(nil), fs.events...)
+	fs.evMu.Unlock()
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.Clock != b.Clock {
+			return a.Clock < b.Clock
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Vertex != b.Vertex {
+			return a.Vertex < b.Vertex
+		}
+		if a.Edge != b.Edge {
+			return a.Edge < b.Edge
+		}
+		return a.At < b.At
+	})
+	return &ChurnReport{Deliveries: fs.clock.Load(), Events: evs}
 }
 
 // Dropped returns the number of messages the plan discarded so far: sends

@@ -224,6 +224,11 @@ type Result struct {
 	// deliveries consumed unprocessed by crashed vertices. Always 0 on a
 	// fault-free run.
 	Dropped int
+	// Churn is the run's dynamic-network report — fired crash/recover/
+	// cut/join/loss-step events against the global delivery clock, from
+	// which per-event re-stabilization (deliveries-to-quiescence) follows.
+	// Nil when the fault plan has no churn terms. Every engine fills it.
+	Churn *ChurnReport
 	// Steals is the number of barrier-time work donations the sharded
 	// engine performed: at a superstep barrier an overloaded shard donated a
 	// chunk of its pending head vertices to an idle one. Deterministic per

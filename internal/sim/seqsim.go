@@ -114,7 +114,7 @@ func Run(g *graph.G, p protocol.Protocol, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer func() { res.Dropped = faults.Dropped() }()
+	defer func() { res.Dropped, res.Churn = faults.Dropped(), faults.ChurnReport() }()
 	push := func(e graph.EdgeID, msg protocol.Message) {
 		tr.Send()
 		if faults.DropSend(e) {

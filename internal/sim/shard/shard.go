@@ -777,6 +777,7 @@ func (run *shardRun) finalize(res *sim.Result, peak int) {
 	m.PerEdgeMsgs = run.perEdgeMsgs
 	m.PeakInFlight = peak
 	res.Dropped = run.faults.Dropped()
+	res.Churn = run.faults.ChurnReport()
 	res.Steals = run.steals
 	res.StolenEdges = run.stolenEdges
 	for _, st := range run.states {

@@ -52,7 +52,7 @@ func RunSynchronous(g *graph.G, p protocol.Protocol, opts Options) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	defer func() { res.Dropped = faults.Dropped() }()
+	defer func() { res.Dropped, res.Churn = faults.Dropped(), faults.ChurnReport() }()
 
 	// Telemetry: one track; each global round is one superstep row, so the
 	// timeline charts queue growth round by round. "sync" matches the

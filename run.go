@@ -177,6 +177,7 @@ type runConfig struct {
 	fuzzDst  **FuzzReport
 	scenario string
 	faults   string
+	chaos    string
 	noBatch  bool
 	obsOn    bool
 	obsEvery int
@@ -279,6 +280,16 @@ func WithNoBatchDrain() Option { return func(c *runConfig) { c.noBatch = true } 
 // with trace record/replay and the schedule fuzzer.
 func WithFaults(spec string) Option { return func(c *runConfig) { c.faults = spec } }
 
+// WithChaos arms the TCP engine's deterministic socket-chaos mode:
+// "disconnect=N,loss=PCT,delay=MS,seed=S" (see internal/netrun.ParseChaos)
+// injects seeded per-connection forced disconnects, socket-layer frame loss
+// and latency jitter. Chaos perturbs the wire, never the protocol: every
+// teardown is healed by reconnect with bounded exponential backoff and
+// resend of unacknowledged frames, so verdicts and visited sets match the
+// chaos-free run. Only EngineTCP accepts it; every other engine rejects the
+// option (there is no socket to disturb).
+func WithChaos(spec string) Option { return func(c *runConfig) { c.chaos = spec } }
+
 // ScenarioFamilies lists the scenario registry's family names, sorted.
 func ScenarioFamilies() []string { return scenario.Names() }
 
@@ -317,24 +328,30 @@ func (c runConfig) resolveNetwork(n *Network) (*Network, error) {
 }
 
 // faultOptions compiles the configured fault spec (WithFaults, or the
-// '@'-suffix of WithScenario) against the resolved graph.
-func (c runConfig) faultOptions(g *graph.G) (*sim.Faults, error) {
+// '@'-suffix of WithScenario) against the resolved graph. The second return
+// is the plan's canonical spec — the form recorded traces carry in their
+// header — or "" when no plan is configured.
+func (c runConfig) faultOptions(g *graph.G) (*sim.Faults, string, error) {
 	_, fromScenario := splitScenarioSpec(c.scenario)
 	spec := c.faults
 	if fromScenario != "" {
 		if spec != "" {
-			return nil, fmt.Errorf("anonnet: fault plans given both via WithFaults(%q) and WithScenario(%q)", c.faults, c.scenario)
+			return nil, "", fmt.Errorf("anonnet: fault plans given both via WithFaults(%q) and WithScenario(%q)", c.faults, c.scenario)
 		}
 		spec = fromScenario
 	}
 	if spec == "" {
-		return nil, nil
+		return nil, "", nil
 	}
 	plan, err := scenario.ParseFaults(spec)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	return plan.Compile(g)
+	f, err := plan.Compile(g)
+	if err != nil {
+		return nil, "", err
+	}
+	return f, plan.Canonical(), nil
 }
 
 // TraceData is a recorded delivery schedule with its provenance header (see
@@ -444,10 +461,33 @@ type Report struct {
 	// or WithScenario's '@'-suffix): dropped sends plus deliveries consumed
 	// by crashed vertices. Always 0 on a fault-free run.
 	Dropped int
+	// Churn lists the fault plan's fired dynamic-network events — vertex
+	// crashes and recoveries, edge cuts and joins, loss-schedule steps —
+	// each with its re-stabilization cost. Empty unless the plan carries
+	// churn terms.
+	Churn []ChurnEvent
 	// Timeline is the run's telemetry (nil unless WithObservability was
 	// given): the deterministic logical-clock timeline plus wall-clock phase
 	// timings.
 	Timeline *Timeline
+}
+
+// ChurnEvent is one fired dynamic-network event of a run's fault plan.
+type ChurnEvent struct {
+	// Kind is "crash", "recover", "cut", "join" or "loss".
+	Kind string
+	// Vertex is the affected vertex for crash/recover events, else -1.
+	Vertex int
+	// Edge is the affected edge for cut/join events, else -1.
+	Edge int
+	// At is the plan trigger index: a per-vertex delivery count for vertex
+	// events, a per-edge send index for edge events and loss steps.
+	At int
+	// Clock is the global delivery clock when the event became observable.
+	Clock int64
+	// Restabilize is the event's deliveries-to-quiescence: how many
+	// deliveries the run still performed after the change.
+	Restabilize int64
 }
 
 // Timeline is the telemetry of one observed run (WithObservability). It has
@@ -504,6 +544,9 @@ func (c runConfig) simOptions() (sim.Options, error) {
 // — the three in-memory engines and TCP — is reached through the same
 // sim.Engine interface.
 func (c runConfig) engineImpl() (sim.Engine, error) {
+	if c.chaos != "" && c.engine != EngineTCP {
+		return nil, fmt.Errorf("anonnet: WithChaos(%q) requires the tcp engine, have %s (no socket to disturb)", c.chaos, c.engine)
+	}
 	switch c.engine {
 	case EngineSequential:
 		return sim.Sequential(), nil
@@ -512,7 +555,11 @@ func (c runConfig) engineImpl() (sim.Engine, error) {
 	case EngineSynchronous:
 		return sim.Synchronous(), nil
 	case EngineTCP:
-		return netrun.Engine(core.Codec{}, netrun.Options{Shards: c.shards}), nil
+		chaos, err := netrun.ParseChaos(c.chaos)
+		if err != nil {
+			return nil, err
+		}
+		return netrun.Engine(core.Codec{}, netrun.Options{Shards: c.shards, Chaos: chaos}), nil
 	case EngineSharded:
 		n := c.shards
 		if n == 0 {
@@ -533,7 +580,8 @@ func (c runConfig) execute(g *graph.G, newProto func() protocol.Protocol) (*sim.
 	if err != nil {
 		return nil, nil, err
 	}
-	opts.Faults, err = c.faultOptions(g)
+	var faultSpec string
+	opts.Faults, faultSpec, err = c.faultOptions(g)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -562,6 +610,12 @@ func (c runConfig) execute(g *graph.G, newProto func() protocol.Protocol) (*sim.
 		if trRec != nil && err == nil {
 			recorded = trRec.Trace(g, src.Protocol, src.Scheduler, src.Seed)
 			recorded.Truncated = src.Truncated
+			// The re-recording ran under the trace's plan (or the caller's,
+			// when the trace carries none — replay.Run rejects both at once).
+			recorded.Faults = src.Faults
+			if recorded.Faults == "" {
+				recorded.Faults = faultSpec
+			}
 		}
 	case wantTrace && (c.engine == EngineConcurrent || c.engine == EngineTCP || c.engine == EngineSharded):
 		// Wild-capture engines: their schedule is not a sequential
@@ -569,7 +623,7 @@ func (c runConfig) execute(g *graph.G, newProto func() protocol.Protocol) (*sim.
 		// deterministic parallel composition for shard), so it is captured
 		// through the engines' serialized observer and canonicalized into a
 		// strict-mode trace with one sequential replay.
-		r, recorded, err = replay.RecordWild(eng, g, newProto, opts)
+		r, recorded, err = replay.RecordWild(eng, g, newProto, opts, faultSpec)
 	default:
 		var trRec *replay.Recorder
 		if wantTrace {
@@ -587,6 +641,7 @@ func (c runConfig) execute(g *graph.G, newProto func() protocol.Protocol) (*sim.
 				}
 			}
 			recorded = trRec.Trace(g, newProto().Name(), schedName, c.seed)
+			recorded.Faults = faultSpec
 		}
 	}
 	if err != nil {
@@ -632,12 +687,31 @@ func (c runConfig) fuzzSchedule(g *graph.G, newProto func() protocol.Protocol, t
 }
 
 func report(p protocol.Protocol, r *sim.Result, rec *obs.Recorder) *Report {
+	var churn []ChurnEvent
+	if r.Churn != nil {
+		churn = make([]ChurnEvent, 0, len(r.Churn.Events))
+		rows := make([]obs.ChurnRow, 0, len(r.Churn.Events))
+		for i, ev := range r.Churn.Events {
+			churn = append(churn, ChurnEvent{
+				Kind: ev.Kind, Vertex: ev.Vertex, Edge: ev.Edge, At: ev.At,
+				Clock: ev.Clock, Restabilize: r.Churn.Restabilize(i),
+			})
+			rows = append(rows, obs.ChurnRow{
+				Kind: ev.Kind, Vertex: ev.Vertex, Edge: ev.Edge, At: ev.At,
+				Clock: ev.Clock, Restabilize: r.Churn.Restabilize(i),
+			})
+		}
+		// The churn rows enter the telemetry before the timeline is built, so
+		// the deterministic plane carries them (schema v2).
+		rec.RecordChurn(rows)
+	}
 	var tl *Timeline
 	if rec != nil {
 		tl = &Timeline{report: rec.Report()}
 	}
 	return &Report{
 		Timeline:       tl,
+		Churn:          churn,
 		Protocol:       p.Name(),
 		Terminated:     r.Verdict == sim.Terminated,
 		AllReceived:    r.AllVisited(),
@@ -866,9 +940,15 @@ type Request struct {
 	Shards int `json:"shards,omitempty"`
 	// MaxSteps bounds the number of delivery steps (0 = default limit).
 	MaxSteps int `json:"max_steps,omitempty"`
-	// Faults is a deterministic fault plan in WithFaults syntax
-	// ("drop=EDGE:K,loss=PCT,crash=VERTEX:K,seed=N"; "" = fault-free).
+	// Faults is a deterministic fault/churn plan in WithFaults syntax
+	// ("drop=EDGE:K,loss=PCT,crash=VERTEX:K,recover=VERTEX:K,cut=EDGE:K,
+	// join=EDGE:K,lossat=SEND:PCT,seed=N"; "" = fault-free).
 	Faults string `json:"faults,omitempty"`
+	// Chaos is a socket-chaos spec in WithChaos syntax
+	// ("disconnect=N,loss=PCT,delay=MS,seed=S"). TCP engine only; the run
+	// server rejects any request that sets it (wild networking is not
+	// servable).
+	Chaos string `json:"chaos,omitempty"`
 	// Alphabet enables Report.AlphabetSize tracking.
 	Alphabet bool `json:"alphabet,omitempty"`
 	// NoBatchDrain disables forced-choice batch draining (WithNoBatchDrain).
@@ -918,6 +998,9 @@ func (req Request) options(extra []Option) (*Network, []Option, error) {
 	}
 	if req.Faults != "" {
 		opts = append(opts, WithFaults(req.Faults))
+	}
+	if req.Chaos != "" {
+		opts = append(opts, WithChaos(req.Chaos))
 	}
 	if req.Scenario != "" {
 		opts = append(opts, WithScenario(req.Scenario))
